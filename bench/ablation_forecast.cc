@@ -1,0 +1,137 @@
+// Ablation: accounting for adult traffic in forecasting models.
+//
+// §V: "it is important to separately account for adult traffic in the
+// traffic forecasting models and network resource allocation." Four models
+// predict the last 2 days of hourly volume from the first 5:
+//   (a) canonical template  — the operator practice the paper warns about:
+//       assume ALL traffic follows the non-adult hour-of-day profile;
+//   (b) per-stream templates — adult-aware profiles, predictions summed;
+//   (c,d) Holt-Winters pooled/separated — a generic seasonal learner as the
+//       reference (it learns the mixed profile, so pooling is fine there).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/forecast.h"
+#include "cdn/scenario.h"
+#include "cdn/simulator.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace {
+
+using namespace atlas;
+
+// Hourly request-count series (UTC) for a trace.
+stats::TimeSeries HourlySeries(const trace::TraceBuffer& trace) {
+  stats::TimeSeries ts(util::kMillisPerHour, util::kHoursPerWeek);
+  for (const auto& r : trace.records()) ts.Accumulate(r.timestamp_ms);
+  return ts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("train-days", 5, "training window in days");
+  try {
+    flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const double scale = flags.GetDouble("scale");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const auto train = static_cast<std::size_t>(flags.GetInt("train-days")) * 24;
+
+  cdn::SimulatorConfig config;
+  cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, seed);
+  // The non-adult stream carries the classic evening diurnal phase and
+  // dominates real mixes; weight it 3x the adult aggregate.
+  synth::SiteProfile background = synth::SiteProfile::NonAdult(scale);
+  background.total_requests *= 3;
+  const auto non_adult = cdn::SimulateSite(background, 99, config, seed + 7);
+
+  std::vector<stats::TimeSeries> components;
+  stats::TimeSeries adult(util::kMillisPerHour, util::kHoursPerWeek);
+  for (const auto& run : scenario.runs()) {
+    const auto ts = HourlySeries(run.result.trace);
+    for (std::size_t h = 0; h < ts.size(); ++h) adult[h] += ts[h];
+  }
+  components.push_back(adult);
+  components.push_back(HourlySeries(non_adult.trace));
+
+  const auto& non_adult_ts = components[1];
+  stats::TimeSeries pooled(util::kMillisPerHour, util::kHoursPerWeek);
+  for (const auto& c : components) {
+    for (std::size_t h = 0; h < pooled.size(); ++h) pooled[h] += c[h];
+  }
+
+  std::cout << "=== Ablation: forecasting adult traffic (scale=" << scale
+            << ", train " << flags.GetInt("train-days") << "d, test "
+            << 7 - flags.GetInt("train-days") << "d) ===\n\n";
+  std::cout << util::PadRight("model", 38) << util::PadLeft("MAE", 10)
+            << util::PadLeft("RMSE", 10) << util::PadLeft("MAPE", 9) << '\n';
+  std::cout << std::string(67, '-') << '\n';
+  const auto row = [](const char* label, const analysis::ForecastResult& f) {
+    std::cout << util::PadRight(label, 38)
+              << util::PadLeft(util::FormatDouble(f.mae, 1), 10)
+              << util::PadLeft(util::FormatDouble(f.rmse, 1), 10)
+              << util::PadLeft(util::FormatPercent(f.mape, 1), 9) << '\n';
+  };
+
+  // (a) The operator model: apply the canonical non-adult daily profile to
+  // everything — the practice the paper warns against.
+  const auto canonical = analysis::HourProfile(non_adult_ts, train);
+  row("canonical (non-adult) template",
+      analysis::TemplateForecast(pooled, train, canonical));
+  // (b) Adult-aware templates: each stream forecast with its own profile.
+  {
+    analysis::ForecastResult separated;
+    separated.predictions.assign(pooled.size() - train, 0.0);
+    for (const auto& c : components) {
+      const auto f =
+          analysis::TemplateForecast(c, train, analysis::HourProfile(c, train));
+      for (std::size_t h = 0; h < f.predictions.size(); ++h) {
+        separated.predictions[h] += f.predictions[h];
+      }
+    }
+    // Score against the pooled actuals.
+    double abs_sum = 0, sq = 0, pct = 0;
+    std::size_t pct_n = 0;
+    for (std::size_t h = 0; h < separated.predictions.size(); ++h) {
+      const double actual = pooled[train + h];
+      const double err = separated.predictions[h] - actual;
+      abs_sum += std::abs(err);
+      sq += err * err;
+      if (actual > 0) {
+        pct += std::abs(err) / actual;
+        ++pct_n;
+      }
+    }
+    const auto n = static_cast<double>(separated.predictions.size());
+    separated.mae = abs_sum / n;
+    separated.rmse = std::sqrt(sq / n);
+    separated.mape = pct_n ? pct / static_cast<double>(pct_n) : 0.0;
+    row("per-stream templates (adult-aware)", separated);
+  }
+  // (c) Reference: generic seasonal learners, pooled vs separated.
+  const auto cmp = analysis::ComparePooledVsSeparated(components, train);
+  row("Holt-Winters, pooled", cmp.pooled);
+  row("Holt-Winters, separated", cmp.separated);
+
+  std::cout << "\npaper's claim under test: forecasting models tuned to the "
+               "canonical web profile misallocate for adult\ntraffic "
+               "(off-phase peaks); adult-aware profiles fix it. A generic "
+               "seasonal learner (Holt-Winters)\nabsorbs the mixed profile "
+               "either way — separation matters when models assume a shape.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: incognito browsing vs. browser-cache utility.
+//
+// §V: adult publishers "cannot rely on browser cache to store locally
+// popular content because of prevalent use of incognito/private web
+// browsing" (contrast: Facebook serves >65% of photo requests from browser
+// caches). Sweep the incognito rate and measure what the browser layer
+// absorbs, how many 304s appear, and what load reaches the CDN.
+#include <iostream>
+
+#include "cdn/simulator.h"
+#include "synth/site_profile.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  flags.DefineInt("seed", 42, "RNG seed");
+  try {
+    flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const double scale = flags.GetDouble("scale");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+
+  std::cout << "=== Ablation: incognito rate vs. browser-cache utility "
+               "(P-1, scale=" << scale << ") ===\n";
+  std::cout << util::PadRight("incognito", 11) << util::PadLeft("absorbed", 10)
+            << util::PadLeft("304s", 8) << util::PadLeft("cdn-reqs", 10)
+            << util::PadLeft("edge-hit%", 11) << '\n';
+  std::cout << std::string(50, '-') << '\n';
+  for (double rate : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    synth::SiteProfile profile = synth::SiteProfile::P1(scale);
+    profile.incognito_rate = rate;
+    // Give repeats a chance so browser caches can matter at all.
+    profile.repeat_request_prob = 0.25;
+    profile.favorite_adopt_prob = 0.4;
+    cdn::SimulatorConfig config;
+    config.topology.edge_capacity_bytes =
+        static_cast<std::uint64_t>(20e9 * scale);
+    const auto result = cdn::SimulateSite(profile, 0, config, seed);
+    std::cout << util::PadRight(util::FormatPercent(rate, 0), 11)
+              << util::PadLeft(util::FormatCount(static_cast<double>(
+                                   result.browser_fresh_hits)),
+                               10)
+              << util::PadLeft(
+                     util::FormatCount(static_cast<double>(result.revalidations)),
+                     8)
+              << util::PadLeft(
+                     util::FormatCount(static_cast<double>(result.trace.size())),
+                     10)
+              << util::PadLeft(
+                     util::FormatPercent(result.edge_stats.HitRatio(), 1), 11)
+              << '\n';
+  }
+  std::cout << "\npaper's claim under test: as incognito usage rises, "
+               "browser-cache absorption and 304 revalidations\ncollapse, "
+               "pushing the full request load onto the CDN\n";
+  return 0;
+}

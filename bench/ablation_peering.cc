@@ -1,0 +1,83 @@
+// Ablation: cooperative (peer) cache fill across the CDN footprint.
+//
+// Extends §V's "push copies of popular adult objects closer to end-users":
+// instead of proactively pushing, let an edge miss be filled from a sibling
+// data center that already holds the object, falling back to the origin.
+// Sweep edge capacity and report how much origin egress peering removes —
+// most valuable exactly when edges are small and the long tail churns.
+#include <iostream>
+
+#include "cdn/scenario.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  flags.DefineInt("seed", 42, "RNG seed");
+  try {
+    flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const double scale = flags.GetDouble("scale");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+
+  std::cout << "=== Ablation: cooperative peer fill (five sites, scale="
+            << scale << ") ===\n";
+  std::cout << util::PadRight("per-DC capacity", 17)
+            << util::PadRight("peering", 9) << util::PadLeft("hit%", 8)
+            << util::PadLeft("peer fills", 12) << util::PadLeft("origin", 11)
+            << util::PadLeft("origin cut", 12) << '\n';
+  std::cout << std::string(69, '-') << '\n';
+  for (double gb_at_full : {8.0, 24.0, 64.0}) {
+    std::uint64_t baseline_origin = 0;
+    for (bool peering : {false, true}) {
+      cdn::SimulatorConfig config;
+      config.topology.edge_capacity_bytes =
+          static_cast<std::uint64_t>(gb_at_full * 1e9 * scale) + (64ULL << 20);
+      config.peer_fill = peering;
+      cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, seed);
+      cdn::CacheStats edge;
+      std::uint64_t origin_bytes = 0, peer_fetches = 0;
+      for (const auto& run : scenario.runs()) {
+        edge.Merge(run.result.edge_stats);
+        origin_bytes += run.result.origin.bytes;
+        peer_fetches += run.result.peer_fetches;
+      }
+      if (!peering) baseline_origin = origin_bytes;
+      const double cut =
+          baseline_origin > 0
+              ? 1.0 - static_cast<double>(origin_bytes) /
+                          static_cast<double>(baseline_origin)
+              : 0.0;
+      std::cout << util::PadRight(
+                       util::FormatBytes(static_cast<double>(
+                           config.topology.edge_capacity_bytes)),
+                       17)
+                << util::PadRight(peering ? "on" : "off", 9)
+                << util::PadLeft(util::FormatPercent(edge.HitRatio(), 1), 8)
+                << util::PadLeft(
+                       util::FormatCount(static_cast<double>(peer_fetches)), 12)
+                << util::PadLeft(
+                       util::FormatBytes(static_cast<double>(origin_bytes)), 11)
+                << util::PadLeft(
+                       peering ? util::FormatPercent(cut, 1) : std::string("-"),
+                       12)
+                << '\n';
+    }
+  }
+  std::cout << "\ninterpretation: sibling copies absorb fills for objects "
+               "popular in one region and warm in another;\nthe origin cut "
+               "shrinks as edges grow large enough to hold the working set "
+               "themselves\n";
+  return 0;
+}

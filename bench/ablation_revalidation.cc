@@ -1,0 +1,135 @@
+// Ablation: pattern-aware revalidation schedules.
+//
+// §IV-B/§V: revalidate diurnal and long-lived objects rarely (daily-scale
+// expiry) and short-lived objects often. The closed loop: run the study,
+// classify per-object temporal shapes from the trace itself, feed the
+// classifications into a RevalidationOracle, and replay the trace through
+// (a) uniform-short TTL, (b) uniform-long TTL, and (c) oracle-driven TTL
+// caches. The oracle should match the long TTL's hit ratio while keeping
+// short-lived objects on an hourly revalidation schedule.
+#include <iostream>
+#include <memory>
+
+#include "analysis/trend_cluster.h"
+#include "cdn/policies.h"
+#include "cdn/revalidation.h"
+#include "cdn/scenario.h"
+#include "cluster/shape.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace atlas;
+
+struct ReplayStats {
+  cdn::CacheStats cache;
+  std::uint64_t expired = 0;
+};
+
+ReplayStats Replay(cdn::Cache& cache, const trace::TraceBuffer& trace) {
+  for (const auto& r : trace.records()) {
+    if (r.response_code != trace::kHttpOk &&
+        r.response_code != trace::kHttpPartialContent) {
+      continue;
+    }
+    cache.Access(r.url_hash, r.object_size, r.timestamp_ms);
+  }
+  ReplayStats out;
+  out.cache = cache.stats();
+  if (auto* oracle_cache = dynamic_cast<cdn::OracleTtlCache*>(&cache)) {
+    out.expired = oracle_cache->expired_lookups();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineDouble("capacity-gb", 2.0, "replay cache capacity (GB)");
+  try {
+    flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const double scale = flags.GetDouble("scale");
+
+  cdn::SimulatorConfig config;
+  cdn::Scenario scenario = cdn::Scenario::PaperStudy(
+      scale, config, static_cast<std::uint64_t>(flags.GetInt("seed")));
+  const trace::TraceBuffer merged = scenario.MergedTrace();
+
+  // Classify object shapes from the trace (per site, both classes) and feed
+  // the oracle — the analysis->delivery closed loop.
+  cdn::RevalidationOracle oracle;
+  for (const auto& run : scenario.runs()) {
+    for (const auto cls :
+         {trace::ContentClass::kVideo, trace::ContentClass::kImage}) {
+      analysis::TrendClusterConfig tc;
+      tc.use_class = true;
+      tc.content_class = cls;
+      tc.min_requests = 20;
+      const auto series =
+          analysis::BuildObjectHourlySeries(run.result.trace, tc);
+      for (const auto& [hash, s] : series) {
+        oracle.Classify(hash, cluster::ClassifyShape(s));
+      }
+    }
+  }
+
+  const auto capacity = static_cast<std::uint64_t>(
+      flags.GetDouble("capacity-gb") * 1e9 * scale * 20);
+  std::cout << "=== Ablation: revalidation schedules (scale=" << scale
+            << ", capacity "
+            << util::FormatBytes(static_cast<double>(capacity))
+            << ", " << oracle.classified_count()
+            << " objects classified) ===\n\n";
+  std::cout << util::PadRight("schedule", 26) << util::PadLeft("hit%", 8)
+            << util::PadLeft("expired-miss", 14)
+            << util::PadLeft("origin fetches", 16) << '\n';
+  std::cout << std::string(64, '-') << '\n';
+
+  const auto report = [&](const char* label, ReplayStats stats) {
+    std::cout << util::PadRight(label, 26)
+              << util::PadLeft(util::FormatPercent(stats.cache.HitRatio(), 1), 8)
+              << util::PadLeft(
+                     stats.expired > 0
+                         ? util::FormatCount(static_cast<double>(stats.expired))
+                         : std::string("-"),
+                     14)
+              << util::PadLeft(
+                     util::FormatCount(static_cast<double>(stats.cache.misses)),
+                     16)
+              << '\n';
+  };
+
+  {
+    cdn::TtlLruCache uniform_short(capacity, 3600 * 1000LL);
+    report("uniform TTL = 1 h", Replay(uniform_short, merged));
+  }
+  {
+    cdn::TtlLruCache uniform_long(capacity, 24 * 3600 * 1000LL);
+    report("uniform TTL = 24 h", Replay(uniform_long, merged));
+  }
+  {
+    cdn::OracleTtlCache oracle_cache(
+        capacity, [&](std::uint64_t key) { return oracle.TtlFor(key); });
+    report("pattern-aware oracle", Replay(oracle_cache, merged));
+  }
+
+  std::cout << "\npaper's claim under test: long expiry for diurnal/"
+               "long-lived objects recovers the uniform-24h hit ratio\n"
+               "while unclassified/short-lived objects keep conservative "
+               "freshness (bounded staleness)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Ablation: unified vs. split caching platforms.
+//
+// §IV-B: "ISPs/CDNs can employ separate caching platforms to optimally
+// serve small and large sized objects. The caching platform for small
+// objects can be optimized for high-throughput I/O; whereas, the caching
+// platform for large objects can be optimized for more storage capacity."
+//
+// This bench replays one generated trace through (a) one unified LRU of
+// capacity C and (b) a small-object LRU + large-object LRU whose capacities
+// sum to C, across split points and small:large capacity ratios.
+#include <iostream>
+#include <memory>
+
+#include "cdn/cache.h"
+#include "cdn/scenario.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace atlas;
+
+struct ReplayResult {
+  cdn::CacheStats small;
+  cdn::CacheStats large;
+  cdn::CacheStats Total() const {
+    cdn::CacheStats t = small;
+    t.Merge(large);
+    return t;
+  }
+};
+
+// Replays object-level accesses (content-bearing responses only).
+ReplayResult Replay(const trace::TraceBuffer& trace,
+                    std::uint64_t small_capacity,
+                    std::uint64_t large_capacity,
+                    std::uint64_t split_bytes) {
+  auto small_cache = cdn::CreateCache(cdn::PolicyKind::kLru, small_capacity);
+  auto large_cache = large_capacity > 0
+                         ? cdn::CreateCache(cdn::PolicyKind::kLru, large_capacity)
+                         : nullptr;
+  ReplayResult result;
+  for (const auto& r : trace.records()) {
+    if (r.response_code != trace::kHttpOk &&
+        r.response_code != trace::kHttpPartialContent) {
+      continue;
+    }
+    if (large_cache != nullptr && r.object_size > split_bytes) {
+      large_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
+    } else {
+      small_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
+    }
+  }
+  result.small = small_cache->stats();
+  if (large_cache != nullptr) result.large = large_cache->stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineDouble("capacity-gb", 0.0, "total capacity (0 = auto)");
+  try {
+    flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const double scale = flags.GetDouble("scale");
+
+  cdn::SimulatorConfig config;
+  cdn::Scenario scenario = cdn::Scenario::PaperStudy(
+      scale, config, static_cast<std::uint64_t>(flags.GetInt("seed")));
+  const trace::TraceBuffer merged = scenario.MergedTrace();
+
+  const double cap_flag = flags.GetDouble("capacity-gb");
+  const auto total_capacity = static_cast<std::uint64_t>(
+      cap_flag > 0.0 ? cap_flag * 1e9 : 40e9 * scale);
+
+  std::cout << "=== Ablation: split small/large cache platforms (scale="
+            << scale << ", total capacity "
+            << util::FormatBytes(static_cast<double>(total_capacity))
+            << ") ===\n";
+  std::cout << util::PadRight("config", 30) << util::PadLeft("hit%", 8)
+            << util::PadLeft("small-hit%", 12) << util::PadLeft("large-hit%", 12)
+            << '\n';
+  std::cout << std::string(62, '-') << '\n';
+
+  // Baseline: one unified cache.
+  const auto unified = Replay(merged, total_capacity, 0, 0);
+  std::cout << util::PadRight("unified LRU", 30)
+            << util::PadLeft(util::FormatPercent(unified.Total().HitRatio(), 1), 8)
+            << util::PadLeft("-", 12) << util::PadLeft("-", 12) << '\n';
+
+  // Splits: threshold 1 MB (the paper's image/video size boundary) with
+  // different capacity ratios for the small platform.
+  for (double small_frac : {0.05, 0.1, 0.2, 0.4}) {
+    const auto small_cap =
+        static_cast<std::uint64_t>(small_frac * static_cast<double>(total_capacity));
+    const auto split =
+        Replay(merged, small_cap, total_capacity - small_cap, 1 << 20);
+    char label[64];
+    std::snprintf(label, sizeof(label), "split@1MB, %2.0f%% small",
+                  small_frac * 100);
+    std::cout << util::PadRight(label, 30)
+              << util::PadLeft(util::FormatPercent(split.Total().HitRatio(), 1), 8)
+              << util::PadLeft(util::FormatPercent(split.small.HitRatio(), 1), 12)
+              << util::PadLeft(util::FormatPercent(split.large.HitRatio(), 1), 12)
+              << '\n';
+  }
+  std::cout << "\nInterpretation: a small dedicated platform keeps the "
+               "many-small-objects hit ratio high while the\nbulk capacity "
+               "serves large objects — the paper's separate-platform "
+               "recommendation quantified.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every fig* binary accepts the same flags (--scale, --seed, --capacity-gb,
+// --policy, --csv) and regenerates one paper figure from a fresh synthetic
+// five-site study. --scale 1.0 reproduces the paper-sized populations;
+// the default keeps each bench under a few seconds.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/report.h"
+#include "cdn/scenario.h"
+#include "trace/trace_io.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace atlas::bench {
+
+struct BenchEnv {
+  util::Flags flags;
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  cdn::SimulatorConfig config;
+  std::unique_ptr<cdn::Scenario> scenario;
+
+  const trace::PublisherRegistry& registry() const {
+    return scenario->registry();
+  }
+};
+
+inline cdn::PolicyKind PolicyFromName(const std::string& name) {
+  for (int k = 0; k < cdn::kNumPolicyKinds; ++k) {
+    const auto kind = static_cast<cdn::PolicyKind>(k);
+    if (name == cdn::ToString(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown cache policy: " + name +
+                              " (use LRU, FIFO, LFU, GDSF, S4LRU, TTL-LRU)");
+}
+
+// Parses flags and runs the five-site study. Returns false (after printing
+// usage) if --help was requested. Extra flags can be defined on env.flags
+// before calling.
+inline bool SetUpStudy(BenchEnv& env, int argc, char** argv,
+                       const char* description) {
+  env.flags.DefineDouble("scale", 0.1, "population scale in (0, 1]");
+  env.flags.DefineInt("seed", 42, "RNG seed");
+  env.flags.DefineDouble("capacity-gb", 0.0,
+                         "edge cache capacity per DC in GB (0 = auto-scale)");
+  env.flags.DefineString("policy", "LRU", "edge cache policy");
+  try {
+    env.flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << env.flags.Usage(argv[0]);
+    std::exit(1);
+  }
+  if (env.flags.help_requested()) {
+    std::cout << description << "\n\n" << env.flags.Usage(argv[0]);
+    return false;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  env.scale = env.flags.GetDouble("scale");
+  env.seed = static_cast<std::uint64_t>(env.flags.GetInt("seed"));
+  env.config.topology.edge_policy =
+      PolicyFromName(env.flags.GetString("policy"));
+  const double capacity_gb = env.flags.GetDouble("capacity-gb");
+  env.config.topology.edge_capacity_bytes =
+      capacity_gb > 0.0
+          ? static_cast<std::uint64_t>(capacity_gb * 1e9)
+          : static_cast<std::uint64_t>(64e9 * env.scale) + (1ULL << 30);
+  env.scenario = std::make_unique<cdn::Scenario>(
+      cdn::Scenario::PaperStudy(env.scale, env.config, env.seed));
+  return true;
+}
+
+// Collects one analysis result per site, in paper order.
+template <typename Result, typename Fn>
+std::vector<Result> PerSite(const BenchEnv& env, Fn&& compute) {
+  std::vector<Result> results;
+  for (const auto& run : env.scenario->runs()) {
+    results.push_back(compute(run.result.trace, run.profile.name));
+  }
+  return results;
+}
+
+}  // namespace atlas::bench

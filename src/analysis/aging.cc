@@ -1,0 +1,103 @@
+#include "analysis/aging.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace atlas::analysis {
+
+AgingResult ComputeAging(const trace::TraceBuffer& trace,
+                         const std::string& site_name) {
+  AgingResult result;
+  result.site = site_name;
+  if (trace.empty()) return result;
+
+  struct ObjectLife {
+    std::int64_t first_seen = 0;
+    // Bitmask of life-days (day 1 = bit 0) with at least one request.
+    std::uint32_t active_days = 0;
+  };
+  std::unordered_map<std::uint64_t, ObjectLife> lives;
+  lives.reserve(trace.size() / 4 + 1);
+
+  // Pass 1: first appearance per object.
+  for (const auto& r : trace.records()) {
+    auto [it, inserted] = lives.try_emplace(r.url_hash,
+                                            ObjectLife{r.timestamp_ms, 0});
+    if (!inserted) {
+      it->second.first_seen = std::min(it->second.first_seen, r.timestamp_ms);
+    }
+  }
+  // Pass 2: mark active life-days.
+  for (const auto& r : trace.records()) {
+    auto& life = lives.at(r.url_hash);
+    const std::int64_t age_ms = r.timestamp_ms - life.first_seen;
+    const auto day = static_cast<int>(age_ms / util::kMillisPerDay);  // 0-based
+    if (day >= 0 && day < kMaxAgeDays) {
+      life.active_days |= (1u << day);
+    }
+  }
+
+  const std::int64_t trace_end = trace.EndMs();
+  std::array<std::uint64_t, kMaxAgeDays> requested{};
+  std::uint64_t full_week_objects = 0;
+  std::uint64_t full_week_all_days = 0;
+  std::uint64_t observable_4plus = 0;
+  std::uint64_t silent_after_3 = 0;
+
+  for (const auto& [hash, life] : lives) {
+    (void)hash;
+    // Number of fully observable life-days for this object.
+    const std::int64_t window = trace_end - life.first_seen;
+    const auto observable = static_cast<int>(
+        std::min<std::int64_t>(window / util::kMillisPerDay + 1, kMaxAgeDays));
+    for (int d = 0; d < observable; ++d) {
+      ++result.observable_objects[static_cast<std::size_t>(d)];
+      if (life.active_days & (1u << d)) {
+        ++requested[static_cast<std::size_t>(d)];
+      }
+    }
+    if (observable >= kMaxAgeDays) {
+      ++full_week_objects;
+      bool all = true;
+      for (int d = 0; d < kMaxAgeDays; ++d) {
+        if ((life.active_days & (1u << d)) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) ++full_week_all_days;
+    }
+    if (observable >= 4) {
+      ++observable_4plus;
+      // "Not requested after 3 days": no active day beyond day 3 (bits 3+).
+      if ((life.active_days >> 3) == 0) ++silent_after_3;
+    }
+  }
+
+  for (int d = 0; d < kMaxAgeDays; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    result.fraction_requested[i] =
+        result.observable_objects[i] == 0
+            ? 0.0
+            : static_cast<double>(requested[i]) /
+                  static_cast<double>(result.observable_objects[i]);
+    result.fraction_requested_uncorrected[i] =
+        lives.empty() ? 0.0
+                      : static_cast<double>(requested[i]) /
+                            static_cast<double>(lives.size());
+  }
+  result.requested_all_days =
+      full_week_objects == 0 ? 0.0
+                             : static_cast<double>(full_week_all_days) /
+                                   static_cast<double>(full_week_objects);
+  result.silent_after_3_days =
+      observable_4plus == 0 ? 0.0
+                            : static_cast<double>(silent_after_3) /
+                                  static_cast<double>(observable_4plus);
+  return result;
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,46 @@
+// Content injection & aging (Fig. 7).
+//
+// "we plot the fraction of adult objects requested at different ages ... a
+// declining fraction of objects are requested as their age increases. In
+// particular, about 20% of objects are not requested after 3 days ... Only
+// about 10% of objects are requested throughout the trace duration."
+//
+// An object's age-d bucket (d = 1..7) covers its d-th day of life, counted
+// from its first appearance in the trace (the observable proxy for its
+// injection time). Only objects whose day d is observable (first_seen +
+// d days <= trace end) enter the denominator for day d.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+inline constexpr int kMaxAgeDays = 7;
+
+struct AgingResult {
+  std::string site;
+  // fraction_requested[d-1]: of objects with at least d observable days,
+  // the fraction requested at least once during their day d.
+  std::array<double, kMaxAgeDays> fraction_requested{};
+  // The paper's raw variant: requested-at-day-d over ALL objects, with no
+  // observability correction — late-injected objects mechanically depress
+  // the tail, which is part of why Fig. 7 falls so steeply.
+  std::array<double, kMaxAgeDays> fraction_requested_uncorrected{};
+  std::array<std::uint64_t, kMaxAgeDays> observable_objects{};
+
+  // Fraction of objects (with a full week observable) requested in *every*
+  // observable day — the "requested throughout the trace" number.
+  double requested_all_days = 0.0;
+  // Fraction of objects with >= 4 observable days that receive no request
+  // after their day 3 — the "not requested after 3 days" number.
+  double silent_after_3_days = 0.0;
+};
+
+AgingResult ComputeAging(const trace::TraceBuffer& trace,
+                         const std::string& site_name);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,110 @@
+#include "analysis/caching.h"
+
+#include <unordered_map>
+
+#include "stats/correlation.h"
+#include "trace/content_class.h"
+
+namespace atlas::analysis {
+
+double CachingResult::NotModifiedShare() const {
+  std::uint64_t total = 0, not_modified = 0;
+  for (const auto& [code, count] : all_response_codes) {
+    total += count;
+    if (code == trace::kHttpNotModified) not_modified += count;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(not_modified) /
+                          static_cast<double>(total);
+}
+
+CachingResult ComputeCaching(const trace::TraceBuffer& trace,
+                             const std::string& site_name) {
+  CachingResult result;
+  result.site = site_name;
+
+  struct ObjAcc {
+    trace::ContentClass cls = trace::ContentClass::kOther;
+    std::uint64_t cacheable = 0;  // content-bearing responses (200/206/304)
+    std::uint64_t hits = 0;
+  };
+  std::unordered_map<std::uint64_t, ObjAcc> per_object;
+  per_object.reserve(trace.size() / 4 + 1);
+
+  std::uint64_t total_cacheable = 0, total_hits = 0;
+  std::uint64_t video_cacheable = 0, video_hits = 0;
+  std::uint64_t image_cacheable = 0, image_hits = 0;
+
+  for (const auto& r : trace.records()) {
+    const auto cls = trace::ClassOf(r.file_type);
+    // Fig. 16 counts every response.
+    ++result.all_response_codes[r.response_code];
+    if (cls == trace::ContentClass::kVideo) {
+      ++result.video_response_codes[r.response_code];
+    } else if (cls == trace::ContentClass::kImage) {
+      ++result.image_response_codes[r.response_code];
+    }
+    // Hit-ratio accounting only covers responses the cache could answer
+    // (errors like 403/416 and beacons say nothing about cache state).
+    if (r.response_code != trace::kHttpOk &&
+        r.response_code != trace::kHttpPartialContent &&
+        r.response_code != trace::kHttpNotModified) {
+      continue;
+    }
+    auto& acc = per_object[r.url_hash];
+    acc.cls = cls;
+    ++acc.cacheable;
+    ++total_cacheable;
+    const bool hit = r.cache_status == trace::CacheStatus::kHit;
+    if (hit) {
+      ++acc.hits;
+      ++total_hits;
+    }
+    if (cls == trace::ContentClass::kVideo) {
+      ++video_cacheable;
+      if (hit) ++video_hits;
+    } else if (cls == trace::ContentClass::kImage) {
+      ++image_cacheable;
+      if (hit) ++image_hits;
+    }
+  }
+
+  std::vector<double> popularity, hit_ratio;
+  popularity.reserve(per_object.size());
+  hit_ratio.reserve(per_object.size());
+  for (const auto& [hash, acc] : per_object) {
+    (void)hash;
+    if (acc.cacheable == 0) continue;
+    const double ratio = static_cast<double>(acc.hits) /
+                         static_cast<double>(acc.cacheable);
+    if (acc.cls == trace::ContentClass::kVideo) {
+      result.video_hit_ratio.Add(ratio);
+    } else if (acc.cls == trace::ContentClass::kImage) {
+      result.image_hit_ratio.Add(ratio);
+    }
+    popularity.push_back(static_cast<double>(acc.cacheable));
+    hit_ratio.push_back(ratio);
+  }
+  result.video_hit_ratio.Finalize();
+  result.image_hit_ratio.Finalize();
+
+  result.overall_hit_ratio =
+      total_cacheable == 0 ? 0.0
+                           : static_cast<double>(total_hits) /
+                                 static_cast<double>(total_cacheable);
+  result.video_overall_hit_ratio =
+      video_cacheable == 0 ? 0.0
+                           : static_cast<double>(video_hits) /
+                                 static_cast<double>(video_cacheable);
+  result.image_overall_hit_ratio =
+      image_cacheable == 0 ? 0.0
+                           : static_cast<double>(image_hits) /
+                                 static_cast<double>(image_cacheable);
+  if (popularity.size() >= 2) {
+    result.popularity_hit_correlation =
+        stats::SpearmanCorrelation(popularity, hit_ratio);
+  }
+  return result;
+}
+
+}  // namespace atlas::analysis

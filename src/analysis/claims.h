@@ -1,0 +1,37 @@
+// Paper-claim verification.
+//
+// Encodes every headline finding of the paper as a machine-checkable claim
+// over an AnalysisSuite, so one binary (bench/claims_check) — or a CI job —
+// can answer "does this build still reproduce the paper?" The same checks
+// run in the integration tests; this is the user-facing form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/suite.h"
+
+namespace atlas::analysis {
+
+struct ClaimResult {
+  std::string id;           // e.g. "F2.video-bytes"
+  std::string description;  // the paper's sentence, abbreviated
+  bool pass = false;
+  std::string detail;       // measured values backing the verdict
+};
+
+// Evaluates all claims against an analyzed five-site study. Sites are
+// looked up by their paper names (V-1, V-2, P-1, P-2, S-1); claims whose
+// site is missing fail with a note. Claims over classes with fewer than
+// `min_class_objects` objects are skipped (reported as pass with a
+// "too few objects" note) — minority-class cells are pure noise at small
+// scales.
+std::vector<ClaimResult> VerifyPaperClaims(const AnalysisSuite& suite,
+                                           std::size_t min_class_objects = 20);
+
+// Renders one line per claim plus a PASS/FAIL summary; returns the number
+// of failed claims.
+int RenderClaims(const std::vector<ClaimResult>& claims, std::ostream& out);
+
+}  // namespace atlas::analysis

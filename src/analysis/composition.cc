@@ -1,0 +1,83 @@
+#include "analysis/composition.h"
+
+#include <unordered_map>
+
+#include "trace/content_class.h"
+
+namespace atlas::analysis {
+
+std::uint64_t CompositionResult::TotalObjects() const {
+  std::uint64_t t = 0;
+  for (auto v : objects) t += v;
+  return t;
+}
+
+std::uint64_t CompositionResult::TotalRequests() const {
+  std::uint64_t t = 0;
+  for (auto v : requests) t += v;
+  return t;
+}
+
+std::uint64_t CompositionResult::TotalBytes() const {
+  std::uint64_t t = 0;
+  for (auto v : bytes) t += v;
+  return t;
+}
+
+double CompositionResult::ObjectShare(trace::ContentClass c) const {
+  const auto total = TotalObjects();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(objects[static_cast<std::size_t>(c)]) /
+                   static_cast<double>(total);
+}
+
+double CompositionResult::RequestShare(trace::ContentClass c) const {
+  const auto total = TotalRequests();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(requests[static_cast<std::size_t>(c)]) /
+                   static_cast<double>(total);
+}
+
+double CompositionResult::ByteShare(trace::ContentClass c) const {
+  const auto total = TotalBytes();
+  return total == 0 ? 0.0
+                    : static_cast<double>(bytes[static_cast<std::size_t>(c)]) /
+                          static_cast<double>(total);
+}
+
+CompositionResult ComputeComposition(const trace::TraceBuffer& site_trace,
+                                     const std::string& site_name) {
+  CompositionResult result;
+  result.site = site_name;
+  std::unordered_map<std::uint64_t, trace::ContentClass> seen;
+  seen.reserve(site_trace.size() / 4 + 1);
+  for (const auto& r : site_trace.records()) {
+    const auto cls = trace::ClassOf(r.file_type);
+    const auto c = static_cast<std::size_t>(cls);
+    ++result.requests[c];
+    result.bytes[c] += r.response_bytes;
+    seen.emplace(r.url_hash, cls);
+  }
+  for (const auto& [hash, cls] : seen) {
+    (void)hash;
+    ++result.objects[static_cast<std::size_t>(cls)];
+  }
+  return result;
+}
+
+DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,
+                                     const std::string& label) {
+  DatasetSummary s;
+  s.label = label;
+  s.records = trace.size();
+  s.users = trace.UniqueUsers();
+  s.objects = trace.UniqueObjects();
+  s.bytes = trace.TotalBytes();
+  s.start_ms = trace.StartMs();
+  s.end_ms = trace.EndMs();
+  return s;
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,49 @@
+// Content & traffic composition (Figs. 1, 2a, 2b and the §III summary).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+// Per-content-class breakdown of one site's catalog and traffic.
+struct CompositionResult {
+  std::string site;
+  // Fig. 1: distinct objects per class (an object's class comes from its
+  // file type; objects appear once no matter how often requested).
+  std::array<std::uint64_t, trace::kNumContentClasses> objects{};
+  // Fig. 2(a): request count per class.
+  std::array<std::uint64_t, trace::kNumContentClasses> requests{};
+  // Fig. 2(b): delivered bytes per class.
+  std::array<std::uint64_t, trace::kNumContentClasses> bytes{};
+
+  std::uint64_t TotalObjects() const;
+  std::uint64_t TotalRequests() const;
+  std::uint64_t TotalBytes() const;
+  double ObjectShare(trace::ContentClass c) const;
+  double RequestShare(trace::ContentClass c) const;
+  double ByteShare(trace::ContentClass c) const;
+};
+
+// Computes composition for a (single-site) trace.
+CompositionResult ComputeComposition(const trace::TraceBuffer& site_trace,
+                                     const std::string& site_name);
+
+// §III dataset summary: records, users, objects, bytes, duration.
+struct DatasetSummary {
+  std::string label;
+  std::uint64_t records = 0;
+  std::uint64_t users = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+};
+
+DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,
+                                     const std::string& label);
+
+}  // namespace atlas::analysis

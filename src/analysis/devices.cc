@@ -1,0 +1,67 @@
+#include "analysis/devices.h"
+
+#include <unordered_map>
+
+namespace atlas::analysis {
+
+DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,
+                                           const std::string& site_name) {
+  DeviceComposition result;
+  result.site = site_name;
+  const auto& bank = trace::UaBank::Instance();
+
+  // Parse each distinct UA id once (the bank is small); then attribute each
+  // unique user to the device of their first-seen UA.
+  std::unordered_map<std::uint16_t, trace::UaInfo> parsed;
+  const auto info_for = [&](std::uint16_t ua_id) -> const trace::UaInfo& {
+    auto it = parsed.find(ua_id);
+    if (it == parsed.end()) {
+      it = parsed.emplace(ua_id, trace::ParseUserAgent(bank.String(ua_id)))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::unordered_map<std::uint64_t, std::uint16_t> user_ua;
+  user_ua.reserve(trace.size() / 4 + 1);
+  std::array<std::uint64_t, trace::kNumDeviceTypes> request_counts{};
+  for (const auto& r : trace.records()) {
+    user_ua.emplace(r.user_id, r.user_agent_id);
+    ++request_counts[static_cast<std::size_t>(info_for(r.user_agent_id).device)];
+  }
+
+  std::array<std::uint64_t, trace::kNumDeviceTypes> user_counts{};
+  std::array<std::uint64_t, trace::kNumOsFamilies> os_counts{};
+  std::array<std::uint64_t, trace::kNumBrowserFamilies> browser_counts{};
+  for (const auto& [user, ua_id] : user_ua) {
+    (void)user;
+    const auto& info = info_for(ua_id);
+    ++user_counts[static_cast<std::size_t>(info.device)];
+    ++os_counts[static_cast<std::size_t>(info.os)];
+    ++browser_counts[static_cast<std::size_t>(info.browser)];
+  }
+
+  result.unique_users = user_ua.size();
+  const double users = static_cast<double>(user_ua.size());
+  const double requests = static_cast<double>(trace.size());
+  if (users > 0.0) {
+    for (std::size_t i = 0; i < user_counts.size(); ++i) {
+      result.user_share[i] = static_cast<double>(user_counts[i]) / users;
+    }
+    for (std::size_t i = 0; i < os_counts.size(); ++i) {
+      result.os_share[i] = static_cast<double>(os_counts[i]) / users;
+    }
+    for (std::size_t i = 0; i < browser_counts.size(); ++i) {
+      result.browser_share[i] = static_cast<double>(browser_counts[i]) / users;
+    }
+  }
+  if (requests > 0.0) {
+    for (std::size_t i = 0; i < request_counts.size(); ++i) {
+      result.request_share[i] =
+          static_cast<double>(request_counts[i]) / requests;
+    }
+  }
+  return result;
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,38 @@
+// Device/OS composition (Fig. 4).
+//
+// "Recall that we extract user agent information from HTTP headers to
+// identify device/OS of a user" — shares are computed over *users* (each
+// unique user counted once), by re-parsing the raw user-agent strings the
+// generator emitted, i.e. the same pipeline a production log system runs.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "trace/trace_buffer.h"
+#include "trace/useragent.h"
+
+namespace atlas::analysis {
+
+struct DeviceComposition {
+  std::string site;
+  // Fraction of unique users per device type {Desktop, Android, iOS, Misc}.
+  std::array<double, trace::kNumDeviceTypes> user_share{};
+  // Fraction of requests per device type.
+  std::array<double, trace::kNumDeviceTypes> request_share{};
+  // OS and browser breakdowns over users.
+  std::array<double, trace::kNumOsFamilies> os_share{};
+  std::array<double, trace::kNumBrowserFamilies> browser_share{};
+  std::uint64_t unique_users = 0;
+
+  // Fraction of users on anything other than a desktop.
+  double MobileShare() const {
+    return 1.0 - user_share[static_cast<std::size_t>(
+                     trace::DeviceType::kDesktop)];
+  }
+};
+
+DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,
+                                           const std::string& site_name);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,86 @@
+#include "analysis/engagement.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "trace/content_class.h"
+#include "util/hash.h"
+
+namespace atlas::analysis {
+
+EngagementResult ComputeEngagement(const trace::TraceBuffer& trace,
+                                   const std::string& site_name,
+                                   double addicted_ratio) {
+  EngagementResult result;
+  result.site = site_name;
+
+  // (object, user) -> request count.
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
+        const {
+      return util::HashCombine(p.first, p.second);
+    }
+  };
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
+                     PairHash>
+      pair_counts;
+  pair_counts.reserve(trace.size());
+  std::unordered_map<std::uint64_t, trace::ContentClass> classes;
+  for (const auto& r : trace.records()) {
+    ++pair_counts[{r.url_hash, r.user_id}];
+    classes.emplace(r.url_hash, trace::ClassOf(r.file_type));
+  }
+
+  std::unordered_map<std::uint64_t, ObjectEngagement> per_object;
+  per_object.reserve(classes.size());
+  for (const auto& [key, count] : pair_counts) {
+    auto& obj = per_object[key.first];
+    obj.url_hash = key.first;
+    obj.content_class = classes.at(key.first);
+    obj.requests += count;
+    obj.unique_users += 1;
+    obj.max_requests_per_user = std::max(obj.max_requests_per_user, count);
+  }
+
+  result.objects.reserve(per_object.size());
+  std::uint64_t video_over_10 = 0, video_total = 0;
+  std::uint64_t image_over_10 = 0, image_total = 0;
+  for (auto& [hash, obj] : per_object) {
+    (void)hash;
+    const double rpu = obj.RequestsPerUser();
+    if (obj.content_class == trace::ContentClass::kVideo) {
+      result.video_requests_per_user.Add(rpu);
+      ++video_total;
+      if (obj.max_requests_per_user > 10) ++video_over_10;
+    } else if (obj.content_class == trace::ContentClass::kImage) {
+      result.image_requests_per_user.Add(rpu);
+      ++image_total;
+      if (obj.max_requests_per_user > 10) ++image_over_10;
+    }
+    if (rpu >= addicted_ratio) {
+      ++result.addicted_objects;
+    } else {
+      ++result.viral_objects;
+    }
+    result.objects.push_back(obj);
+  }
+  // Deterministic order for downstream output.
+  std::sort(result.objects.begin(), result.objects.end(),
+            [](const ObjectEngagement& a, const ObjectEngagement& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.url_hash < b.url_hash;
+            });
+  result.video_requests_per_user.Finalize();
+  result.image_requests_per_user.Finalize();
+  result.video_frac_over_10 =
+      video_total == 0 ? 0.0
+                       : static_cast<double>(video_over_10) /
+                             static_cast<double>(video_total);
+  result.image_frac_over_10 =
+      image_total == 0 ? 0.0
+                       : static_cast<double>(image_over_10) /
+                             static_cast<double>(image_total);
+  return result;
+}
+
+}  // namespace atlas::analysis

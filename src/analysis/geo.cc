@@ -1,0 +1,62 @@
+#include "analysis/geo.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/time.h"
+
+namespace atlas::analysis {
+
+int ContinentStats::PeakUtcHour() const {
+  return static_cast<int>(std::max_element(utc_hourly_requests.begin(),
+                                           utc_hourly_requests.end()) -
+                          utc_hourly_requests.begin());
+}
+
+double ContinentStats::PeakHourlyBytes(int days) const {
+  if (days <= 0) return 0.0;
+  const double peak =
+      *std::max_element(utc_hourly_bytes.begin(), utc_hourly_bytes.end());
+  return peak / static_cast<double>(days);
+}
+
+std::uint64_t GeoResult::TotalRequests() const {
+  std::uint64_t total = 0;
+  for (const auto& c : continents) total += c.requests;
+  return total;
+}
+
+double GeoResult::RequestShare(synth::Continent c) const {
+  const auto total = TotalRequests();
+  return total == 0 ? 0.0
+                    : static_cast<double>(of(c).requests) /
+                          static_cast<double>(total);
+}
+
+GeoResult ComputeGeo(const trace::TraceBuffer& trace,
+                     const std::string& site_name) {
+  GeoResult result;
+  result.site = site_name;
+  result.span_ms = trace.EndMs() - trace.StartMs();
+
+  std::array<std::unordered_set<std::uint64_t>, synth::kNumContinents> users;
+  for (const auto& r : trace.records()) {
+    const auto c = static_cast<std::size_t>(
+        synth::ContinentFromTzQuarterHours(r.tz_offset_quarter_hours));
+    auto& stats = result.continents[c];
+    ++stats.requests;
+    stats.bytes += r.response_bytes;
+    users[c].insert(r.user_id);
+    const auto hour = static_cast<std::size_t>(
+        ((r.timestamp_ms / util::kMillisPerHour) % 24 + 24) % 24);
+    stats.utc_hourly_requests[hour] += 1.0;
+    stats.utc_hourly_bytes[hour] += static_cast<double>(r.response_bytes);
+  }
+  for (std::size_t c = 0; c < users.size(); ++c) {
+    result.continents[c].unique_users = users[c].size();
+  }
+  return result;
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,62 @@
+#include "analysis/popularity.h"
+
+#include "trace/content_class.h"
+
+namespace atlas::analysis {
+
+double PopularityResult::SingletonFraction() const {
+  if (all_counts.empty()) return 0.0;
+  return all_counts.Evaluate(1.0);
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> RequestCountsByObject(
+    const trace::TraceBuffer& trace) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(trace.size() / 4 + 1);
+  for (const auto& r : trace.records()) ++counts[r.url_hash];
+  return counts;
+}
+
+PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
+                                   const std::string& site_name) {
+  PopularityResult result;
+  result.site = site_name;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::unordered_map<std::uint64_t, trace::ContentClass> classes;
+  counts.reserve(trace.size() / 4 + 1);
+  for (const auto& r : trace.records()) {
+    ++counts[r.url_hash];
+    classes.emplace(r.url_hash, trace::ClassOf(r.file_type));
+  }
+
+  std::vector<double> all;
+  all.reserve(counts.size());
+  for (const auto& [hash, count] : counts) {
+    const auto c = static_cast<double>(count);
+    all.push_back(c);
+    switch (classes.at(hash)) {
+      case trace::ContentClass::kVideo:
+        result.video_counts.Add(c);
+        break;
+      case trace::ContentClass::kImage:
+        result.image_counts.Add(c);
+        break;
+      case trace::ContentClass::kOther:
+        break;
+    }
+    result.all_counts.Add(c);
+  }
+  result.video_counts.Finalize();
+  result.image_counts.Finalize();
+  result.all_counts.Finalize();
+
+  if (!all.empty()) {
+    result.top10_share = stats::TopShare(all, 0.10);
+    result.gini = stats::Gini(all);
+    result.power_law = stats::FitPowerLawAuto(all);
+  }
+  return result;
+}
+
+}  // namespace atlas::analysis

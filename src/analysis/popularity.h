@@ -1,0 +1,43 @@
+// Content popularity (Fig. 6).
+//
+// "We quantify object popularity in terms of request count ... We observe
+// long-tail distributions for all adult websites." Popularity CDFs are per
+// class (video/image panels in the figure); the skewness summaries (power-
+// law exponent, top-10% share, Gini) quantify "the expected skewness".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/powerlaw.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+struct PopularityResult {
+  std::string site;
+  // Request counts per distinct object, split by class.
+  stats::Ecdf video_counts;
+  stats::Ecdf image_counts;
+  // All classes combined.
+  stats::Ecdf all_counts;
+  // Skewness summaries over all objects.
+  stats::PowerLawFit power_law;
+  double top10_share = 0.0;  // requests owned by the top 10% of objects
+  double gini = 0.0;
+
+  // Fraction of objects with exactly one request (the long tail's floor).
+  double SingletonFraction() const;
+};
+
+PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
+                                   const std::string& site_name);
+
+// Raw per-object request counts (used by several downstream analyses).
+std::unordered_map<std::uint64_t, std::uint64_t> RequestCountsByObject(
+    const trace::TraceBuffer& trace);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,85 @@
+#include "analysis/sessions.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace atlas::analysis {
+
+double SessionResult::MedianIatSeconds() const {
+  return iat_seconds.empty() ? 0.0 : iat_seconds.Median();
+}
+
+double SessionResult::MedianSessionSeconds() const {
+  return session_length_seconds.empty() ? 0.0
+                                        : session_length_seconds.Median();
+}
+
+std::vector<Session> Sessionize(const trace::TraceBuffer& trace,
+                                std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) throw std::invalid_argument("Sessionize: bad timeout");
+
+  // Per-user chronological timestamps.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> per_user;
+  per_user.reserve(trace.size() / 4 + 1);
+  for (const auto& r : trace.records()) {
+    per_user[r.user_id].push_back(r.timestamp_ms);
+  }
+
+  std::vector<Session> sessions;
+  for (auto& [user, times] : per_user) {
+    std::sort(times.begin(), times.end());
+    Session current;
+    current.user_id = user;
+    current.start_ms = times.front();
+    current.end_ms = times.front();
+    current.requests = 1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - current.end_ms > timeout_ms) {
+        sessions.push_back(current);
+        current.start_ms = times[i];
+        current.requests = 0;
+      }
+      current.end_ms = times[i];
+      ++current.requests;
+    }
+    sessions.push_back(current);
+  }
+  return sessions;
+}
+
+SessionResult ComputeSessions(const trace::TraceBuffer& trace,
+                              const std::string& site_name,
+                              std::int64_t timeout_ms) {
+  SessionResult result;
+  result.site = site_name;
+
+  // IATs: all consecutive same-user gaps.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> per_user;
+  per_user.reserve(trace.size() / 4 + 1);
+  for (const auto& r : trace.records()) {
+    per_user[r.user_id].push_back(r.timestamp_ms);
+  }
+  for (auto& [user, times] : per_user) {
+    (void)user;
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      result.iat_seconds.Add(
+          static_cast<double>(times[i] - times[i - 1]) / 1000.0);
+    }
+  }
+  result.iat_seconds.Finalize();
+
+  const auto sessions = Sessionize(trace, timeout_ms);
+  result.session_count = sessions.size();
+  for (const auto& s : sessions) {
+    result.session_length_seconds.Add(static_cast<double>(s.LengthMs()) /
+                                      1000.0);
+    result.requests_per_session.Add(static_cast<double>(s.requests));
+  }
+  result.session_length_seconds.Finalize();
+  result.requests_per_session.Finalize();
+  return result;
+}
+
+}  // namespace atlas::analysis

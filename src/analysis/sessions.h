@@ -1,0 +1,53 @@
+// User request inter-arrival times and session lengths (Figs. 11, 12).
+//
+// "a session consists of consecutive user requests within a timeout
+// interval. We set the timeout value for user sessions at 10 minutes based
+// on our earlier analysis of user request IAT distributions." Session
+// length is last-request minus first-request inside the session — "a
+// strictly lower-bound of traditional bounce time".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+inline constexpr std::int64_t kSessionTimeoutMs = 10 * 60 * 1000;
+
+struct Session {
+  std::uint64_t user_id = 0;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  std::uint32_t requests = 0;
+
+  std::int64_t LengthMs() const { return end_ms - start_ms; }
+};
+
+struct SessionResult {
+  std::string site;
+  // Fig. 11: consecutive same-user request gaps, in seconds (all gaps, not
+  // just in-session ones).
+  stats::Ecdf iat_seconds;
+  // Fig. 12: session lengths in seconds.
+  stats::Ecdf session_length_seconds;
+  stats::Ecdf requests_per_session;
+  std::uint64_t session_count = 0;
+
+  double MedianIatSeconds() const;
+  double MedianSessionSeconds() const;
+};
+
+// `timeout_ms` parameterizes the sessionization (the paper uses 10 min).
+SessionResult ComputeSessions(const trace::TraceBuffer& trace,
+                              const std::string& site_name,
+                              std::int64_t timeout_ms = kSessionTimeoutMs);
+
+// The raw sessions (for engagement analyses and tests).
+std::vector<Session> Sessionize(const trace::TraceBuffer& trace,
+                                std::int64_t timeout_ms = kSessionTimeoutMs);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,61 @@
+#include "analysis/sizes.h"
+
+#include <unordered_map>
+
+#include "stats/histogram.h"
+#include "trace/content_class.h"
+
+namespace atlas::analysis {
+
+double SizeDistributions::VideoAboveMb() const {
+  if (video.empty()) return 0.0;
+  return 1.0 - video.Evaluate(1e6);
+}
+
+double SizeDistributions::ImageBelowMb() const {
+  if (image.empty()) return 0.0;
+  return image.Evaluate(1e6);
+}
+
+SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,
+                                           const std::string& site_name) {
+  SizeDistributions result;
+  result.site = site_name;
+  std::unordered_map<std::uint64_t, const trace::LogRecord*> firsts;
+  firsts.reserve(trace.size() / 4 + 1);
+  for (const auto& r : trace.records()) {
+    firsts.emplace(r.url_hash, &r);
+  }
+  for (const auto& [hash, rec] : firsts) {
+    (void)hash;
+    const double size = static_cast<double>(rec->object_size);
+    switch (trace::ClassOf(rec->file_type)) {
+      case trace::ContentClass::kVideo:
+        result.video.Add(size);
+        break;
+      case trace::ContentClass::kImage:
+        result.image.Add(size);
+        break;
+      case trace::ContentClass::kOther:
+        result.other.Add(size);
+        break;
+    }
+  }
+  result.video.Finalize();
+  result.image.Finalize();
+  result.other.Finalize();
+  return result;
+}
+
+bool ImageSizesAreBimodal(const stats::Ecdf& image_sizes) {
+  if (image_sizes.count() < 20) return false;
+  stats::LogHistogram hist(100.0, 1e8, 4);
+  for (double s : image_sizes.sorted_samples()) hist.Add(s);
+  const auto modes = hist.Modes(0.04);
+  if (modes.size() < 2) return false;
+  // Require the outer modes to be at least a decade apart (thumbnail vs.
+  // full-resolution populations).
+  return modes.back() / modes.front() >= 10.0;
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,37 @@
+// Content size distributions (Fig. 5).
+//
+// "Figure 5 plots the Cumulative Distribution Functions (CDFs) of content
+// sizes ... majority of requested video objects have sizes greater than
+// 1 MB and image objects are less than 1 MB ... multiple adult websites
+// have bi-modal [image] distributions". Sizes are per *object* (each
+// distinct object contributes once, at its full size).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+struct SizeDistributions {
+  std::string site;
+  stats::Ecdf video;  // may be empty for image-only sites
+  stats::Ecdf image;
+  stats::Ecdf other;
+
+  // Fraction of video objects above 1 MB / image objects below 1 MB — the
+  // two headline claims of §IV-B.
+  double VideoAboveMb() const;
+  double ImageBelowMb() const;
+};
+
+SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,
+                                           const std::string& site_name);
+
+// Detects bimodality of the image-size distribution via log-histogram modes
+// (>= 2 well-separated modes). Exposed for tests and reports.
+bool ImageSizesAreBimodal(const stats::Ecdf& image_sizes);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,119 @@
+#include "analysis/suite.h"
+
+#include <stdexcept>
+
+#include "analysis/report.h"
+#include "util/logging.h"
+
+namespace atlas::analysis {
+
+AnalysisSuite::AnalysisSuite(const trace::TraceBuffer& full_trace,
+                             const trace::PublisherRegistry& registry,
+                             const SuiteConfig& config) {
+  for (const auto& pub : registry.all()) {
+    const trace::TraceBuffer site_trace =
+        full_trace.FilterByPublisher(pub.id);
+    if (site_trace.empty()) continue;
+    ATLAS_LOG(kInfo) << "analyzing " << pub.name << " (" << site_trace.size()
+                     << " records)";
+    SiteAnalysis a;
+    a.site = pub.name;
+    a.kind = pub.kind;
+    a.summary = ComputeDatasetSummary(site_trace, pub.name);
+    a.composition = ComputeComposition(site_trace, pub.name);
+    a.hourly = ComputeHourlyVolume(site_trace, pub.name);
+    a.devices = ComputeDeviceComposition(site_trace, pub.name);
+    a.sizes = ComputeSizeDistributions(site_trace, pub.name);
+    a.popularity = ComputePopularity(site_trace, pub.name);
+    a.aging = ComputeAging(site_trace, pub.name);
+    a.sessions = ComputeSessions(site_trace, pub.name);
+    a.engagement = ComputeEngagement(site_trace, pub.name);
+    a.caching = ComputeCaching(site_trace, pub.name);
+    if (config.run_trend_clusters) {
+      TrendClusterConfig video_cfg = config.trend;
+      video_cfg.use_class = true;
+      video_cfg.content_class = trace::ContentClass::kVideo;
+      a.video_trends = ComputeTrendClusters(site_trace, pub.name, video_cfg);
+      TrendClusterConfig image_cfg = config.trend;
+      image_cfg.use_class = true;
+      image_cfg.content_class = trace::ContentClass::kImage;
+      a.image_trends = ComputeTrendClusters(site_trace, pub.name, image_cfg);
+    }
+    sites_.push_back(std::move(a));
+  }
+}
+
+const SiteAnalysis& AnalysisSuite::site(const std::string& name) const {
+  for (const auto& s : sites_) {
+    if (s.site == name) return s;
+  }
+  throw std::out_of_range("AnalysisSuite: unknown site " + name);
+}
+
+void AnalysisSuite::Render(std::ostream& out) const {
+  std::vector<DatasetSummary> summaries;
+  std::vector<CompositionResult> compositions;
+  std::vector<HourlyVolume> hourly;
+  std::vector<DeviceComposition> devices;
+  std::vector<SizeDistributions> sizes;
+  std::vector<PopularityResult> popularity;
+  std::vector<AgingResult> aging;
+  std::vector<SessionResult> sessions;
+  std::vector<EngagementResult> engagement;
+  std::vector<CachingResult> caching;
+  for (const auto& s : sites_) {
+    summaries.push_back(s.summary);
+    compositions.push_back(s.composition);
+    hourly.push_back(s.hourly);
+    devices.push_back(s.devices);
+    sizes.push_back(s.sizes);
+    popularity.push_back(s.popularity);
+    aging.push_back(s.aging);
+    sessions.push_back(s.sessions);
+    engagement.push_back(s.engagement);
+    caching.push_back(s.caching);
+  }
+
+  out << "=== Dataset summary (paper SS III) ===\n";
+  RenderDatasetSummaries(summaries, out);
+  out << "\n=== Fig. 1: content composition ===\n";
+  RenderContentComposition(compositions, out);
+  out << "\n=== Fig. 2: traffic composition ===\n";
+  RenderTrafficComposition(compositions, out);
+  out << "\n=== Fig. 3: hourly traffic volume (local time, % of weekly) ===\n";
+  RenderHourlyVolume(hourly, out);
+  out << "\n=== Fig. 4: device type composition ===\n";
+  RenderDeviceComposition(devices, out);
+  out << "\n=== Fig. 5: content size distributions ===\n";
+  RenderSizeDistributions(sizes, out);
+  out << "\n=== Fig. 6: content popularity ===\n";
+  RenderPopularity(popularity, out);
+  out << "\n=== Fig. 7: content aging ===\n";
+  RenderAging(aging, out);
+  for (const auto& s : sites_) {
+    if (s.video_trends && s.video_trends->clustered_objects >= 2) {
+      out << "\n=== Figs. 8-9: " << s.site << " video popularity trends ===\n";
+      RenderTrendClusters(*s.video_trends, out);
+      RenderClusterMedoids(*s.video_trends, out);
+    }
+    if (s.image_trends && s.image_trends->clustered_objects >= 2) {
+      out << "\n=== Figs. 8,10: " << s.site << " image popularity trends ===\n";
+      RenderTrendClusters(*s.image_trends, out);
+      RenderClusterMedoids(*s.image_trends, out);
+    }
+  }
+  out << "\n=== Figs. 11-12: sessions ===\n";
+  RenderSessions(sessions, out);
+  out << "\n=== Figs. 13-14: engagement & addiction ===\n";
+  for (const auto& e : engagement) {
+    RenderRepeatedAccess(e, out);
+    out << '\n';
+  }
+  RenderEngagement(engagement, out);
+  out << "\n=== Fig. 15: CDN cache hit ratios ===\n";
+  RenderCaching(caching, out);
+  out << "\n=== Fig. 16: HTTP response codes ===\n";
+  RenderResponseCodes(caching, out);
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,70 @@
+// AnalysisSuite: run the paper's entire analysis over a multi-site trace.
+//
+// The one-call public API: hand it the (merged or per-site) trace plus the
+// publisher registry and it computes every per-site result the figures
+// need; Render() prints the full report in paper order.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/aging.h"
+#include "analysis/caching.h"
+#include "analysis/composition.h"
+#include "analysis/devices.h"
+#include "analysis/engagement.h"
+#include "analysis/popularity.h"
+#include "analysis/sessions.h"
+#include "analysis/sizes.h"
+#include "analysis/temporal.h"
+#include "analysis/trend_cluster.h"
+#include "trace/publisher.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+struct SuiteConfig {
+  // Trend clustering is O(n^2)-O(n^3); disable for huge traces or tests
+  // that don't need Figs. 8-10.
+  bool run_trend_clusters = true;
+  TrendClusterConfig trend;
+};
+
+struct SiteAnalysis {
+  std::string site;
+  trace::SiteKind kind = trace::SiteKind::kNonAdult;
+  DatasetSummary summary;
+  CompositionResult composition;
+  HourlyVolume hourly;
+  DeviceComposition devices;
+  SizeDistributions sizes;
+  PopularityResult popularity;
+  AgingResult aging;
+  SessionResult sessions;
+  EngagementResult engagement;
+  CachingResult caching;
+  // Only when SuiteConfig.run_trend_clusters; video panel first.
+  std::optional<TrendClusterResult> video_trends;
+  std::optional<TrendClusterResult> image_trends;
+};
+
+class AnalysisSuite {
+ public:
+  // Analyzes each registered publisher found in `full_trace`.
+  AnalysisSuite(const trace::TraceBuffer& full_trace,
+                const trace::PublisherRegistry& registry,
+                const SuiteConfig& config = {});
+
+  const std::vector<SiteAnalysis>& sites() const { return sites_; }
+  const SiteAnalysis& site(const std::string& name) const;
+
+  // Full paper-order report.
+  void Render(std::ostream& out) const;
+
+ private:
+  std::vector<SiteAnalysis> sites_;
+};
+
+}  // namespace atlas::analysis

@@ -1,0 +1,69 @@
+#include "analysis/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/time.h"
+
+namespace atlas::analysis {
+
+int HourlyVolume::PeakHour() const {
+  return static_cast<int>(std::max_element(percent_by_hour.begin(),
+                                           percent_by_hour.end()) -
+                          percent_by_hour.begin());
+}
+
+int HourlyVolume::TroughHour() const {
+  return static_cast<int>(std::min_element(percent_by_hour.begin(),
+                                           percent_by_hour.end()) -
+                          percent_by_hour.begin());
+}
+
+double HourlyVolume::PeakToMean() const {
+  const double peak =
+      *std::max_element(percent_by_hour.begin(), percent_by_hour.end());
+  const double mean = 100.0 / 24.0;
+  return peak / mean;
+}
+
+HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
+                                 const std::string& site_name) {
+  HourlyVolume result;
+  result.site = site_name;
+  result.week_series =
+      stats::TimeSeries(util::kMillisPerHour, util::kHoursPerWeek);
+
+  std::array<double, 24> counts{};
+  std::array<double, 24> bytes{};
+  double total_count = 0.0;
+  double total_bytes = 0.0;
+  for (const auto& r : site_trace.records()) {
+    const std::int64_t local = r.LocalTimestampMs();
+    const int hour = util::HourOfDay(local);
+    counts[static_cast<std::size_t>(hour)] += 1.0;
+    bytes[static_cast<std::size_t>(hour)] +=
+        static_cast<double>(r.response_bytes);
+    total_count += 1.0;
+    total_bytes += static_cast<double>(r.response_bytes);
+    // Weekly series folds local time into the observed week.
+    const std::int64_t wrapped =
+        ((local % util::kMillisPerWeek) + util::kMillisPerWeek) %
+        util::kMillisPerWeek;
+    result.week_series.Accumulate(wrapped, 1.0);
+  }
+  for (int h = 0; h < 24; ++h) {
+    const auto i = static_cast<std::size_t>(h);
+    result.percent_by_hour[i] =
+        total_count > 0.0 ? counts[i] / total_count * 100.0 : 0.0;
+    result.percent_bytes_by_hour[i] =
+        total_bytes > 0.0 ? bytes[i] / total_bytes * 100.0 : 0.0;
+  }
+  return result;
+}
+
+int PeakHourDistance(const HourlyVolume& a, const HourlyVolume& b) {
+  const int d = std::abs(a.PeakHour() - b.PeakHour());
+  return std::min(d, 24 - d);
+}
+
+}  // namespace atlas::analysis

@@ -1,0 +1,40 @@
+// Temporal access patterns (Fig. 3).
+//
+// "Figure 3 plots the normalized hourly timeseries of traffic volume across
+// the day. We converted the timestamps to local timezones to calculate
+// hourly traffic volumes." Volume here is request count (the paper's
+// 'traffic volume' series is normalized, so count vs. bytes only changes
+// the units; both are provided).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "stats/timeseries.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+struct HourlyVolume {
+  std::string site;
+  // Percentage of the site's weekly volume falling in each local
+  // hour-of-day (sums to 100).
+  std::array<double, 24> percent_by_hour{};
+  std::array<double, 24> percent_bytes_by_hour{};
+  // Full 168-hour local-time series (request counts) for weekly views.
+  stats::TimeSeries week_series;
+
+  int PeakHour() const;
+  int TroughHour() const;
+  // Peak-to-mean ratio: how pronounced the daily cycle is.
+  double PeakToMean() const;
+};
+
+HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
+                                 const std::string& site_name);
+
+// Phase distance in hours between two sites' peak hours (0..12); used to
+// quantify "V-1 is almost opposite to typical diurnal" (6-12h apart).
+int PeakHourDistance(const HourlyVolume& a, const HourlyVolume& b);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,149 @@
+#include "analysis/trend_cluster.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <unordered_map>
+
+#include "cluster/shape.h"
+#include "stats/timeseries.h"
+#include "trace/content_class.h"
+#include "util/time.h"
+
+namespace atlas::analysis {
+
+double TrendClusterResult::ShareOf(synth::PatternType type) const {
+  double total = 0.0;
+  for (const auto& c : clusters) {
+    if (c.shape == type) total += c.share;
+  }
+  return total;
+}
+
+double TrendClusterResult::MemberShareOf(synth::PatternType type) const {
+  if (clustered_objects == 0) return 0.0;
+  return static_cast<double>(
+             member_shape_counts[static_cast<std::size_t>(type)]) /
+         static_cast<double>(clustered_objects);
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<double>>>
+BuildObjectHourlySeries(const trace::TraceBuffer& trace,
+                        const TrendClusterConfig& config) {
+  // Request counts and hourly series per object of the selected class.
+  struct Acc {
+    std::uint64_t count = 0;
+    std::vector<double> hours;
+  };
+  std::unordered_map<std::uint64_t, Acc> accs;
+  for (const auto& r : trace.records()) {
+    if (config.use_class &&
+        trace::ClassOf(r.file_type) != config.content_class) {
+      continue;
+    }
+    auto& acc = accs[r.url_hash];
+    if (acc.hours.empty()) {
+      acc.hours.assign(static_cast<std::size_t>(util::kHoursPerWeek), 0.0);
+    }
+    ++acc.count;
+    const auto hour = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        r.timestamp_ms / util::kMillisPerHour, 0, util::kHoursPerWeek - 1));
+    acc.hours[hour] += 1.0;
+  }
+
+  // Qualify and rank by request count.
+  std::vector<std::pair<std::uint64_t, Acc*>> qualified;
+  for (auto& [hash, acc] : accs) {
+    if (acc.count >= config.min_requests) qualified.emplace_back(hash, &acc);
+  }
+  std::sort(qualified.begin(), qualified.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->count != b.second->count) {
+                return a.second->count > b.second->count;
+              }
+              return a.first < b.first;  // deterministic tie-break
+            });
+  if (qualified.size() > config.max_objects) {
+    qualified.resize(config.max_objects);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::vector<double>>> out;
+  out.reserve(qualified.size());
+  for (auto& [hash, acc] : qualified) {
+    // Smooth (objects are sparse at hour granularity), then sum-normalize:
+    // shape, not magnitude (the paper's "normalized request count").
+    stats::TimeSeries ts(util::kMillisPerHour, acc->hours);
+    if (config.smooth_hours > 1) ts = ts.Smoothed(config.smooth_hours);
+    ts = ts.SumNormalized();
+    out.emplace_back(hash, ts.values());
+  }
+  return out;
+}
+
+TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
+                                        const std::string& site_name,
+                                        const TrendClusterConfig& config) {
+  TrendClusterResult result;
+  result.site = site_name;
+  result.content_class = config.content_class;
+
+  auto series_by_object = BuildObjectHourlySeries(trace, config);
+  result.clustered_objects = series_by_object.size();
+  if (series_by_object.size() < 2) return result;
+
+  std::vector<std::vector<double>> series;
+  series.reserve(series_by_object.size());
+  result.object_hashes.reserve(series_by_object.size());
+  for (auto& [hash, s] : series_by_object) {
+    result.object_hashes.push_back(hash);
+    series.push_back(std::move(s));
+  }
+
+  const cluster::DistanceMatrix distances =
+      cluster::PairwiseDtw(series, config.dtw_band);
+  result.dendrogram = cluster::AgglomerativeCluster(distances, config.linkage);
+  const std::size_t k = std::min(config.k, series.size());
+  result.labels = result.dendrogram.CutAtK(k);
+  result.silhouette = cluster::SilhouetteScore(distances, result.labels);
+
+  // Per-member shape votes: a cluster is named by the plurality shape of
+  // its members (robust when a cluster's medoid sits near a boundary).
+  std::vector<synth::PatternType> member_shape(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    member_shape[i] = cluster::ClassifyShape(series[i]);
+    ++result.member_shape_counts[static_cast<std::size_t>(member_shape[i])];
+  }
+
+  const auto summaries =
+      cluster::SummarizeClusters(distances, series, result.labels);
+  result.clusters.reserve(summaries.size());
+  for (const auto& s : summaries) {
+    TrendCluster c;
+    c.label = s.cluster_label;
+    c.member_count = s.member_count;
+    c.share = static_cast<double>(s.member_count) /
+              static_cast<double>(series.size());
+    c.medoid_url_hash = result.object_hashes[s.medoid_item];
+    c.medoid_series = s.medoid_series;
+    c.pointwise_stddev = s.pointwise_stddev;
+    std::array<std::size_t, synth::kNumPatternTypes> votes{};
+    for (std::size_t i = 0; i < result.labels.size(); ++i) {
+      if (result.labels[i] == s.cluster_label) {
+        ++votes[static_cast<std::size_t>(member_shape[i])];
+      }
+    }
+    const auto winner = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    c.shape = static_cast<synth::PatternType>(winner);
+    result.clusters.push_back(std::move(c));
+  }
+  // Largest first (labels from CutAtK are already size-ordered, but the
+  // summaries iterate label order; keep it explicit).
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const TrendCluster& a, const TrendCluster& b) {
+              return a.member_count > b.member_count;
+            });
+  return result;
+}
+
+}  // namespace atlas::analysis

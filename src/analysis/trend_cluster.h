@@ -1,0 +1,88 @@
+// Popularity-trend clustering (Figs. 8, 9, 10).
+//
+// The paper's pipeline, end to end: build the hourly request-count time
+// series of each (sufficiently requested) object, normalize, compute
+// pairwise DTW distances, agglomerate into a dendrogram, cut into k
+// clusters, then summarize each cluster by its medoid with point-wise
+// standard deviations and name it via the shape classifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/dtw.h"
+#include "cluster/linkage.h"
+#include "cluster/medoid.h"
+#include "synth/site_profile.h"
+#include "trace/record.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::analysis {
+
+struct TrendClusterConfig {
+  // Only objects with at least this many requests get a series (sparser
+  // objects have no meaningful shape).
+  std::uint64_t min_requests = 30;
+  // Cap on the number of objects clustered (top-by-request-count beyond the
+  // threshold); DTW + linkage are O(n^2)/O(n^3).
+  std::size_t max_objects = 250;
+  // Centered moving-average window (hours) applied before normalization;
+  // individual object series are sparse and DTW needs the envelope, not the
+  // shot noise. 1 disables smoothing.
+  std::size_t smooth_hours = 7;
+  // Restrict to one content class (the paper clusters video and image
+  // separately); nullopt-like flag: use_class false clusters everything.
+  bool use_class = true;
+  trace::ContentClass content_class = trace::ContentClass::kVideo;
+  // Number of flat clusters to cut the dendrogram into.
+  std::size_t k = 5;
+  // Sakoe-Chiba band for DTW, in hours; 0 = unconstrained, which lets a
+  // Monday burst align with a Thursday burst (how short-lived objects
+  // injected on different days end up in one cluster).
+  std::size_t dtw_band = 0;
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+};
+
+struct TrendCluster {
+  std::size_t label = 0;
+  std::size_t member_count = 0;
+  double share = 0.0;  // of clustered objects
+  synth::PatternType shape = synth::PatternType::kOutlier;
+  std::uint64_t medoid_url_hash = 0;
+  std::vector<double> medoid_series;      // normalized hourly series
+  std::vector<double> pointwise_stddev;
+};
+
+struct TrendClusterResult {
+  std::string site;
+  trace::ContentClass content_class = trace::ContentClass::kVideo;
+  std::size_t clustered_objects = 0;
+  std::vector<TrendCluster> clusters;  // ordered by decreasing size
+  // Per-object shape classifications across all clustered objects (finer
+  // grained than the per-cluster plurality labels).
+  std::array<std::size_t, synth::kNumPatternTypes> member_shape_counts{};
+  double silhouette = 0.0;
+  cluster::Dendrogram dendrogram{1, {}};
+  // url hash of each clustered object, in matrix order, plus its label —
+  // kept for closed-loop validation against generator ground truth.
+  std::vector<std::uint64_t> object_hashes;
+  std::vector<std::size_t> labels;
+
+  // Total share across clusters classified as `type`.
+  double ShareOf(synth::PatternType type) const;
+  // Share of clustered objects whose own series classifies as `type`.
+  double MemberShareOf(synth::PatternType type) const;
+};
+
+TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
+                                        const std::string& site_name,
+                                        const TrendClusterConfig& config);
+
+// Helper: hourly, sum-normalized request-count series per qualifying object
+// (exposed for tests and the medoid figure benches).
+std::vector<std::pair<std::uint64_t, std::vector<double>>>
+BuildObjectHourlySeries(const trace::TraceBuffer& trace,
+                        const TrendClusterConfig& config);
+
+}  // namespace atlas::analysis

@@ -1,0 +1,63 @@
+#include "cdn/browser_cache.h"
+
+#include <stdexcept>
+
+namespace atlas::cdn {
+
+BrowserCache::BrowserCache(std::uint64_t capacity_bytes,
+                           std::int64_t freshness_ms)
+    : capacity_bytes_(capacity_bytes), freshness_ms_(freshness_ms) {
+  if (capacity_bytes == 0 || freshness_ms <= 0) {
+    throw std::invalid_argument("BrowserCache: bad capacity or freshness");
+  }
+}
+
+BrowserLookup BrowserCache::Lookup(std::uint64_t key, std::int64_t now_ms) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return BrowserLookup::kAbsent;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return now_ms < it->second.fresh_until_ms ? BrowserLookup::kFresh
+                                            : BrowserLookup::kStale;
+}
+
+void BrowserCache::Store(std::uint64_t key, std::uint64_t size_bytes,
+                         std::int64_t now_ms) {
+  if (size_bytes > capacity_bytes_) return;  // uncacheable
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh in place.
+    used_bytes_ -= it->second.size;
+    it->second.size = size_bytes;
+    it->second.fresh_until_ms = now_ms + freshness_ms_;
+    used_bytes_ += size_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (used_bytes_ + size_bytes > capacity_bytes_) EvictOne();
+  lru_.push_front(key);
+  entries_[key] = Entry{size_bytes, now_ms + freshness_ms_, lru_.begin()};
+  used_bytes_ += size_bytes;
+}
+
+void BrowserCache::Renew(std::uint64_t key, std::int64_t now_ms) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  it->second.fresh_until_ms = now_ms + freshness_ms_;
+}
+
+void BrowserCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_bytes_ = 0;
+}
+
+void BrowserCache::EvictOne() {
+  if (lru_.empty()) throw std::logic_error("BrowserCache: evict from empty");
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  used_bytes_ -= it->second.size;
+  entries_.erase(it);
+}
+
+}  // namespace atlas::cdn

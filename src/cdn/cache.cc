@@ -1,0 +1,88 @@
+#include "cdn/cache.h"
+
+#include <stdexcept>
+
+#include "cdn/policies.h"
+
+namespace atlas::cdn {
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kFifo:
+      return "FIFO";
+    case PolicyKind::kLfu:
+      return "LFU";
+    case PolicyKind::kGdsf:
+      return "GDSF";
+    case PolicyKind::kS4Lru:
+      return "S4LRU";
+    case PolicyKind::kTtlLru:
+      return "TTL-LRU";
+  }
+  return "?";
+}
+
+void CacheStats::Merge(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  inserts += other.inserts;
+  evictions += other.evictions;
+  rejected += other.rejected;
+  hit_bytes += other.hit_bytes;
+  miss_bytes += other.miss_bytes;
+}
+
+Cache::Cache(std::uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument("Cache: capacity must be > 0");
+  }
+}
+
+trace::CacheStatus Cache::Access(std::uint64_t key, std::uint64_t size_bytes,
+                                 std::int64_t now_ms) {
+  if (Lookup(key, now_ms)) {
+    ++stats_.hits;
+    stats_.hit_bytes += size_bytes;
+    return trace::CacheStatus::kHit;
+  }
+  ++stats_.misses;
+  stats_.miss_bytes += size_bytes;
+  if (size_bytes > capacity_bytes_) {
+    ++stats_.rejected;
+    return trace::CacheStatus::kMiss;
+  }
+  Insert(key, size_bytes, now_ms);
+  return trace::CacheStatus::kMiss;
+}
+
+bool Cache::Admit(std::uint64_t key, std::uint64_t size_bytes,
+                  std::int64_t now_ms) {
+  if (size_bytes > capacity_bytes_) return false;
+  if (Lookup(key, now_ms)) return true;  // already resident
+  Insert(key, size_bytes, now_ms);
+  return true;
+}
+
+std::unique_ptr<Cache> CreateCache(PolicyKind kind,
+                                   std::uint64_t capacity_bytes,
+                                   std::int64_t ttl_ms) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruCache>(capacity_bytes);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoCache>(capacity_bytes);
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuCache>(capacity_bytes);
+    case PolicyKind::kGdsf:
+      return std::make_unique<GdsfCache>(capacity_bytes);
+    case PolicyKind::kS4Lru:
+      return std::make_unique<S4LruCache>(capacity_bytes);
+    case PolicyKind::kTtlLru:
+      return std::make_unique<TtlLruCache>(capacity_bytes, ttl_ms);
+  }
+  throw std::invalid_argument("CreateCache: unknown policy");
+}
+
+}  // namespace atlas::cdn

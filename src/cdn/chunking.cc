@@ -1,0 +1,43 @@
+#include "cdn/chunking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace atlas::cdn {
+
+ChunkPlan PlanChunks(std::uint64_t object_bytes, double watch_fraction,
+                     std::uint64_t chunk_bytes) {
+  ChunkPlan plan;
+  watch_fraction = std::clamp(watch_fraction, 1e-6, 1.0);
+  if (object_bytes == 0) object_bytes = 1;
+  if (chunk_bytes == 0 || object_bytes <= chunk_bytes) {
+    // Single transaction. A partial watch of a single-chunk object is still
+    // delivered as one (range) response when truncated.
+    const auto bytes = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(object_bytes) * watch_fraction));
+    plan.num_chunks = 1;
+    plan.chunk_bytes = std::max<std::uint64_t>(bytes, 1);
+    plan.last_chunk_bytes = plan.chunk_bytes;
+    plan.partial = bytes < object_bytes;
+    return plan;
+  }
+  const auto watched_bytes = static_cast<std::uint64_t>(std::ceil(
+      static_cast<double>(object_bytes) * watch_fraction));
+  const std::uint64_t chunks =
+      std::max<std::uint64_t>(1, (watched_bytes + chunk_bytes - 1) / chunk_bytes);
+  plan.num_chunks = chunks;
+  plan.chunk_bytes = chunk_bytes;
+  const std::uint64_t tail = watched_bytes - (chunks - 1) * chunk_bytes;
+  plan.last_chunk_bytes = std::max<std::uint64_t>(tail, 1);
+  plan.partial = true;  // multi-chunk transfers are range requests
+  return plan;
+}
+
+std::uint64_t ChunkKey(std::uint64_t url_hash, std::uint64_t index) {
+  if (index == 0) return url_hash;
+  return util::HashCombine(url_hash, index);
+}
+
+}  // namespace atlas::cdn

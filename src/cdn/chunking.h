@@ -1,0 +1,30 @@
+// Video chunking.
+//
+// §V: "the CDN treats video chunks as separate objects for the sake of
+// caching". A video view fetches consecutive fixed-size chunks until the
+// viewer stops; each chunk is an HTTP transaction (206 Partial Content
+// unless the whole file fits in one response) and a separate cache key.
+#pragma once
+
+#include <cstdint>
+
+namespace atlas::cdn {
+
+struct ChunkPlan {
+  std::uint64_t num_chunks = 1;     // transactions for this view
+  std::uint64_t chunk_bytes = 0;    // full chunk size
+  std::uint64_t last_chunk_bytes = 0;  // possibly-short final chunk
+  bool partial = false;             // true -> 206 responses, else 200
+};
+
+// Plans the transactions for watching `watch_fraction` of an object of
+// `object_bytes`, with `chunk_bytes`-sized chunks. watch_fraction is clamped
+// to (0, 1]. chunk_bytes == 0 disables chunking (single 200 response).
+ChunkPlan PlanChunks(std::uint64_t object_bytes, double watch_fraction,
+                     std::uint64_t chunk_bytes);
+
+// Cache key of chunk `index` of the object identified by `url_hash`.
+// Chunk 0 of an unchunked transfer is the object itself.
+std::uint64_t ChunkKey(std::uint64_t url_hash, std::uint64_t index);
+
+}  // namespace atlas::cdn

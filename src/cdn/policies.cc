@@ -1,0 +1,242 @@
+#include "cdn/policies.h"
+
+#include <stdexcept>
+
+namespace atlas::cdn {
+
+// --- LruCache ---------------------------------------------------------------
+
+bool LruCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return true;
+}
+
+void LruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                      std::int64_t /*now_ms*/) {
+  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  lru_.push_front(key);
+  entries_[key] = Entry{size_bytes, lru_.begin()};
+  OnInsertBytes(size_bytes);
+}
+
+void LruCache::EvictOne() {
+  if (lru_.empty()) throw std::logic_error("LruCache: evict from empty");
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  OnEvictBytes(it->second.size);
+  entries_.erase(it);
+}
+
+// --- FifoCache ---------------------------------------------------------------
+
+bool FifoCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
+  return entries_.count(key) > 0;
+}
+
+void FifoCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                       std::int64_t /*now_ms*/) {
+  while (used_bytes() + size_bytes > capacity_bytes()) {
+    if (queue_.empty()) throw std::logic_error("FifoCache: evict from empty");
+    const std::uint64_t victim = queue_.front();
+    queue_.pop_front();
+    auto it = entries_.find(victim);
+    OnEvictBytes(it->second);
+    entries_.erase(it);
+  }
+  queue_.push_back(key);
+  entries_[key] = size_bytes;
+  OnInsertBytes(size_bytes);
+}
+
+// --- LfuCache ---------------------------------------------------------------
+
+void LfuCache::Touch(std::uint64_t key, Entry& entry) {
+  auto& old_bucket = buckets_[entry.freq];
+  old_bucket.erase(entry.bucket_it);
+  if (old_bucket.empty()) buckets_.erase(entry.freq);
+  ++entry.freq;
+  auto& new_bucket = buckets_[entry.freq];
+  new_bucket.push_front(key);
+  entry.bucket_it = new_bucket.begin();
+}
+
+bool LfuCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Touch(key, it->second);
+  return true;
+}
+
+void LfuCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                      std::int64_t /*now_ms*/) {
+  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  auto& bucket = buckets_[1];
+  bucket.push_front(key);
+  entries_[key] = Entry{size_bytes, 1, bucket.begin()};
+  OnInsertBytes(size_bytes);
+}
+
+void LfuCache::EvictOne() {
+  if (buckets_.empty()) throw std::logic_error("LfuCache: evict from empty");
+  auto bucket_it = buckets_.begin();  // lowest frequency
+  auto& lru_list = bucket_it->second;
+  const std::uint64_t victim = lru_list.back();  // least recent within bucket
+  lru_list.pop_back();
+  if (lru_list.empty()) buckets_.erase(bucket_it);
+  auto it = entries_.find(victim);
+  OnEvictBytes(it->second.size);
+  entries_.erase(it);
+}
+
+// --- GdsfCache ---------------------------------------------------------------
+
+double GdsfCache::PriorityOf(const Entry& e) const {
+  // cost = 1 per miss; size in KB so priorities stay in a sane range.
+  const double size_kb = static_cast<double>(e.size) / 1024.0 + 1e-9;
+  return inflation_ + static_cast<double>(e.freq) / size_kb;
+}
+
+void GdsfCache::PushHeap(std::uint64_t key, const Entry& e) {
+  heap_.push(HeapItem{e.priority, key});
+}
+
+bool GdsfCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  ++it->second.freq;
+  it->second.priority = PriorityOf(it->second);
+  PushHeap(key, it->second);  // lazy: old heap entry becomes stale
+  return true;
+}
+
+void GdsfCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                       std::int64_t /*now_ms*/) {
+  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  Entry e{size_bytes, 1, 0.0};
+  e.priority = PriorityOf(e);
+  entries_[key] = e;
+  PushHeap(key, e);
+  OnInsertBytes(size_bytes);
+}
+
+void GdsfCache::EvictOne() {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = entries_.find(item.key);
+    // Skip stale heap entries (evicted keys or outdated priorities).
+    if (it == entries_.end() || it->second.priority != item.priority) continue;
+    inflation_ = item.priority;
+    OnEvictBytes(it->second.size);
+    entries_.erase(it);
+    return;
+  }
+  throw std::logic_error("GdsfCache: evict from empty");
+}
+
+// --- S4LruCache ---------------------------------------------------------------
+
+S4LruCache::S4LruCache(std::uint64_t capacity_bytes)
+    : Cache(capacity_bytes),
+      segment_capacity_(capacity_bytes / kSegments) {
+  if (segment_capacity_ == 0) {
+    throw std::invalid_argument("S4LruCache: capacity too small for segments");
+  }
+}
+
+bool S4LruCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  const int target = std::min(e.segment + 1, kSegments - 1);
+  lists_[static_cast<std::size_t>(e.segment)].erase(e.it);
+  seg_bytes_[static_cast<std::size_t>(e.segment)] -= e.size;
+  lists_[static_cast<std::size_t>(target)].push_front(key);
+  seg_bytes_[static_cast<std::size_t>(target)] += e.size;
+  e.segment = target;
+  e.it = lists_[static_cast<std::size_t>(target)].begin();
+  Rebalance();
+  return true;
+}
+
+void S4LruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                        std::int64_t /*now_ms*/) {
+  lists_[0].push_front(key);
+  seg_bytes_[0] += size_bytes;
+  entries_[key] = Entry{size_bytes, 0, lists_[0].begin()};
+  OnInsertBytes(size_bytes);
+  Rebalance();
+}
+
+void S4LruCache::Rebalance() {
+  // Overflow cascades down: tail of segment i moves to head of i-1; tail of
+  // segment 0 is evicted. Total capacity is enforced via the per-segment
+  // budgets.
+  for (int s = kSegments - 1; s >= 1; --s) {
+    auto si = static_cast<std::size_t>(s);
+    while (seg_bytes_[si] > segment_capacity_ && !lists_[si].empty()) {
+      const std::uint64_t key = lists_[si].back();
+      lists_[si].pop_back();
+      Entry& e = entries_.at(key);
+      seg_bytes_[si] -= e.size;
+      const auto below = static_cast<std::size_t>(s - 1);
+      lists_[below].push_front(key);
+      seg_bytes_[below] += e.size;
+      e.segment = s - 1;
+      e.it = lists_[below].begin();
+    }
+  }
+  while (seg_bytes_[0] > segment_capacity_ && !lists_[0].empty()) {
+    const std::uint64_t victim = lists_[0].back();
+    lists_[0].pop_back();
+    auto it = entries_.find(victim);
+    seg_bytes_[0] -= it->second.size;
+    OnEvictBytes(it->second.size);
+    entries_.erase(it);
+  }
+}
+
+// --- TtlLruCache ---------------------------------------------------------------
+
+TtlLruCache::TtlLruCache(std::uint64_t capacity_bytes, std::int64_t ttl_ms)
+    : Cache(capacity_bytes), ttl_ms_(ttl_ms) {
+  if (ttl_ms <= 0) throw std::invalid_argument("TtlLruCache: ttl must be > 0");
+}
+
+void TtlLruCache::Erase(std::uint64_t key) {
+  auto it = entries_.find(key);
+  lru_.erase(it->second.lru_it);
+  OnEvictBytes(it->second.size);
+  entries_.erase(it);
+}
+
+bool TtlLruCache::Lookup(std::uint64_t key, std::int64_t now_ms) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (now_ms >= it->second.expires_ms) {
+    // Stale content must be refetched; the entry is dropped and the caller
+    // records a miss followed by a fresh insert.
+    Erase(key);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return true;
+}
+
+void TtlLruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                         std::int64_t now_ms) {
+  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  lru_.push_front(key);
+  entries_[key] = Entry{size_bytes, now_ms + ttl_ms_, lru_.begin()};
+  OnInsertBytes(size_bytes);
+}
+
+void TtlLruCache::EvictOne() {
+  if (lru_.empty()) throw std::logic_error("TtlLruCache: evict from empty");
+  Erase(lru_.back());
+}
+
+}  // namespace atlas::cdn

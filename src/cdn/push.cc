@@ -1,0 +1,59 @@
+#include "cdn/push.h"
+
+#include <algorithm>
+
+namespace atlas::cdn {
+namespace {
+
+bool PatternSelected(synth::PatternType type, const PushConfig& config) {
+  switch (type) {
+    case synth::PatternType::kDiurnal:
+      return config.include_diurnal;
+    case synth::PatternType::kLongLived:
+      return config.include_long_lived;
+    case synth::PatternType::kShortLived:
+      return config.include_short_lived;
+    case synth::PatternType::kFlashCrowd:
+      return config.include_flash;
+    case synth::PatternType::kOutlier:
+      return config.include_outlier;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PushItem> BuildPushPlan(const synth::Catalog& catalog,
+                                    const PushConfig& config) {
+  std::vector<PushItem> plan;
+  if (!config.enabled) return plan;
+
+  // Rank eligible objects by static popularity weight.
+  std::vector<std::uint32_t> eligible;
+  for (std::uint32_t i = 0; i < catalog.size(); ++i) {
+    if (PatternSelected(catalog.object(i).pattern.type, config)) {
+      eligible.push_back(i);
+    }
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return catalog.object(a).popularity_weight >
+                     catalog.object(b).popularity_weight;
+            });
+  if (eligible.size() > config.top_n) eligible.resize(config.top_n);
+
+  plan.reserve(eligible.size());
+  for (std::uint32_t idx : eligible) {
+    PushItem item;
+    item.object_index = idx;
+    item.push_at_ms = std::max<std::int64_t>(
+        catalog.object(idx).injected_at_ms, 0);
+    plan.push_back(item);
+  }
+  std::sort(plan.begin(), plan.end(), [](const PushItem& a, const PushItem& b) {
+    return a.push_at_ms < b.push_at_ms;
+  });
+  return plan;
+}
+
+}  // namespace atlas::cdn

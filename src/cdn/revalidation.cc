@@ -1,0 +1,76 @@
+#include "cdn/revalidation.h"
+
+#include <stdexcept>
+
+namespace atlas::cdn {
+
+RevalidationOracle::RevalidationOracle() : policy_(Policy()) {}
+
+void RevalidationOracle::Classify(std::uint64_t url_hash,
+                                  synth::PatternType pattern) {
+  patterns_[url_hash] = pattern;
+}
+
+std::int64_t RevalidationOracle::TtlForPattern(
+    synth::PatternType pattern) const {
+  switch (pattern) {
+    case synth::PatternType::kDiurnal:
+      return policy_.diurnal_ttl_ms;
+    case synth::PatternType::kLongLived:
+      return policy_.long_lived_ttl_ms;
+    case synth::PatternType::kShortLived:
+      return policy_.short_lived_ttl_ms;
+    case synth::PatternType::kFlashCrowd:
+      return policy_.flash_ttl_ms;
+    case synth::PatternType::kOutlier:
+      return policy_.outlier_ttl_ms;
+  }
+  return policy_.default_ttl_ms;
+}
+
+std::int64_t RevalidationOracle::TtlFor(std::uint64_t url_hash) const {
+  const auto it = patterns_.find(url_hash);
+  if (it == patterns_.end()) return policy_.default_ttl_ms;
+  return TtlForPattern(it->second);
+}
+
+OracleTtlCache::OracleTtlCache(std::uint64_t capacity_bytes, TtlFn ttl_fn)
+    : Cache(capacity_bytes), ttl_fn_(std::move(ttl_fn)) {
+  if (!ttl_fn_) throw std::invalid_argument("OracleTtlCache: null ttl fn");
+}
+
+void OracleTtlCache::Erase(std::uint64_t key) {
+  auto it = entries_.find(key);
+  lru_.erase(it->second.lru_it);
+  OnEvictBytes(it->second.size);
+  entries_.erase(it);
+}
+
+bool OracleTtlCache::Lookup(std::uint64_t key, std::int64_t now_ms) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (now_ms >= it->second.expires_ms) {
+    ++expired_lookups_;
+    Erase(key);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return true;
+}
+
+void OracleTtlCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
+                            std::int64_t now_ms) {
+  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  const std::int64_t ttl = ttl_fn_(key);
+  if (ttl <= 0) throw std::logic_error("OracleTtlCache: non-positive ttl");
+  lru_.push_front(key);
+  entries_[key] = Entry{size_bytes, now_ms + ttl, lru_.begin()};
+  OnInsertBytes(size_bytes);
+}
+
+void OracleTtlCache::EvictOne() {
+  if (lru_.empty()) throw std::logic_error("OracleTtlCache: evict from empty");
+  Erase(lru_.back());
+}
+
+}  // namespace atlas::cdn

@@ -1,0 +1,46 @@
+#include "cdn/scenario.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace atlas::cdn {
+
+Scenario::Scenario(std::vector<synth::SiteProfile> profiles,
+                   const SimulatorConfig& config, std::uint64_t seed) {
+  util::Rng seeder(seed);
+  for (auto& profile : profiles) {
+    const std::uint32_t id = registry_.Register(profile.name, profile.kind);
+    SiteRun run;
+    run.profile = profile;
+    run.publisher_id = id;
+    const std::uint64_t site_seed = seeder.Next();
+    run.generator =
+        std::make_unique<synth::WorkloadGenerator>(profile, site_seed);
+    const double inflation =
+        run.generator->EstimateRecordsPerRequest(config.chunk_bytes);
+    const auto logical = static_cast<std::uint64_t>(std::max(
+        1.0, static_cast<double>(profile.total_requests) / inflation));
+    const auto events = run.generator->Generate(logical);
+    Simulator sim(config, id);
+    run.result = sim.Run(*run.generator, events);
+    runs_.push_back(std::move(run));
+  }
+}
+
+Scenario Scenario::PaperStudy(double scale, const SimulatorConfig& config,
+                              std::uint64_t seed) {
+  return Scenario(synth::SiteProfile::PaperAdultSites(scale), config, seed);
+}
+
+trace::TraceBuffer Scenario::MergedTrace() const {
+  trace::TraceBuffer merged;
+  std::size_t total = 0;
+  for (const auto& run : runs_) total += run.result.trace.size();
+  merged.Reserve(total);
+  for (const auto& run : runs_) merged.Append(run.result.trace);
+  merged.SortByTime();
+  return merged;
+}
+
+}  // namespace atlas::cdn

@@ -1,0 +1,52 @@
+// Scenario: the paper's whole five-site study as one object.
+//
+// Runs every site profile through its own generator + the shared simulator
+// configuration, tags records with registry publisher ids, and exposes both
+// the per-site results (with ground-truth generators for closed-loop
+// validation) and the merged, time-sorted trace — the synthetic stand-in
+// for the paper's week of CDN logs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdn/simulator.h"
+#include "synth/site_profile.h"
+#include "trace/publisher.h"
+
+namespace atlas::cdn {
+
+struct SiteRun {
+  synth::SiteProfile profile;
+  std::uint32_t publisher_id = 0;
+  // Kept alive so analyses can compare against generator ground truth.
+  std::unique_ptr<synth::WorkloadGenerator> generator;
+  SimulatorResult result;
+};
+
+class Scenario {
+ public:
+  // `scale` shrinks every profile (1.0 = paper-sized). Each site draws its
+  // own deterministic seed from `seed`.
+  Scenario(std::vector<synth::SiteProfile> profiles,
+           const SimulatorConfig& config, std::uint64_t seed);
+
+  // Convenience: the paper's five adult sites.
+  static Scenario PaperStudy(double scale, const SimulatorConfig& config,
+                             std::uint64_t seed);
+
+  const trace::PublisherRegistry& registry() const { return registry_; }
+  const std::vector<SiteRun>& runs() const { return runs_; }
+  const SiteRun& run(std::size_t i) const { return runs_.at(i); }
+  std::size_t site_count() const { return runs_.size(); }
+
+  // Merged time-sorted trace across all sites.
+  trace::TraceBuffer MergedTrace() const;
+
+ private:
+  trace::PublisherRegistry registry_;
+  std::vector<SiteRun> runs_;
+};
+
+}  // namespace atlas::cdn

@@ -1,0 +1,94 @@
+// End-to-end delivery simulation: logical request events -> HTTP log records.
+//
+// For each logical request the simulator walks the delivery path the paper's
+// logs were produced by:
+//
+//   anomaly?      -> 403 (hotlink), 416 (bad range), 204 (beacon)
+//   browser cache -> fresh: served locally, NO log record (the CDN never
+//                    sees it — exactly why Fig. 16 shows so few 304s for
+//                    incognito-heavy adult sites);
+//                    stale: conditional GET -> 304 + freshness renewal
+//   edge cache    -> HIT, or MISS + origin fetch + admission
+//   chunking      -> video views expand into 206 chunk transactions paced
+//                    at playback speed
+//
+// The output is a TraceBuffer in exactly the paper's log schema, plus
+// delivery-side statistics the logs alone cannot show (origin load,
+// browser-cache absorption) used by the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cdn/browser_cache.h"
+#include "cdn/chunking.h"
+#include "cdn/push.h"
+#include "cdn/topology.h"
+#include "synth/workload.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::cdn {
+
+struct SimulatorConfig {
+  TopologyConfig topology;
+  // Video chunk size; 0 disables chunking.
+  std::uint64_t chunk_bytes = 2ULL << 20;
+  // Playback bytes-per-second: spaces chunk requests in time.
+  double playback_bytes_per_s = 600e3;
+  // Browser cache per user.
+  std::uint64_t browser_capacity_bytes = 50ULL << 20;
+  std::int64_t browser_freshness_ms = 24 * 3600 * 1000LL;
+  // Only objects up to this size are browser-cacheable (videos stream via
+  // range requests and bypass the cache).
+  std::uint64_t browser_max_object_bytes = 4ULL << 20;
+  // Cooperative fill: on an edge miss, fetch from a sibling data center
+  // that holds the object instead of the origin (cheaper transit; the
+  // "copies closer to users" idea extended across the footprint).
+  bool peer_fill = false;
+  PushConfig push;
+};
+
+struct SimulatorResult {
+  trace::TraceBuffer trace;
+  CacheStats edge_stats;                  // aggregated over DCs
+  std::vector<CacheStats> per_dc_stats;   // indexed like Topology
+  OriginStats origin;
+  // Cooperative fills served by sibling DCs instead of the origin.
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t peer_bytes = 0;
+  // Requests absorbed by browser caches (served fresh, never logged).
+  std::uint64_t browser_fresh_hits = 0;
+  // Conditional GETs answered 304.
+  std::uint64_t revalidations = 0;
+  std::uint64_t pushed_objects = 0;
+  std::uint64_t pushed_bytes = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const SimulatorConfig& config, std::uint32_t publisher_id);
+
+  // Consumes the generator's events (must be time-sorted) and produces the
+  // log trace. The generator provides object/user lookup tables.
+  SimulatorResult Run(const synth::WorkloadGenerator& gen,
+                      const std::vector<synth::RequestEvent>& events);
+
+  const SimulatorConfig& config() const { return config_; }
+
+ private:
+  void ApplyPushUpTo(std::int64_t now_ms, const synth::Catalog& catalog,
+                     Topology& topology, const std::vector<PushItem>& plan,
+                     std::size_t& cursor, SimulatorResult& result);
+
+  SimulatorConfig config_;
+  std::uint32_t publisher_id_;
+};
+
+// Convenience: generate + simulate one site profile in one call, with the
+// logical budget calibrated so the final record count approximates
+// profile.total_requests despite video chunk expansion.
+SimulatorResult SimulateSite(const synth::SiteProfile& profile,
+                             std::uint32_t publisher_id,
+                             const SimulatorConfig& config, std::uint64_t seed);
+
+}  // namespace atlas::cdn

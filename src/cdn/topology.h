@@ -1,0 +1,68 @@
+// CDN topology: geographically distributed edge data centers plus an origin.
+//
+// §III: "A CDN operator typically places content at multiple geographically
+// distributed data centers. A user's request ... is redirected to the
+// closest data center via DNS redirection, anycast, or other CDN-specific
+// methods." The model: one (or more) edge DCs per continent; users route to
+// their continent's DC (round-robin by user hash when a continent has
+// several); every edge miss is an origin fetch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/cache.h"
+#include "synth/user_model.h"
+
+namespace atlas::cdn {
+
+struct OriginStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct DataCenter {
+  std::string name;
+  synth::Continent continent;
+  std::unique_ptr<Cache> cache;
+};
+
+struct TopologyConfig {
+  PolicyKind edge_policy = PolicyKind::kLru;
+  std::uint64_t edge_capacity_bytes = 8ULL << 30;  // per DC
+  std::int64_t edge_ttl_ms = 6 * 3600 * 1000LL;    // for TTL policies
+  int dcs_per_continent = 1;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& config);
+
+  // The edge DC serving a user, chosen by continent and sharded by user id
+  // when the continent has multiple DCs.
+  DataCenter& Route(synth::Continent continent, std::uint64_t user_id);
+
+  // Records an origin fetch of `bytes` (every edge miss).
+  void FetchFromOrigin(std::uint64_t bytes);
+
+  // True if any data center other than `self` currently holds `key`
+  // (cooperative cache fill: a peer copy is cheaper than an origin fetch).
+  bool AnyPeerContains(const DataCenter& self, std::uint64_t key) const;
+
+  std::size_t dc_count() const { return dcs_.size(); }
+  const DataCenter& dc(std::size_t i) const { return dcs_.at(i); }
+  DataCenter& mutable_dc(std::size_t i) { return dcs_.at(i); }
+  const OriginStats& origin() const { return origin_; }
+
+  // Aggregated edge stats across all DCs.
+  CacheStats TotalEdgeStats() const;
+
+ private:
+  TopologyConfig config_;
+  std::vector<DataCenter> dcs_;
+  OriginStats origin_;
+};
+
+}  // namespace atlas::cdn

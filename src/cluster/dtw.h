@@ -1,0 +1,50 @@
+// Dynamic Time Warping.
+//
+// §IV-B: "We use Dynamic Time Warping (DTW) to compute similarity between
+// two request count time series ... Using a dynamic programming approach,
+// DTW computes all possible sets of mappings (warping paths) between two
+// time series. The total cost of the optimal warping path is defined as the
+// DTW distance."
+//
+// The implementation is the standard O(N*M) dynamic program with an
+// optional Sakoe-Chiba band (|i - j| <= band) that both speeds up the
+// computation and prevents pathological warps; band == 0 means
+// unconstrained.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace atlas::cluster {
+
+// Point-wise cost |a_i - b_j| ("the area between the time warped time
+// series"). Returns +inf when the band makes alignment infeasible (cannot
+// happen for band >= |N - M|). Throws on empty inputs.
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   std::size_t band = 0);
+
+// Optimal warping path as (i, j) index pairs, for tests and visualization.
+std::vector<std::pair<std::size_t, std::size_t>> DtwPath(
+    const std::vector<double>& a, const std::vector<double>& b,
+    std::size_t band = 0);
+
+// Condensed symmetric distance matrix over n items.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  double Get(std::size_t i, std::size_t j) const;
+  void Set(std::size_t i, std::size_t j, double d);
+
+ private:
+  std::size_t Index(std::size_t i, std::size_t j) const;
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+// Pairwise DTW over a set of equal-length series.
+DistanceMatrix PairwiseDtw(const std::vector<std::vector<double>>& series,
+                           std::size_t band = 0);
+
+}  // namespace atlas::cluster

@@ -1,0 +1,102 @@
+#include "cluster/medoid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace atlas::cluster {
+
+std::size_t MedoidIndex(const DistanceMatrix& distances,
+                        const std::vector<std::size_t>& member_ids) {
+  if (member_ids.empty()) {
+    throw std::invalid_argument("MedoidIndex: empty cluster");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < member_ids.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < member_ids.size(); ++j) {
+      if (i != j) total += distances.Get(member_ids[i], member_ids[j]);
+    }
+    if (total < best) {
+      best = total;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+std::vector<MedoidSummary> SummarizeClusters(
+    const DistanceMatrix& distances,
+    const std::vector<std::vector<double>>& series,
+    const std::vector<std::size_t>& labels) {
+  if (series.size() != labels.size() || series.size() != distances.size()) {
+    throw std::invalid_argument("SummarizeClusters: size mismatch");
+  }
+  std::size_t k = 0;
+  for (std::size_t l : labels) k = std::max(k, l + 1);
+
+  std::vector<MedoidSummary> out;
+  out.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == c) members.push_back(i);
+    }
+    if (members.empty()) continue;
+
+    MedoidSummary summary;
+    summary.cluster_label = c;
+    summary.member_count = members.size();
+    summary.medoid_item = members[MedoidIndex(distances, members)];
+    summary.medoid_series = series[summary.medoid_item];
+
+    // Point-wise mean then stddev across cluster members.
+    const std::size_t len = summary.medoid_series.size();
+    std::vector<double> mean(len, 0.0);
+    for (std::size_t m : members) {
+      for (std::size_t t = 0; t < len; ++t) mean[t] += series[m][t];
+    }
+    for (double& v : mean) v /= static_cast<double>(members.size());
+    summary.pointwise_stddev.assign(len, 0.0);
+    for (std::size_t m : members) {
+      for (std::size_t t = 0; t < len; ++t) {
+        const double d = series[m][t] - mean[t];
+        summary.pointwise_stddev[t] += d * d;
+      }
+    }
+    for (double& v : summary.pointwise_stddev) {
+      v = std::sqrt(v / static_cast<double>(members.size()));
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::string Sparkline(const std::vector<double>& series, std::size_t width) {
+  if (series.empty() || width == 0) return "";
+  static const char* const kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  constexpr std::size_t kNumLevels = 8;
+  const double peak = *std::max_element(series.begin(), series.end());
+  std::string out;
+  out.reserve(width);
+  for (std::size_t x = 0; x < width; ++x) {
+    // Average the bucket of samples mapping to this column.
+    const std::size_t lo = x * series.size() / width;
+    const std::size_t hi =
+        std::max(lo + 1, (x + 1) * series.size() / width);
+    double v = 0.0;
+    for (std::size_t i = lo; i < hi && i < series.size(); ++i) v += series[i];
+    v /= static_cast<double>(hi - lo);
+    if (peak <= 0.0) {
+      out += kLevels[0];
+    } else {
+      auto level = static_cast<std::size_t>(v / peak * (kNumLevels - 1) + 0.5);
+      out += kLevels[std::min(level, kNumLevels - 1)];
+    }
+  }
+  return out;
+}
+
+}  // namespace atlas::cluster

@@ -1,0 +1,42 @@
+// Cluster medoids and spread.
+//
+// §IV-B: "we identify a representative sample object from each cluster and
+// plot its normalized request count time series with point-wise standard
+// deviations. ... a medoid is defined as the most centrally located point
+// of a cluster" — Figures 9 and 10 are exactly (medoid, pointwise sigma)
+// per cluster; MedoidSummary carries both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/dtw.h"
+
+namespace atlas::cluster {
+
+// Index (into the cluster member list) of the member minimizing total
+// distance to all other members. Throws on an empty cluster.
+std::size_t MedoidIndex(const DistanceMatrix& distances,
+                        const std::vector<std::size_t>& member_ids);
+
+struct MedoidSummary {
+  std::size_t cluster_label = 0;
+  std::size_t member_count = 0;
+  std::size_t medoid_item = 0;       // index into the original item list
+  std::vector<double> medoid_series; // normalized request-count series
+  std::vector<double> pointwise_stddev;
+};
+
+// Builds the Fig. 9/10 data for every cluster in a labeling. `series` holds
+// the (already normalized) per-item series in the same order the distance
+// matrix was built from.
+std::vector<MedoidSummary> SummarizeClusters(
+    const DistanceMatrix& distances,
+    const std::vector<std::vector<double>>& series,
+    const std::vector<std::size_t>& labels);
+
+// ASCII sparkline of a series (for terminal figure output).
+std::string Sparkline(const std::vector<double>& series, std::size_t width);
+
+}  // namespace atlas::cluster

@@ -1,0 +1,145 @@
+#include "cluster/shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace atlas::cluster {
+namespace {
+
+constexpr double kActiveThresholdFrac = 0.05;
+
+// Best (max-mass) sliding window of `width` hours; returns mass fraction.
+double BestWindowMass(const std::vector<double>& v, std::size_t width,
+                      double total) {
+  if (total <= 0.0 || v.empty()) return 0.0;
+  width = std::min(width, v.size());
+  double window = std::accumulate(v.begin(), v.begin() + static_cast<long>(width), 0.0);
+  double best = window;
+  for (std::size_t i = width; i < v.size(); ++i) {
+    window += v[i] - v[i - width];
+    best = std::max(best, window);
+  }
+  return best / total;
+}
+
+}  // namespace
+
+ShapeFeatures ExtractShapeFeatures(const std::vector<double>& hourly) {
+  ShapeFeatures f;
+  if (hourly.empty()) return f;
+  f.total = std::accumulate(hourly.begin(), hourly.end(), 0.0);
+  if (f.total <= 0.0) return f;
+
+  const double peak = *std::max_element(hourly.begin(), hourly.end());
+  const double threshold = peak * kActiveThresholdFrac;
+  std::size_t first = hourly.size(), last = 0, active = 0, peak_at = 0;
+  for (std::size_t i = 0; i < hourly.size(); ++i) {
+    if (hourly[i] > threshold) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+      ++active;
+    }
+    if (hourly[i] > hourly[peak_at]) peak_at = i;
+  }
+  if (first > last) return f;  // all below threshold (cannot happen: peak>0)
+
+  f.active_fraction = static_cast<double>(active) /
+                      static_cast<double>(hourly.size());
+  f.active_span_hours = static_cast<double>(last - first + 1);
+  f.first_active_hour = static_cast<double>(first);
+  f.time_to_peak_hours = static_cast<double>(peak_at - first);
+  // Decay: last active hour after the peak.
+  f.decay_hours = static_cast<double>(last >= peak_at ? last - peak_at : 0);
+
+  // Autocorrelation at 24h within the active window.
+  const std::size_t n = last - first + 1;
+  if (n > 25) {
+    double mean = 0.0;
+    for (std::size_t i = first; i <= last; ++i) mean += hourly[i];
+    mean /= static_cast<double>(n);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = first; i <= last; ++i) {
+      den += (hourly[i] - mean) * (hourly[i] - mean);
+    }
+    for (std::size_t i = first; i + 24 <= last; ++i) {
+      num += (hourly[i] - mean) * (hourly[i + 24] - mean);
+    }
+    f.autocorr_24h = den > 0.0 ? num / den : 0.0;
+  }
+
+  f.peak_day_mass = BestWindowMass(hourly, 24, f.total);
+  f.peak_6h_mass = BestWindowMass(hourly, 6, f.total);
+
+  // Decay: mass in the first vs. second half of the active window.
+  const std::size_t mid = first + (last - first + 1) / 2;
+  double first_half = 0.0, second_half = 0.0;
+  for (std::size_t i = first; i <= last; ++i) {
+    (i < mid ? first_half : second_half) += hourly[i];
+  }
+  f.decay_ratio = second_half > 0.0
+                      ? first_half / second_half
+                      : (first_half > 0.0 ? 100.0 : 1.0);
+  return f;
+}
+
+synth::PatternType ClassifyShape(const std::vector<double>& hourly) {
+  const ShapeFeatures f = ExtractShapeFeatures(hourly);
+  using synth::PatternType;
+
+  // Flash crowd: most mass in one tight burst *after* a dormant lead-in.
+  // The lead-in can be either pre-peak activity (time_to_peak) or silence
+  // below the activity threshold (first_active_hour). Without injection
+  // times a short-lived object injected mid-week is indistinguishable from
+  // a flash crowd — the same ambiguity the paper's eyeballing has.
+  const double lead_in_hours = f.first_active_hour + f.time_to_peak_hours;
+  if (lead_in_hours > 24.0 && f.active_span_hours <= 48.0 &&
+      f.peak_6h_mass > 0.35 && f.autocorr_24h < 0.3) {
+    return PatternType::kFlashCrowd;
+  }
+  // Short-lived: the whole observable life fits within ~a day and the peak
+  // comes right away.
+  if (f.active_span_hours <= 30.0 && f.time_to_peak_hours <= 12.0) {
+    return PatternType::kShortLived;
+  }
+  // Long-lived before diurnal: a decaying multi-day series can carry 24h
+  // periodicity (the paper's long-lived medoids "decay in a diurnal
+  // fashion"), so the decaying envelope is the discriminator.
+  if (f.time_to_peak_hours <= 36.0 && f.active_span_hours > 30.0 &&
+      f.decay_hours >= 18.0 && f.decay_ratio > 2.2) {
+    return PatternType::kLongLived;
+  }
+  // Diurnal: sustained over several days with no decaying envelope and mass
+  // spread across days. 24h autocorrelation supports the call but is noisy
+  // for sparsely-requested objects, so near-uniform day mass also qualifies.
+  if (f.active_span_hours >= 72.0 && f.peak_day_mass < 0.5 &&
+      f.decay_ratio <= 2.2 && f.decay_ratio >= 1.0 / 2.2 &&
+      (f.autocorr_24h > 0.1 || f.peak_day_mass < 0.38)) {
+    return PatternType::kDiurnal;
+  }
+  // Long-lived fallback: early peak, multi-day tail, bounded span.
+  if (f.time_to_peak_hours <= 36.0 && f.active_span_hours > 30.0 &&
+      f.active_span_hours <= 144.0 && f.decay_hours >= 18.0) {
+    return PatternType::kLongLived;
+  }
+  // Flat long-running series without detectable periodicity still look more
+  // diurnal-ish than anything else when they span the whole week.
+  if (f.active_span_hours >= 150.0 && f.peak_day_mass < 0.35 &&
+      f.decay_ratio <= 2.2 && f.decay_ratio >= 1.0 / 2.2) {
+    return PatternType::kDiurnal;
+  }
+  return PatternType::kOutlier;
+}
+
+std::string DescribeShape(const ShapeFeatures& f) {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "span=%.0fh ttp=%.0fh decay=%.0fh ac24=%.2f day=%.2f 6h=%.2f dr=%.2f",
+      f.active_span_hours, f.time_to_peak_hours, f.decay_hours, f.autocorr_24h,
+      f.peak_day_mass, f.peak_6h_mass, f.decay_ratio);
+  return buf;
+}
+
+}  // namespace atlas::cluster

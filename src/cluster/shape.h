@@ -1,0 +1,53 @@
+// Temporal-shape classification.
+//
+// The paper names its clusters by eye: diurnal, long-lived, short-lived,
+// flash-crowd, outliers. ShapeClassifier does the same mechanically from an
+// hourly request-count series, so the clustering pipeline can attach the
+// paper's labels to the clusters it finds (and so closed-loop tests can
+// check the generator's planted pattern is recovered).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/site_profile.h"  // PatternType
+
+namespace atlas::cluster {
+
+struct ShapeFeatures {
+  double total = 0.0;
+  // Fraction of weekly hours with activity above 5% of the series peak.
+  double active_fraction = 0.0;
+  // Hours between first and last active hour (observable lifetime).
+  double active_span_hours = 0.0;
+  // Hours from series start to the first active hour (dormant lead-in).
+  double first_active_hour = 0.0;
+  // Hours from first activity to the series peak.
+  double time_to_peak_hours = 0.0;
+  // Hours from the peak until activity dies (below 5% of peak for good).
+  double decay_hours = 0.0;
+  // Autocorrelation at lag 24h over the active window (diurnality).
+  double autocorr_24h = 0.0;
+  // Fraction of total mass inside the best 24h window (burstiness).
+  double peak_day_mass = 0.0;
+  // Fraction of total mass inside the best 6h window.
+  double peak_6h_mass = 0.0;
+  // Mass in the first half of the active window over mass in the second
+  // half; >> 1 for decaying (long-/short-lived) series, ~1 for diurnal.
+  double decay_ratio = 1.0;
+};
+
+// Extracts features from an hourly series (one bucket per hour).
+ShapeFeatures ExtractShapeFeatures(const std::vector<double>& hourly);
+
+// Classifies a series into the paper's taxonomy. The decision rules are
+// ordered: strong 6h concentration after a dormant lead-in => flash-crowd;
+// short observable life => short-lived; periodic + long-lived => diurnal;
+// early peak with multi-day decay => long-lived; anything else => outlier.
+synth::PatternType ClassifyShape(const std::vector<double>& hourly);
+
+// Human-readable one-line summary (for reports/debugging).
+std::string DescribeShape(const ShapeFeatures& f);
+
+}  // namespace atlas::cluster

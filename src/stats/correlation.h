@@ -1,0 +1,23 @@
+// Pearson and Spearman correlation.
+//
+// The paper reports ">0.9 correlation between hit ratio and popularity"
+// (§V); analysis::caching reproduces that number with these functions.
+#pragma once
+
+#include <vector>
+
+namespace atlas::stats {
+
+// Pearson product-moment correlation. Returns 0 when either side has zero
+// variance or the vectors are shorter than 2. Throws on length mismatch.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Spearman rank correlation (Pearson on mid-ranks; ties get averaged ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+// Mid-ranks of v (1-based; ties averaged), the building block of Spearman.
+std::vector<double> MidRanks(const std::vector<double>& v);
+
+}  // namespace atlas::stats

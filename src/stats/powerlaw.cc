@@ -1,0 +1,106 @@
+#include "stats/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace atlas::stats {
+
+PowerLawFit FitPowerLaw(const std::vector<double>& samples, double x_min) {
+  if (x_min <= 0.0) throw std::invalid_argument("FitPowerLaw: x_min <= 0");
+  std::vector<double> tail;
+  for (double x : samples) {
+    if (x >= x_min) tail.push_back(x);
+  }
+  if (tail.empty()) {
+    throw std::invalid_argument("FitPowerLaw: no samples at or above x_min");
+  }
+  double log_sum = 0.0;
+  for (double x : tail) log_sum += std::log(x / x_min);
+  PowerLawFit fit;
+  fit.x_min = x_min;
+  fit.tail_n = tail.size();
+  if (log_sum <= 0.0) {
+    // All tail samples equal x_min: degenerate, report a steep exponent.
+    fit.alpha = std::numeric_limits<double>::infinity();
+    fit.ks = 0.0;
+    return fit;
+  }
+  fit.alpha = 1.0 + static_cast<double>(tail.size()) / log_sum;
+
+  // KS distance between the empirical tail CDF and the fitted CDF
+  // F(x) = 1 - (x / x_min)^(1 - alpha).
+  std::sort(tail.begin(), tail.end());
+  double ks = 0.0;
+  const double n = static_cast<double>(tail.size());
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const double model = 1.0 - std::pow(tail[i] / x_min, 1.0 - fit.alpha);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max({ks, std::abs(emp_hi - model), std::abs(emp_lo - model)});
+  }
+  fit.ks = ks;
+  return fit;
+}
+
+PowerLawFit FitPowerLawAuto(const std::vector<double>& samples,
+                            std::size_t max_candidates) {
+  std::vector<double> distinct(samples);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  distinct.erase(std::remove_if(distinct.begin(), distinct.end(),
+                                [](double x) { return x <= 0.0; }),
+                 distinct.end());
+  if (distinct.empty()) {
+    throw std::invalid_argument("FitPowerLawAuto: no positive samples");
+  }
+  // Never let the candidate x_min exceed the point where the tail would have
+  // fewer than 10 samples (the fit becomes meaningless).
+  PowerLawFit best;
+  best.ks = std::numeric_limits<double>::infinity();
+  const std::size_t stride =
+      std::max<std::size_t>(1, distinct.size() / max_candidates);
+  for (std::size_t i = 0; i < distinct.size(); i += stride) {
+    const double x_min = distinct[i];
+    std::size_t tail_n = 0;
+    for (double x : samples) {
+      if (x >= x_min) ++tail_n;
+    }
+    if (tail_n < 10) break;
+    const PowerLawFit fit = FitPowerLaw(samples, x_min);
+    if (fit.ks < best.ks) best = fit;
+  }
+  if (!std::isfinite(best.ks)) return FitPowerLaw(samples, distinct.front());
+  return best;
+}
+
+double TopShare(std::vector<double> values, double fraction) {
+  if (values.empty()) return 0.0;
+  if (fraction <= 0.0) return 0.0;
+  if (fraction >= 1.0) return 1.0;
+  std::sort(values.begin(), values.end(), std::greater<>());
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(values.size())));
+  const double top =
+      std::accumulate(values.begin(), values.begin() + static_cast<long>(k), 0.0);
+  return top / total;
+}
+
+double Gini(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cum += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (cum <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace atlas::stats

@@ -1,0 +1,38 @@
+// Power-law tail fitting.
+//
+// Used to quantify the "expected skewness" of content popularity (Fig. 6):
+// the analysis fits a discrete power law to per-object request counts and
+// reports the exponent plus a goodness-of-fit (KS) distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace atlas::stats {
+
+struct PowerLawFit {
+  double alpha = 0.0;   // fitted exponent (alpha > 1 for a proper tail)
+  double x_min = 1.0;   // tail cutoff used for the fit
+  double ks = 1.0;      // KS distance between data tail and fitted CDF
+  std::uint64_t tail_n = 0;  // samples at or above x_min
+};
+
+// Continuous MLE (Clauset-Shalizi-Newman eq. 3.1) for the tail x >= x_min.
+// Values below x_min are ignored. Throws if no samples reach x_min.
+PowerLawFit FitPowerLaw(const std::vector<double>& samples, double x_min);
+
+// Scans candidate x_min values (the distinct sample values, capped at
+// `max_candidates` evenly chosen ones) and returns the fit minimizing the KS
+// distance — the standard CSN procedure.
+PowerLawFit FitPowerLawAuto(const std::vector<double>& samples,
+                            std::size_t max_candidates = 64);
+
+// Top-`fraction` share: fraction of total mass owned by the most popular
+// `fraction` of items (e.g. "top 10% of objects receive 80% of requests").
+double TopShare(std::vector<double> values, double fraction);
+
+// Gini coefficient of the value distribution, in [0, 1); another skewness
+// summary reported alongside the popularity CDFs.
+double Gini(std::vector<double> values);
+
+}  // namespace atlas::stats

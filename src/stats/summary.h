@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford / one-pass moments).
+//
+// Every analysis in ATLAS reports at least count/mean/median-ish summaries;
+// this accumulator provides numerically stable mean and variance in a single
+// pass, plus min/max/sum, without storing samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace atlas::stats {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void Add(double x);
+  void Merge(const Summary& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Population variance (division by n). Zero for fewer than 2 samples.
+  double variance() const;
+  // Sample variance (division by n-1). Zero for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  // "n=12 mean=3.4 sd=1.1 min=0 max=9" — for log lines and reports.
+  std::string ToString() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace atlas::stats

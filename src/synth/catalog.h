@@ -1,0 +1,80 @@
+// Object catalog generation.
+//
+// A Catalog is the synthetic equivalent of "the set of objects a publisher
+// stores on the CDN" (Fig. 1 counts them). Each object carries everything
+// the workload generator and the CDN simulator need: identity, class,
+// concrete file type, size, static popularity weight, injection time, and a
+// temporal pattern. The catalog also precomputes the per-pattern hourly
+// demand masses used for time-aware object sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/sampler.h"
+#include "synth/site_profile.h"
+#include "synth/temporal.h"
+#include "trace/record.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace atlas::synth {
+
+struct ObjectMeta {
+  std::uint64_t url_hash = 0;
+  trace::ContentClass content_class = trace::ContentClass::kOther;
+  trace::FileType file_type = trace::FileType::kUnknown;
+  std::uint64_t size_bytes = 0;
+  // Static Zipf weight (time-invariant component of demand).
+  double popularity_weight = 0.0;
+  // <= 0 means live before the trace started (Fig. 7's "pre-existing" mass).
+  std::int64_t injected_at_ms = 0;
+  PatternParams pattern;
+};
+
+class Catalog {
+ public:
+  // Builds a catalog for `profile`. All randomness comes from `rng`.
+  Catalog(const SiteProfile& profile, util::Rng& rng);
+
+  const std::vector<ObjectMeta>& objects() const { return objects_; }
+  std::size_t size() const { return objects_.size(); }
+  const ObjectMeta& object(std::size_t i) const { return objects_.at(i); }
+
+  // Draws an object index with probability proportional to
+  //   popularity_weight * ObjectDemandMultiplier(t)
+  // via two-stage sampling: pattern type by precomputed hourly mass, then
+  // rejection within the type. O(1) expected.
+  std::size_t SampleObject(std::int64_t utc_ms, util::Rng& rng) const;
+
+  // Total demand mass at an hour (for calibration / debugging).
+  double DemandMassAt(std::int64_t utc_ms) const;
+
+  // Aggregate stats for reports.
+  std::array<std::size_t, trace::kNumContentClasses> CountsByClass() const;
+  std::array<std::size_t, kNumPatternTypes> CountsByPattern() const;
+
+  // The timezone phase the catalog's diurnal patterns were generated
+  // against (demand-weighted mean user offset).
+  double representative_tz_hours() const { return representative_tz_hours_; }
+
+ private:
+  std::vector<ObjectMeta> objects_;
+  // Per pattern type: member object indices plus an alias table over their
+  // static weights.
+  struct PatternGroup {
+    std::vector<std::uint32_t> members;
+    std::vector<double> weights;
+    std::unique_ptr<stats::AliasTable> alias;
+    double weight_total = 0.0;
+  };
+  std::array<PatternGroup, kNumPatternTypes> groups_;
+  // Hourly demand mass per pattern group across the week.
+  std::array<std::array<double, util::kHoursPerWeek>, kNumPatternTypes>
+      hourly_mass_{};
+  double representative_tz_hours_ = 0.0;
+};
+
+}  // namespace atlas::synth

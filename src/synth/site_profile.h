@@ -1,0 +1,159 @@
+// Site profiles: the statistical fingerprints of the paper's five sites.
+//
+// Each profile encodes the published marginals for one site — catalog size
+// and class mix (Fig. 1), request volume (Fig. 2), temporal phase (Fig. 3),
+// device mix (Fig. 4), size models (Fig. 5), popularity skew (Fig. 6),
+// popularity-trend mix (Fig. 8), engagement and addiction parameters
+// (Figs. 11-14) and browsing-privacy behaviour (§V). The workload generator
+// consumes a profile and emits a week of log records with those marginals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/publisher.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace atlas::synth {
+
+// Temporal request-pattern archetypes (paper Figs. 8-10).
+enum class PatternType : std::uint8_t {
+  kDiurnal = 0,     // requested all week with day/night periodicity
+  kLongLived = 1,   // peaks on day 1, decays diurnally over several days
+  kShortLived = 2,  // peaks within hours of injection, dies the same day
+  kFlashCrowd = 3,  // dormant, then a sudden spike (P-2's "FlashCrowd")
+  kOutlier = 4,     // irregular; no clean archetype
+};
+inline constexpr int kNumPatternTypes = 5;
+const char* ToString(PatternType p);
+
+// Size model for one content class: a (possibly bimodal) lognormal clamped
+// to [lo_bytes, hi_bytes].
+struct SizeModel {
+  // First component (and only one when bimodal_weight == 1).
+  double mu1 = 0.0;
+  double sigma1 = 0.0;
+  // Second component.
+  double mu2 = 0.0;
+  double sigma2 = 0.0;
+  // Probability of drawing from the first component.
+  double bimodal_weight = 1.0;
+  double lo_bytes = 1.0;
+  double hi_bytes = 1e12;
+
+  std::uint64_t Sample(util::Rng& rng) const;
+
+  static SizeModel LogNormal(double median_bytes, double sigma, double lo,
+                             double hi);
+  static SizeModel Bimodal(double median1, double sigma1, double median2,
+                           double sigma2, double weight_first, double lo,
+                           double hi);
+};
+
+// Mix over PatternType for a content class; fractions sum to ~1.
+struct PatternMix {
+  std::array<double, kNumPatternTypes> fractions{};
+
+  PatternType Sample(util::Rng& rng) const;
+  void Validate() const;
+};
+
+struct SiteProfile {
+  std::string name;
+  trace::SiteKind kind = trace::SiteKind::kNonAdult;
+
+  // --- catalog ------------------------------------------------------------
+  std::size_t num_objects = 1000;
+  // Fraction of the catalog per class {video, image, other} (Fig. 1).
+  std::array<double, trace::kNumContentClasses> object_class_mix{};
+  SizeModel video_size;
+  SizeModel image_size;
+  SizeModel other_size;
+  // Per-class popularity-trend mixes (Fig. 8: video and image clusters have
+  // different compositions even within a site).
+  PatternMix video_patterns;
+  PatternMix image_patterns;
+  PatternMix other_patterns;
+  // Fraction of the catalog already live at trace start; the remainder is
+  // injected uniformly across the week (Fig. 7).
+  double preexisting_fraction = 0.6;
+
+  // --- demand ---------------------------------------------------------------
+  std::size_t num_users = 10000;
+  std::uint64_t total_requests = 100000;
+  // Zipf exponent over object ranks (Fig. 6 long tails).
+  double zipf_s = 0.9;
+  // Per-class relative demand multiplier {video, image, other}. Lets V-2
+  // serve 84% image objects but still draw most *bytes* from video.
+  std::array<double, trace::kNumContentClasses> class_demand_bias{1.0, 1.0,
+                                                                  1.0};
+
+  // --- temporal (Fig. 3) -----------------------------------------------------
+  // Local hour of peak demand (V-1: ~2am — opposite of the classic 7-11pm
+  // web peak) and the peak-to-trough modulation depth in [0, 1).
+  double peak_local_hour = 22.0;
+  double diurnal_amplitude = 0.3;
+  // Optional secondary harmonic to flatten/shape the curve.
+  double secondary_amplitude = 0.0;
+  double secondary_peak_hour = 12.0;
+
+  // --- users (Fig. 4, §III) ---------------------------------------------------
+  // Device mix {Desktop, Android, iOS, Misc}.
+  std::array<double, trace::kNumDeviceTypes> device_mix{1.0, 0.0, 0.0, 0.0};
+  // Continent mix {North America, Europe, Asia, South America}; controls
+  // the timezone distribution ("users in four different continents").
+  std::array<double, 4> continent_mix{0.4, 0.3, 0.2, 0.1};
+  // Pareto shape for user activity (how unequally sessions spread).
+  double user_activity_alpha = 1.5;
+
+  // --- sessions (Figs. 11-12) ---------------------------------------------------
+  // Mean requests per session (geometric).
+  double mean_requests_per_session = 6.0;
+  // In-session inter-request gap: lognormal median and sigma, seconds.
+  double iat_median_s = 15.0;
+  double iat_sigma = 1.2;
+
+  // --- engagement / addiction (Figs. 13-14) ---------------------------------
+  // Probability a request is a *repeat* of an object in the user's personal
+  // favorites rather than a fresh draw from the catalog.
+  double repeat_request_prob = 0.2;
+  // Probability a freshly-watched object enters the favorites set.
+  double favorite_adopt_prob = 0.3;
+  std::size_t max_favorites = 8;
+
+  // --- video viewing -----------------------------------------------------------
+  // Mean fraction of a video actually watched (drives 206 chunk counts and
+  // delivered bytes).
+  double watch_fraction_mean = 0.55;
+
+  // --- privacy & protocol (§V, Fig. 16) ------------------------------------
+  // Fraction of users browsing in incognito/private mode (browser cache is
+  // discarded at session end).
+  double incognito_rate = 0.75;
+  // Rates of hotlinked (403), malformed-range (416), and beacon (204)
+  // requests, as fractions of all requests.
+  double hotlink_rate = 0.004;
+  double bad_range_rate = 0.0015;
+  double beacon_rate = 0.002;
+
+  void Validate() const;
+
+  // The paper's five sites plus a non-adult control profile, calibrated to
+  // the figures cited in each factory's comment. `scale` in (0, 1] shrinks
+  // objects/users/requests proportionally (1.0 = paper-sized five-site
+  // study; benches default to a laptop-friendly scale).
+  static SiteProfile V1(double scale = 1.0);
+  static SiteProfile V2(double scale = 1.0);
+  static SiteProfile P1(double scale = 1.0);
+  static SiteProfile P2(double scale = 1.0);
+  static SiteProfile S1(double scale = 1.0);
+  static SiteProfile NonAdult(double scale = 1.0);
+
+  // All five adult sites, in paper order.
+  static std::vector<SiteProfile> PaperAdultSites(double scale = 1.0);
+};
+
+}  // namespace atlas::synth

@@ -1,0 +1,194 @@
+#include "synth/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::synth {
+namespace {
+
+// Cosine bump centered on `peak` with the given amplitude; period 24h.
+double DiurnalFactor(double hour, double peak, double amplitude) {
+  return 1.0 + amplitude * std::cos(2.0 * M_PI * (hour - peak) / 24.0);
+}
+
+}  // namespace
+
+double SiteHourlyDemand(const SiteProfile& profile, double local_hour) {
+  double v = DiurnalFactor(local_hour, profile.peak_local_hour,
+                           profile.diurnal_amplitude);
+  if (profile.secondary_amplitude > 0.0) {
+    v += profile.secondary_amplitude *
+         std::cos(2.0 * M_PI * (local_hour - profile.secondary_peak_hour) /
+                  24.0);
+  }
+  return std::max(v, 0.01);
+}
+
+WeekHourDistribution::WeekHourDistribution(const SiteProfile& profile) {
+  // Weekend evenings carry slightly more adult traffic; weekday working
+  // hours slightly less. Day 0 is Saturday.
+  static constexpr std::array<double, 7> kDayWeight = {1.08, 1.06, 0.97, 0.96,
+                                                       0.97, 0.97, 0.99};
+  double total = 0.0;
+  for (int h = 0; h < util::kHoursPerWeek; ++h) {
+    const int day = h / 24;
+    const double hour = static_cast<double>(h % 24) + 0.5;
+    weights_[static_cast<std::size_t>(h)] =
+        SiteHourlyDemand(profile, hour) * kDayWeight[static_cast<std::size_t>(day)];
+    total += weights_[static_cast<std::size_t>(h)];
+  }
+  double cum = 0.0;
+  for (int h = 0; h < util::kHoursPerWeek; ++h) {
+    cum += weights_[static_cast<std::size_t>(h)] / total;
+    cumulative_[static_cast<std::size_t>(h)] = cum;
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::int64_t WeekHourDistribution::SampleLocalMs(util::Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Binary search the cumulative distribution.
+  int lo = 0, hi = util::kHoursPerWeek - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (cumulative_[static_cast<std::size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::int64_t hour_start =
+      static_cast<std::int64_t>(lo) * util::kMillisPerHour;
+  return hour_start +
+         static_cast<std::int64_t>(rng.NextDouble() *
+                                   static_cast<double>(util::kMillisPerHour));
+}
+
+PatternParams PatternParams::Sample(PatternType type,
+                                    const SiteProfile& profile,
+                                    util::Rng& rng) {
+  PatternParams p;
+  p.type = type;
+  switch (type) {
+    case PatternType::kDiurnal:
+      // Front-page objects follow the site's own rhythm, with jitter. Two
+      // sub-populations (the paper's Diurnal-A/Diurnal-B clusters) differ in
+      // phase by several hours.
+      p.peak_hour = profile.peak_local_hour +
+                    (rng.NextBool(0.33) ? 6.0 : 0.0) + rng.NextGaussian(0, 1.0);
+      p.amplitude = std::clamp(0.65 + rng.NextGaussian(0, 0.1), 0.3, 0.95);
+      break;
+    case PatternType::kLongLived:
+      // Peaks day 1, decays over days, dead after ~3-5 days.
+      p.decay_tau_hours = std::clamp(rng.NextLogNormal(std::log(26.0), 0.3),
+                                     12.0, 60.0);
+      p.peak_hour = profile.peak_local_hour + rng.NextGaussian(0, 2.0);
+      p.amplitude = 0.4;  // decays "in a diurnal fashion" (paper Fig. 9b)
+      break;
+    case PatternType::kShortLived:
+      // Dies within hours.
+      p.decay_tau_hours =
+          std::clamp(rng.NextLogNormal(std::log(3.0), 0.4), 1.0, 8.0);
+      break;
+    case PatternType::kFlashCrowd:
+      // Dormant, then a spike somewhere in the remaining week.
+      p.spike_offset_ms = static_cast<std::int64_t>(
+          rng.NextRange(0.15, 0.85) * static_cast<double>(util::kMillisPerWeek));
+      p.spike_width_hours = std::clamp(rng.NextLogNormal(std::log(5.0), 0.4),
+                                       2.0, 16.0);
+      break;
+    case PatternType::kOutlier:
+      // A few well-separated bursts at random points of the week — request
+      // behaviour that is neither periodic nor a single clean decay.
+      for (int i = 0; i < 3; ++i) {
+        p.bump_pos_frac[static_cast<std::size_t>(i)] = rng.NextDouble();
+        p.bump_width_h[static_cast<std::size_t>(i)] = rng.NextRange(2.0, 10.0);
+      }
+      break;
+  }
+  return p;
+}
+
+double ObjectDemandMultiplier(const PatternParams& params,
+                              std::int64_t injected_at_ms, std::int64_t utc_ms,
+                              double representative_tz_hours) {
+  if (utc_ms < injected_at_ms) return 0.0;
+  const double age_hours =
+      static_cast<double>(utc_ms - injected_at_ms) /
+      static_cast<double>(util::kMillisPerHour);
+  const double local_hour = std::fmod(
+      static_cast<double>(utc_ms) / static_cast<double>(util::kMillisPerHour) +
+          representative_tz_hours + 24.0 * 14.0,
+      24.0);
+  // Amplitudes are normalized so every pattern integrates to roughly the
+  // same weekly demand mass (~168 "hour-units"): an object's Zipf weight
+  // decides HOW MUCH it is requested, the pattern only decides WHEN. This is
+  // what lets short-lived objects "reach maximum popularity within the first
+  // day" (paper Fig. 9c) yet still rank among the clustered objects.
+  constexpr double kWeekHours = 168.0;
+  switch (params.type) {
+    case PatternType::kDiurnal:
+      return DiurnalFactor(local_hour, params.peak_hour, params.amplitude);
+    case PatternType::kLongLived: {
+      const double amp = kWeekHours / params.decay_tau_hours;
+      return amp * std::exp(-age_hours / params.decay_tau_hours) *
+             DiurnalFactor(local_hour, params.peak_hour, params.amplitude);
+    }
+    case PatternType::kShortLived: {
+      const double amp = kWeekHours / params.decay_tau_hours;
+      return amp * std::exp(-age_hours / params.decay_tau_hours);
+    }
+    case PatternType::kFlashCrowd: {
+      const double since_spike_h =
+          (static_cast<double>(utc_ms - injected_at_ms) -
+           static_cast<double>(params.spike_offset_ms)) /
+          static_cast<double>(util::kMillisPerHour);
+      if (since_spike_h < 0.0) return 0.02;  // dormant trickle
+      // Sharp rise, exponential fall.
+      const double amp = kWeekHours / params.spike_width_hours;
+      return amp * std::exp(-since_spike_h / params.spike_width_hours);
+    }
+    case PatternType::kOutlier: {
+      // Base trickle + three bursts, each amplitude-normalized so the whole
+      // pattern integrates to ~kWeekHours like the others.
+      double v = 0.3;
+      const double week_frac =
+          std::fmod(static_cast<double>(utc_ms) /
+                        static_cast<double>(util::kMillisPerWeek),
+                    1.0);
+      for (std::size_t i = 0; i < params.bump_pos_frac.size(); ++i) {
+        const double d_h = (week_frac - params.bump_pos_frac[i]) * 168.0;
+        const double w = params.bump_width_h[i];
+        v += (47.0 / w) * std::exp(-(d_h * d_h) / (2.0 * w * w / 9.0));
+      }
+      return v;
+    }
+  }
+  return 1.0;
+}
+
+double ObjectDemandCeiling(const PatternParams& params) {
+  constexpr double kWeekHours = 168.0;
+  switch (params.type) {
+    case PatternType::kDiurnal:
+      return 1.0 + params.amplitude;
+    case PatternType::kLongLived:
+      return kWeekHours / params.decay_tau_hours * (1.0 + params.amplitude);
+    case PatternType::kShortLived:
+      return kWeekHours / params.decay_tau_hours;
+    case PatternType::kFlashCrowd:
+      return kWeekHours / params.spike_width_hours;
+    case PatternType::kOutlier: {
+      // Bumps can overlap; bound by the sum of individual peaks.
+      double ceiling = 0.3;
+      for (double w : params.bump_width_h) {
+        ceiling += 47.0 / std::max(w, 1e-9);
+      }
+      return ceiling;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace atlas::synth

@@ -1,0 +1,69 @@
+// User population model.
+//
+// Users carry the static attributes the paper measures or relies on:
+// device (via a concrete user-agent string, Fig. 4), timezone (continent
+// mix, Fig. 3's local-time analysis), a heavy-tailed activity level (how
+// many sessions they generate), and whether they browse in incognito mode
+// (§V: "users are known to browse adult content in incognito/private
+// browsing modes", which defeats browser caching).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/sampler.h"
+#include "synth/site_profile.h"
+#include "trace/record.h"
+#include "trace/useragent.h"
+#include "util/rng.h"
+
+namespace atlas::synth {
+
+// Continents, in SiteProfile::continent_mix order.
+enum class Continent : std::uint8_t {
+  kNorthAmerica = 0,
+  kEurope = 1,
+  kAsia = 2,
+  kSouthAmerica = 3,
+};
+inline constexpr int kNumContinents = 4;
+const char* ToString(Continent c);
+
+// Continent inferred from a UTC offset (used by the CDN simulator to route
+// requests to the nearest data center — the log schema carries only the
+// timezone, just like an anonymized IP would only geolocate coarsely).
+Continent ContinentFromTzQuarterHours(std::int8_t tz_quarter_hours);
+
+struct UserInfo {
+  std::uint64_t user_id = 0;
+  trace::DeviceType device = trace::DeviceType::kDesktop;
+  std::uint16_t user_agent_id = 0;
+  Continent continent = Continent::kNorthAmerica;
+  std::int8_t tz_offset_quarter_hours = 0;
+  // Relative propensity to start sessions (heavy-tailed).
+  double activity = 1.0;
+  bool incognito = false;
+};
+
+class UserPopulation {
+ public:
+  UserPopulation(const SiteProfile& profile, util::Rng& rng);
+
+  std::size_t size() const { return users_.size(); }
+  const UserInfo& user(std::size_t i) const { return users_.at(i); }
+  const std::vector<UserInfo>& users() const { return users_; }
+
+  // Draws a user index proportionally to activity.
+  std::size_t SampleUser(util::Rng& rng) const;
+
+  // Fraction of users per device type (ground truth for Fig. 4 validation).
+  std::array<double, trace::kNumDeviceTypes> DeviceShares() const;
+
+ private:
+  std::vector<UserInfo> users_;
+  std::unique_ptr<stats::AliasTable> activity_alias_;
+};
+
+}  // namespace atlas::synth

@@ -1,0 +1,161 @@
+#include "synth/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace atlas::synth {
+
+WorkloadGenerator::WorkloadGenerator(const SiteProfile& profile,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      rng_(seed),
+      catalog_(profile_, rng_),
+      users_(profile_, rng_),
+      week_hours_(profile_) {}
+
+RequestEvent WorkloadGenerator::MakeRequest(
+    std::int64_t t, std::uint32_t user_index,
+    std::vector<std::uint32_t>& favorites, bool session_start) {
+  RequestEvent ev;
+  ev.timestamp_ms = t;
+  ev.user_index = user_index;
+  ev.session_start = session_start;
+
+  // Repeat access: re-request a favorite (the addiction mechanism). The
+  // re-watch is gated by the object's own temporal pattern — users rewatch
+  // content while it is alive on the site (front page, feeds); once a
+  // short-lived object disappears, so do its repeats. Without this gate,
+  // favorites would smear every pattern into a week-long plateau.
+  bool repeated = false;
+  if (!favorites.empty() && rng_.NextBool(profile_.repeat_request_prob)) {
+    const std::uint32_t fav = favorites[rng_.NextBounded(favorites.size())];
+    const auto& fav_obj = catalog_.object(fav);
+    const double mult =
+        ObjectDemandMultiplier(fav_obj.pattern, fav_obj.injected_at_ms, t,
+                               catalog_.representative_tz_hours());
+    const double ceiling = ObjectDemandCeiling(fav_obj.pattern);
+    if (ceiling > 0.0 && rng_.NextDouble() < mult / ceiling) {
+      ev.object_index = fav;
+      ev.is_repeat = true;
+      repeated = true;
+    }
+  }
+  if (!repeated) {
+    ev.object_index = static_cast<std::uint32_t>(catalog_.SampleObject(t, rng_));
+    // Only video content is sticky enough to adopt (Fig. 14: image objects
+    // rarely exceed 10 requests per user; video objects frequently do).
+    const auto& obj = catalog_.object(ev.object_index);
+    const double adopt =
+        obj.content_class == trace::ContentClass::kVideo
+            ? profile_.favorite_adopt_prob
+            : profile_.favorite_adopt_prob * 0.25;
+    if (rng_.NextBool(adopt)) {
+      if (favorites.size() >= profile_.max_favorites) {
+        favorites[rng_.NextBounded(favorites.size())] = ev.object_index;
+      } else {
+        favorites.push_back(ev.object_index);
+      }
+    }
+  }
+
+  // Video watch fraction: lognormal around the profile mean, capped at 1.
+  const auto& obj = catalog_.object(ev.object_index);
+  if (obj.content_class == trace::ContentClass::kVideo) {
+    ev.watch_fraction = std::clamp(
+        rng_.NextLogNormal(std::log(profile_.watch_fraction_mean), 0.5), 0.05,
+        1.0);
+  }
+
+  // Anomalies (mutually exclusive, rare).
+  const double u = rng_.NextDouble();
+  if (u < profile_.hotlink_rate) {
+    ev.anomaly = Anomaly::kHotlink;
+  } else if (u < profile_.hotlink_rate + profile_.bad_range_rate) {
+    ev.anomaly = Anomaly::kBadRange;
+  } else if (u < profile_.hotlink_rate + profile_.bad_range_rate +
+                     profile_.beacon_rate) {
+    ev.anomaly = Anomaly::kBeacon;
+  }
+  return ev;
+}
+
+std::vector<RequestEvent> WorkloadGenerator::Generate(
+    std::uint64_t logical_requests) {
+  const std::uint64_t budget =
+      logical_requests > 0 ? logical_requests : profile_.total_requests;
+
+  // Per-user favorite sets persist across sessions for the whole week —
+  // that persistence is what produces "some users repeatedly access certain
+  // content" at the week scale.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> favorites;
+
+  std::vector<RequestEvent> events;
+  events.reserve(budget + budget / 8);
+
+  const double geom_p = 1.0 / profile_.mean_requests_per_session;
+  const double iat_mu = std::log(profile_.iat_median_s);
+
+  while (events.size() < budget) {
+    const auto user_index =
+        static_cast<std::uint32_t>(users_.SampleUser(rng_));
+    const UserInfo& user = users_.user(user_index);
+
+    // Session start: local-time draw from the site curve, converted to UTC.
+    const std::int64_t local_ms = week_hours_.SampleLocalMs(rng_);
+    std::int64_t t = local_ms - static_cast<std::int64_t>(
+                                    user.tz_offset_quarter_hours) *
+                                    15 * util::kMillisPerMinute;
+    // Steady-state wrap: a local Saturday 01:00 in Tokyo corresponds to a
+    // UTC time before the trace started; fold it into the observed week.
+    t = ((t % util::kMillisPerWeek) + util::kMillisPerWeek) %
+        util::kMillisPerWeek;
+
+    const std::uint64_t session_requests = 1 + rng_.NextGeometric(geom_p);
+    auto& favs = favorites[user_index];
+    for (std::uint64_t r = 0; r < session_requests && events.size() < budget;
+         ++r) {
+      if (r > 0) {
+        const double gap_s = rng_.NextLogNormal(iat_mu, profile_.iat_sigma);
+        t += static_cast<std::int64_t>(gap_s * 1000.0);
+        if (t >= util::kMillisPerWeek) break;  // session ran past the trace
+      }
+      events.push_back(MakeRequest(t, user_index, favs, r == 0));
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const RequestEvent& a, const RequestEvent& b) {
+              return a.timestamp_ms < b.timestamp_ms;
+            });
+  ATLAS_LOG(kInfo) << profile_.name << ": generated " << events.size()
+                   << " logical requests (" << users_.size() << " users, "
+                   << catalog_.size() << " objects)";
+  return events;
+}
+
+double WorkloadGenerator::EstimateRecordsPerRequest(
+    std::uint64_t chunk_bytes) const {
+  if (chunk_bytes == 0) return 1.0;
+  // Demand-weighted expectation over the catalog: video views expand into
+  // ceil(watched_bytes / chunk) records; everything else stays one record.
+  double weight_total = 0.0;
+  double records = 0.0;
+  for (const auto& obj : catalog_.objects()) {
+    const double w = obj.popularity_weight;
+    weight_total += w;
+    if (obj.content_class == trace::ContentClass::kVideo) {
+      const double watched = profile_.watch_fraction_mean *
+                             static_cast<double>(obj.size_bytes);
+      records += w * std::max(1.0, std::ceil(watched /
+                                             static_cast<double>(chunk_bytes)));
+    } else {
+      records += w;
+    }
+  }
+  return weight_total > 0.0 ? records / weight_total : 1.0;
+}
+
+}  // namespace atlas::synth

@@ -1,0 +1,70 @@
+// The workload generator: profile -> a week of logical request events.
+//
+// Generation is session-structured (the unit the paper's user analysis is
+// built around): sessions arrive according to the site's local-hour demand
+// curve, heavy-tailed across users; each session issues a geometric number
+// of requests separated by lognormal think times; each request picks an
+// object either from the user's favorites (repeat access / "addiction",
+// Figs. 13-14) or from the time-varying catalog demand (Figs. 6-10).
+//
+// Events are *logical* requests; the CDN simulator expands video views into
+// chunked HTTP transactions and assigns response codes / cache status.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/catalog.h"
+#include "synth/site_profile.h"
+#include "synth/user_model.h"
+#include "util/rng.h"
+
+namespace atlas::synth {
+
+enum class Anomaly : std::uint8_t {
+  kNone = 0,
+  kHotlink = 1,   // request from a scraper / hotlinking site -> 403
+  kBadRange = 2,  // malformed range request -> 416
+  kBeacon = 3,    // tracking beacon -> 204
+};
+
+struct RequestEvent {
+  std::int64_t timestamp_ms = 0;
+  std::uint32_t user_index = 0;
+  std::uint32_t object_index = 0;
+  bool is_repeat = false;      // drawn from the user's favorites
+  bool session_start = false;  // first request of its session
+  double watch_fraction = 1.0; // video only: fraction of the file viewed
+  Anomaly anomaly = Anomaly::kNone;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const SiteProfile& profile, std::uint64_t seed);
+
+  const SiteProfile& profile() const { return profile_; }
+  const Catalog& catalog() const { return catalog_; }
+  const UserPopulation& users() const { return users_; }
+
+  // Generates the full week of logical request events, sorted by timestamp.
+  // `logical_requests` == 0 means "use profile.total_requests".
+  std::vector<RequestEvent> Generate(std::uint64_t logical_requests = 0);
+
+  // Expected log records per logical request once the CDN simulator expands
+  // video views into `chunk_bytes`-sized transactions. Used to calibrate the
+  // logical budget so the final trace hits the profile's record target.
+  double EstimateRecordsPerRequest(std::uint64_t chunk_bytes) const;
+
+ private:
+  RequestEvent MakeRequest(std::int64_t t, std::uint32_t user_index,
+                           std::vector<std::uint32_t>& favorites,
+                           bool session_start);
+
+  SiteProfile profile_;
+  util::Rng rng_;
+  Catalog catalog_;
+  UserPopulation users_;
+  WeekHourDistribution week_hours_;
+};
+
+}  // namespace atlas::synth

@@ -1,0 +1,178 @@
+#include "trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "trace/content_class.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace atlas::trace {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'T', 'L', 'S'};
+
+template <typename T>
+void WriteLe(std::ostream& out, T value) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char bytes[sizeof(T)];
+  using U = std::make_unsigned_t<T>;
+  auto u = static_cast<U>(value);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<unsigned char>(u & 0xff);
+    u = static_cast<U>(u >> 8);
+  }
+  out.write(reinterpret_cast<const char*>(bytes), sizeof(T));
+}
+
+template <typename T>
+T ReadLe(std::istream& in) {
+  static_assert(std::is_integral_v<T>);
+  unsigned char bytes[sizeof(T)];
+  in.read(reinterpret_cast<char*>(bytes), sizeof(T));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  using U = std::make_unsigned_t<T>;
+  U u = 0;
+  for (std::size_t i = sizeof(T); i > 0; --i) {
+    u = static_cast<U>(u << 8) | bytes[i - 1];
+  }
+  return static_cast<T>(u);
+}
+
+void WriteRecord(std::ostream& out, const LogRecord& r) {
+  WriteLe(out, r.timestamp_ms);
+  WriteLe(out, r.url_hash);
+  WriteLe(out, r.user_id);
+  WriteLe(out, r.object_size);
+  WriteLe(out, r.response_bytes);
+  WriteLe(out, r.publisher_id);
+  WriteLe(out, r.user_agent_id);
+  WriteLe(out, r.response_code);
+  WriteLe(out, static_cast<std::uint8_t>(r.file_type));
+  WriteLe(out, static_cast<std::uint8_t>(r.cache_status));
+  WriteLe(out, r.tz_offset_quarter_hours);
+}
+
+LogRecord ReadRecord(std::istream& in) {
+  LogRecord r;
+  r.timestamp_ms = ReadLe<std::int64_t>(in);
+  r.url_hash = ReadLe<std::uint64_t>(in);
+  r.user_id = ReadLe<std::uint64_t>(in);
+  r.object_size = ReadLe<std::uint64_t>(in);
+  r.response_bytes = ReadLe<std::uint64_t>(in);
+  r.publisher_id = ReadLe<std::uint32_t>(in);
+  r.user_agent_id = ReadLe<std::uint16_t>(in);
+  r.response_code = ReadLe<std::uint16_t>(in);
+  const auto ft = ReadLe<std::uint8_t>(in);
+  if (ft >= kNumFileTypes) throw std::runtime_error("trace_io: bad file type");
+  r.file_type = static_cast<FileType>(ft);
+  const auto cs = ReadLe<std::uint8_t>(in);
+  if (cs > 1) throw std::runtime_error("trace_io: bad cache status");
+  r.cache_status = static_cast<CacheStatus>(cs);
+  r.tz_offset_quarter_hours = ReadLe<std::int8_t>(in);
+  return r;
+}
+
+}  // namespace
+
+void WriteBinary(const TraceBuffer& trace, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteLe(out, kTraceFormatVersion);
+  WriteLe(out, static_cast<std::uint64_t>(trace.size()));
+  for (const auto& r : trace.records()) WriteRecord(out, r);
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+void WriteBinaryFile(const TraceBuffer& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  WriteBinary(trace, out);
+}
+
+TraceBuffer ReadBinary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace_io: bad magic");
+  }
+  const auto version = ReadLe<std::uint32_t>(in);
+  if (version != kTraceFormatVersion) {
+    throw std::runtime_error("trace_io: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = ReadLe<std::uint64_t>(in);
+  TraceBuffer trace;
+  trace.Reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) trace.Add(ReadRecord(in));
+  return trace;
+}
+
+TraceBuffer ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return ReadBinary(in);
+}
+
+void WriteCsv(const TraceBuffer& trace, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.Row({"timestamp_ms", "url_hash", "user_id", "object_size",
+              "response_bytes", "publisher_id", "user_agent_id",
+              "response_code", "file_type", "content_class", "cache_status",
+              "tz_offset_quarter_hours"});
+  for (const auto& r : trace.records()) {
+    writer.Field(r.timestamp_ms)
+        .Field(r.url_hash)
+        .Field(r.user_id)
+        .Field(r.object_size)
+        .Field(r.response_bytes)
+        .Field(static_cast<std::uint64_t>(r.publisher_id))
+        .Field(static_cast<std::uint64_t>(r.user_agent_id))
+        .Field(static_cast<std::uint64_t>(r.response_code))
+        .Field(ToString(r.file_type))
+        .Field(ToString(ClassOf(r.file_type)))
+        .Field(ToString(r.cache_status))
+        .Field(static_cast<std::int64_t>(r.tz_offset_quarter_hours));
+    writer.EndRow();
+  }
+}
+
+TraceBuffer ReadCsv(std::istream& in) {
+  TraceBuffer trace;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto fields = util::ParseCsvLine(line);
+    if (fields.size() != 12) {
+      throw std::runtime_error("trace_io: bad CSV field count");
+    }
+    LogRecord r;
+    r.timestamp_ms = static_cast<std::int64_t>(util::ParseUint64(fields[0]));
+    r.url_hash = util::ParseUint64(fields[1]);
+    r.user_id = util::ParseUint64(fields[2]);
+    r.object_size = util::ParseUint64(fields[3]);
+    r.response_bytes = util::ParseUint64(fields[4]);
+    r.publisher_id = static_cast<std::uint32_t>(util::ParseUint64(fields[5]));
+    r.user_agent_id = static_cast<std::uint16_t>(util::ParseUint64(fields[6]));
+    r.response_code = static_cast<std::uint16_t>(util::ParseUint64(fields[7]));
+    r.file_type = FileTypeFromString(fields[8]);
+    // fields[9] (content_class) is derived; validated but not stored.
+    if (ContentClassFromString(fields[9]) != ClassOf(r.file_type)) {
+      throw std::runtime_error("trace_io: content_class/file_type mismatch");
+    }
+    r.cache_status = CacheStatusFromString(fields[10]);
+    r.tz_offset_quarter_hours = static_cast<std::int8_t>(
+        std::stoi(fields[11]));
+    trace.Add(r);
+  }
+  return trace;
+}
+
+}  // namespace atlas::trace

@@ -1,0 +1,61 @@
+// A tiny command-line flag parser for examples and bench binaries.
+//
+// Supports "--name=value", "--name value", and boolean "--name" /
+// "--no-name". Unknown flags are an error (catches typos in experiment
+// scripts); positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atlas::util {
+
+class Flags {
+ public:
+  Flags() = default;
+
+  // Registers a flag with its default value and help text. Must be called
+  // before Parse().
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineInt(const std::string& name, std::int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  // Parses argv. Throws std::invalid_argument on unknown flags or malformed
+  // values. Recognizes "--help" and sets help_requested().
+  void Parse(int argc, const char* const* argv);
+
+  std::string GetString(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  // Renders "--name (default: ...)  help" lines.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Def {
+    Type type;
+    std::string value;  // canonical textual representation
+    std::string help;
+  };
+
+  const Def& Lookup(const std::string& name, Type expected) const;
+  void Assign(const std::string& name, const std::string& value);
+
+  std::map<std::string, Def> defs_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace atlas::util

@@ -1,0 +1,36 @@
+#include "util/hash.h"
+
+#include <stdexcept>
+
+namespace atlas::util {
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+std::uint64_t HashToBucket(std::uint64_t hash, std::uint64_t buckets) {
+  if (buckets == 0) throw std::invalid_argument("HashToBucket: 0 buckets");
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(hash) * buckets) >> 64);
+}
+
+}  // namespace atlas::util

@@ -1,0 +1,28 @@
+// Hashing utilities.
+//
+// The paper's log schema stores *hashed* URLs (the CDN anonymizes them). We
+// mirror that: object identity inside ATLAS is a 64-bit hash. These functions
+// are deterministic across platforms so traces written on one machine parse
+// identically on another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace atlas::util {
+
+// FNV-1a, 64-bit. Stable, fast for short keys (URLs, UA strings).
+std::uint64_t Fnv1a64(std::string_view data);
+
+// Finalizing mixer from MurmurHash3 / SplitMix64; turns a structured integer
+// (e.g. an object index) into a well-distributed 64-bit identifier.
+std::uint64_t Mix64(std::uint64_t x);
+
+// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value);
+
+// Maps a hash onto [0, buckets) with multiply-shift (Lemire); used for
+// consistent sharding of users onto data centers and similar assignments.
+std::uint64_t HashToBucket(std::uint64_t hash, std::uint64_t buckets);
+
+}  // namespace atlas::util

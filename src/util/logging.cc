@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace atlas::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::ostream* g_sink = nullptr;
+std::mutex g_mutex;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void SetLogSink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink;
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[atlas " << LogLevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace internal
+}  // namespace atlas::util

@@ -1,0 +1,52 @@
+// Leveled logging for the library and tools.
+//
+// Kept deliberately simple: a global level, a single sink (stderr by
+// default), printf-style formatting. Benchmarks run with the level raised to
+// kWarn so log I/O never pollutes timing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace atlas::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* LogLevelName(LogLevel level);
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Redirects log output (nullptr restores stderr). Not owned.
+void SetLogSink(std::ostream* sink);
+
+namespace internal {
+void LogLine(LogLevel level, const std::string& message);
+}
+
+// Stream-style logger: ATLAS_LOG(kInfo) << "generated " << n << " records";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { internal::LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace atlas::util
+
+#define ATLAS_LOG(severity)                                           \
+  if (::atlas::util::LogLevel::severity >= ::atlas::util::GetLogLevel()) \
+  ::atlas::util::LogMessage(::atlas::util::LogLevel::severity)

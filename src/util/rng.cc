@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::util {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.Next();
+  // xoshiro state must not be all-zero; SplitMix64 cannot produce four zero
+  // outputs in a row, but guard anyway for belt and braces.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork(std::uint64_t tag) {
+  // Mix the tag with fresh output so forks with equal tags taken at different
+  // points in the parent stream still diverge.
+  SplitMix64 sm(Next() ^ (tag * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  return Rng(sm.Next());
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("NextBounded: bound must be > 0");
+  // Lemire's method with rejection to remove modulo bias.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("NextInt: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextRange(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("NextExponential: lambda must be > 0");
+  }
+  // 1 - U is in (0, 1], so the log is finite.
+  return -std::log1p(-NextDouble()) / lambda;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(NextGaussian(mu, sigma));
+}
+
+double Rng::NextPareto(double x_m, double alpha) {
+  if (x_m <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("NextPareto: x_m and alpha must be > 0");
+  }
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::NextWeibull(double lambda, double k) {
+  if (lambda <= 0.0 || k <= 0.0) {
+    throw std::invalid_argument("NextWeibull: lambda and k must be > 0");
+  }
+  return lambda * std::pow(-std::log1p(-NextDouble()), 1.0 / k);
+}
+
+std::uint64_t Rng::NextGeometric(double p) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("NextGeometric: p must be in (0, 1]");
+  }
+  if (p == 1.0) return 0;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::uint64_t Rng::NextPoisson(double lambda) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("NextPoisson: lambda must be >= 0");
+  }
+  if (lambda == 0.0) return 0;
+  if (lambda < 64.0) {
+    const double l = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation, adequate for workload rates.
+  const double x = NextGaussian(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("NextWeighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("NextWeighted: weights must sum to > 0");
+  }
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+}  // namespace atlas::util

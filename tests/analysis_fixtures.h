@@ -1,0 +1,42 @@
+// Shared hand-built trace fixtures for the analysis tests.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.h"
+#include "trace/trace_buffer.h"
+#include "util/time.h"
+
+namespace atlas::analysis::testing {
+
+struct RecordSpec {
+  std::int64_t t = 0;
+  std::uint64_t url = 1;
+  std::uint64_t user = 1;
+  trace::FileType type = trace::FileType::kJpg;
+  std::uint64_t size = 1000;
+  std::uint64_t bytes = 1000;
+  std::uint16_t code = trace::kHttpOk;
+  trace::CacheStatus cache = trace::CacheStatus::kHit;
+  std::int8_t tz = 0;
+  std::uint16_t ua = 0;
+  std::uint32_t pub = 0;
+};
+
+inline trace::LogRecord MakeRecord(const RecordSpec& spec) {
+  trace::LogRecord r;
+  r.timestamp_ms = spec.t;
+  r.url_hash = spec.url;
+  r.user_id = spec.user;
+  r.file_type = spec.type;
+  r.object_size = spec.size;
+  r.response_bytes = spec.bytes;
+  r.response_code = spec.code;
+  r.cache_status = spec.cache;
+  r.tz_offset_quarter_hours = spec.tz;
+  r.user_agent_id = spec.ua;
+  r.publisher_id = spec.pub;
+  return r;
+}
+
+}  // namespace atlas::analysis::testing

@@ -1,0 +1,80 @@
+#include "cdn/browser_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace atlas::cdn {
+namespace {
+
+TEST(BrowserCacheTest, AbsentThenFresh) {
+  BrowserCache cache(1000, 100);
+  EXPECT_EQ(cache.Lookup(1, 0), BrowserLookup::kAbsent);
+  cache.Store(1, 200, 0);
+  EXPECT_EQ(cache.Lookup(1, 50), BrowserLookup::kFresh);
+}
+
+TEST(BrowserCacheTest, GoesStaleAfterFreshness) {
+  BrowserCache cache(1000, 100);
+  cache.Store(1, 200, 0);
+  EXPECT_EQ(cache.Lookup(1, 100), BrowserLookup::kStale);
+  EXPECT_EQ(cache.Lookup(1, 10000), BrowserLookup::kStale);
+}
+
+TEST(BrowserCacheTest, RenewRestoresFreshness) {
+  BrowserCache cache(1000, 100);
+  cache.Store(1, 200, 0);
+  EXPECT_EQ(cache.Lookup(1, 150), BrowserLookup::kStale);
+  cache.Renew(1, 150);  // the 304 path
+  EXPECT_EQ(cache.Lookup(1, 200), BrowserLookup::kFresh);
+}
+
+TEST(BrowserCacheTest, RenewUnknownKeyIsNoop) {
+  BrowserCache cache(1000, 100);
+  cache.Renew(42, 0);
+  EXPECT_EQ(cache.Lookup(42, 0), BrowserLookup::kAbsent);
+}
+
+TEST(BrowserCacheTest, ClearDropsEverything) {
+  BrowserCache cache(1000, 100);
+  cache.Store(1, 200, 0);
+  cache.Store(2, 200, 0);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  cache.Clear();  // incognito window closed
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.Lookup(1, 1), BrowserLookup::kAbsent);
+}
+
+TEST(BrowserCacheTest, EvictsLruWhenFull) {
+  BrowserCache cache(500, 1000);
+  cache.Store(1, 200, 0);
+  cache.Store(2, 200, 1);
+  EXPECT_EQ(cache.Lookup(1, 2), BrowserLookup::kFresh);  // refresh 1
+  cache.Store(3, 200, 3);  // evicts 2 (least recent)
+  EXPECT_EQ(cache.Lookup(2, 4), BrowserLookup::kAbsent);
+  EXPECT_EQ(cache.Lookup(1, 4), BrowserLookup::kFresh);
+  EXPECT_LE(cache.used_bytes(), 500u);
+}
+
+TEST(BrowserCacheTest, UncacheablyLargeObjectIgnored) {
+  BrowserCache cache(500, 100);
+  cache.Store(1, 1000, 0);
+  EXPECT_EQ(cache.Lookup(1, 1), BrowserLookup::kAbsent);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(BrowserCacheTest, RestoreUpdatesSizeInPlace) {
+  BrowserCache cache(1000, 100);
+  cache.Store(1, 200, 0);
+  cache.Store(1, 300, 10);
+  EXPECT_EQ(cache.used_bytes(), 300u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.Lookup(1, 50), BrowserLookup::kFresh);
+}
+
+TEST(BrowserCacheTest, RejectsBadConstruction) {
+  EXPECT_THROW(BrowserCache(0, 100), std::invalid_argument);
+  EXPECT_THROW(BrowserCache(100, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atlas::cdn

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "cdn/cache.h"
+#include "cdn/policies.h"
+#include "util/rng.h"
+
+namespace atlas::cdn {
+namespace {
+
+using trace::CacheStatus;
+
+// --- Policy-generic properties (TEST_P over every policy) --------------------
+
+class CachePolicyTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  std::unique_ptr<Cache> Make(std::uint64_t capacity) {
+    return CreateCache(GetParam(), capacity, /*ttl_ms=*/1000000000LL);
+  }
+};
+
+TEST_P(CachePolicyTest, MissThenHit) {
+  auto cache = Make(1000);
+  EXPECT_EQ(cache->Access(1, 100, 0), CacheStatus::kMiss);
+  EXPECT_EQ(cache->Access(1, 100, 1), CacheStatus::kHit);
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().misses, 1u);
+}
+
+TEST_P(CachePolicyTest, CapacityNeverExceeded) {
+  auto cache = Make(1000);
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.NextBounded(200);
+    const std::uint64_t size = 50 + rng.NextBounded(300);
+    cache->Access(key, size, i);
+    EXPECT_LE(cache->used_bytes(), cache->capacity_bytes());
+  }
+}
+
+TEST_P(CachePolicyTest, OversizedObjectNeverAdmitted) {
+  auto cache = Make(1000);
+  EXPECT_EQ(cache->Access(1, 5000, 0), CacheStatus::kMiss);
+  EXPECT_EQ(cache->Access(1, 5000, 1), CacheStatus::kMiss);
+  EXPECT_FALSE(cache->Contains(1));
+  EXPECT_EQ(cache->stats().rejected, 2u);
+  EXPECT_EQ(cache->used_bytes(), 0u);
+}
+
+TEST_P(CachePolicyTest, AccountingIsConsistent) {
+  auto cache = Make(2048);
+  util::Rng rng(9);
+  for (int i = 0; i < 3000; ++i) {
+    cache->Access(rng.NextBounded(100), 64 + rng.NextBounded(256), i);
+  }
+  const auto& s = cache->stats();
+  EXPECT_EQ(s.hits + s.misses, 3000u);
+  EXPECT_EQ(s.inserts, s.misses - s.rejected);
+  EXPECT_GE(s.inserts, s.evictions);
+}
+
+TEST_P(CachePolicyTest, AdmitWarmsWithoutStats) {
+  auto cache = Make(1000);
+  EXPECT_TRUE(cache->Admit(5, 100, 0));
+  EXPECT_EQ(cache->stats().hits, 0u);
+  EXPECT_EQ(cache->stats().misses, 0u);
+  EXPECT_EQ(cache->Access(5, 100, 1), CacheStatus::kHit);
+}
+
+TEST_P(CachePolicyTest, AdmitRejectsOversized) {
+  auto cache = Make(100);
+  EXPECT_FALSE(cache->Admit(1, 500, 0));
+}
+
+TEST_P(CachePolicyTest, HotObjectSurvivesChurn) {
+  // A key accessed between every insertion should stay resident under any
+  // recency/frequency-aware policy; FIFO legitimately evicts it, so skip.
+  if (GetParam() == PolicyKind::kFifo) GTEST_SKIP();
+  auto cache = Make(1000);
+  cache->Access(999, 100, 0);
+  for (int i = 0; i < 500; ++i) {
+    cache->Access(static_cast<std::uint64_t>(i), 100, 2 * i + 1);
+    EXPECT_EQ(cache->Access(999, 100, 2 * i + 2), CacheStatus::kHit)
+        << "churn round " << i;
+  }
+}
+
+TEST_P(CachePolicyTest, ZeroCapacityThrows) {
+  EXPECT_THROW(CreateCache(GetParam(), 0), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kFifo,
+                                           PolicyKind::kLfu, PolicyKind::kGdsf,
+                                           PolicyKind::kS4Lru,
+                                           PolicyKind::kTtlLru),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param)) == "TTL-LRU"
+                                      ? "TTLLRU"
+                                      : ToString(info.param);
+                         });
+
+// --- Policy-specific behaviour ------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.Access(1, 100, 0);
+  cache.Access(2, 100, 1);
+  cache.Access(3, 100, 2);
+  cache.Access(1, 100, 3);  // refresh 1; LRU order now 2 < 3 < 1
+  cache.Access(4, 100, 4);  // evicts 2
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(FifoCacheTest, EvictsInInsertionOrderDespiteHits) {
+  FifoCache cache(300);
+  cache.Access(1, 100, 0);
+  cache.Access(2, 100, 1);
+  cache.Access(3, 100, 2);
+  cache.Access(1, 100, 3);  // hit does NOT refresh position
+  cache.Access(4, 100, 4);  // evicts 1 (oldest)
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequent) {
+  LfuCache cache(300);
+  cache.Access(1, 100, 0);
+  cache.Access(1, 100, 1);
+  cache.Access(1, 100, 2);
+  cache.Access(2, 100, 3);
+  cache.Access(2, 100, 4);
+  cache.Access(3, 100, 5);
+  cache.Access(4, 100, 6);  // evicts 3 (freq 1)
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(GdsfCacheTest, PrefersSmallObjectsAtEqualFrequency) {
+  GdsfCache cache(10000);
+  cache.Access(1, 9000, 0);  // large
+  cache.Access(2, 500, 1);   // small
+  cache.Access(3, 5000, 2);  // forces eviction: large key 1 should go first
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(GdsfCacheTest, FrequencyCanRescueLargeObjects) {
+  GdsfCache cache(10000);
+  for (int i = 0; i < 50; ++i) cache.Access(1, 6000, i);  // very hot, large
+  cache.Access(2, 3000, 50);
+  cache.Access(3, 3000, 51);  // must evict something: not the hot large one
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(S4LruCacheTest, PromotedObjectOutlivesScans) {
+  S4LruCache cache(4000);  // 1000 per segment
+  // Promote key 1 to a higher segment.
+  cache.Access(1, 100, 0);
+  cache.Access(1, 100, 1);
+  cache.Access(1, 100, 2);
+  // Scan with one-touch objects: they churn segment 0 only.
+  for (int i = 10; i < 100; ++i) cache.Access(static_cast<std::uint64_t>(i), 100, i);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(TtlLruCacheTest, EntriesExpire) {
+  TtlLruCache cache(1000, 100);
+  EXPECT_EQ(cache.Access(1, 50, 0), CacheStatus::kMiss);
+  EXPECT_EQ(cache.Access(1, 50, 50), CacheStatus::kHit);
+  // Expired at t=100: miss, and the entry is refreshed on reinsertion.
+  EXPECT_EQ(cache.Access(1, 50, 150), CacheStatus::kMiss);
+  EXPECT_EQ(cache.Access(1, 50, 200), CacheStatus::kHit);
+}
+
+TEST(TtlLruCacheTest, RejectsNonPositiveTtl) {
+  EXPECT_THROW(TtlLruCache(1000, 0), std::invalid_argument);
+}
+
+TEST(CacheStatsTest, RatiosAndMerge) {
+  CacheStats a;
+  a.hits = 8;
+  a.misses = 2;
+  a.hit_bytes = 800;
+  a.miss_bytes = 200;
+  EXPECT_DOUBLE_EQ(a.HitRatio(), 0.8);
+  EXPECT_DOUBLE_EQ(a.ByteHitRatio(), 0.8);
+  CacheStats b;
+  b.hits = 0;
+  b.misses = 10;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.HitRatio(), 0.4);
+  EXPECT_DOUBLE_EQ(CacheStats{}.HitRatio(), 0.0);
+}
+
+TEST(CreateCacheTest, NamesMatchKind) {
+  for (int k = 0; k < kNumPolicyKinds; ++k) {
+    const auto kind = static_cast<PolicyKind>(k);
+    EXPECT_EQ(CreateCache(kind, 1 << 20)->name(), ToString(kind));
+  }
+}
+
+}  // namespace
+}  // namespace atlas::cdn

@@ -1,0 +1,85 @@
+#include "cdn/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atlas::cdn {
+namespace {
+
+TEST(PlanChunksTest, SmallObjectSingle200) {
+  const auto plan = PlanChunks(1000, 1.0, 4096);
+  EXPECT_EQ(plan.num_chunks, 1u);
+  EXPECT_EQ(plan.chunk_bytes, 1000u);
+  EXPECT_FALSE(plan.partial);
+}
+
+TEST(PlanChunksTest, FullWatchSplitsExactly) {
+  const auto plan = PlanChunks(10000, 1.0, 2500);
+  EXPECT_EQ(plan.num_chunks, 4u);
+  EXPECT_EQ(plan.chunk_bytes, 2500u);
+  EXPECT_EQ(plan.last_chunk_bytes, 2500u);
+  EXPECT_TRUE(plan.partial);
+}
+
+TEST(PlanChunksTest, PartialWatchTruncates) {
+  const auto plan = PlanChunks(10000, 0.55, 2500);
+  // 5500 watched bytes -> 3 chunks, last one 500.
+  EXPECT_EQ(plan.num_chunks, 3u);
+  EXPECT_EQ(plan.last_chunk_bytes, 500u);
+  EXPECT_TRUE(plan.partial);
+}
+
+TEST(PlanChunksTest, TinyWatchFractionStillOneChunk) {
+  const auto plan = PlanChunks(10000, 0.001, 2500);
+  EXPECT_EQ(plan.num_chunks, 1u);
+  EXPECT_GE(plan.last_chunk_bytes, 1u);
+}
+
+TEST(PlanChunksTest, ChunkingDisabled) {
+  const auto plan = PlanChunks(1 << 30, 0.5, 0);
+  EXPECT_EQ(plan.num_chunks, 1u);
+  EXPECT_TRUE(plan.partial);  // half the file via one range response
+  EXPECT_EQ(plan.chunk_bytes, (1u << 30) / 2);
+}
+
+TEST(PlanChunksTest, WatchFractionClamped) {
+  const auto over = PlanChunks(1000, 5.0, 0);
+  EXPECT_EQ(over.chunk_bytes, 1000u);
+  EXPECT_FALSE(over.partial);
+  const auto under = PlanChunks(1000, -1.0, 0);
+  EXPECT_GE(under.chunk_bytes, 1u);
+}
+
+TEST(PlanChunksTest, ZeroSizeObjectSafe) {
+  const auto plan = PlanChunks(0, 1.0, 100);
+  EXPECT_EQ(plan.num_chunks, 1u);
+  EXPECT_GE(plan.chunk_bytes, 1u);
+}
+
+TEST(PlanChunksTest, TotalBytesMatchWatchedAmount) {
+  for (std::uint64_t size : {5000ULL, 123457ULL, 10000000ULL}) {
+    for (double watch : {0.1, 0.37, 0.9, 1.0}) {
+      const auto plan = PlanChunks(size, watch, 4096);
+      const std::uint64_t total =
+          (plan.num_chunks - 1) * plan.chunk_bytes + plan.last_chunk_bytes;
+      const auto expected = static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(size) * watch));
+      EXPECT_EQ(total, std::max<std::uint64_t>(expected, 1))
+          << size << " @ " << watch;
+    }
+  }
+}
+
+TEST(ChunkKeyTest, ChunkZeroIsObjectHash) {
+  EXPECT_EQ(ChunkKey(12345, 0), 12345u);
+}
+
+TEST(ChunkKeyTest, DistinctPerChunkAndObject) {
+  EXPECT_NE(ChunkKey(1, 1), ChunkKey(1, 2));
+  EXPECT_NE(ChunkKey(1, 1), ChunkKey(2, 1));
+  EXPECT_EQ(ChunkKey(7, 3), ChunkKey(7, 3));
+}
+
+}  // namespace
+}  // namespace atlas::cdn

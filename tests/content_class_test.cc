@@ -1,0 +1,60 @@
+#include "trace/content_class.h"
+
+#include <gtest/gtest.h>
+
+namespace atlas::trace {
+namespace {
+
+TEST(ClassOfTest, PaperCategories) {
+  // §IV-A's examples: video (FLV, MP4, MPG, AVI, WMV), image (JPG, PNG,
+  // GIF, TIFF, BMP), other (text, audio, HTML, CSS, XML, JS).
+  EXPECT_EQ(ClassOf(FileType::kFlv), ContentClass::kVideo);
+  EXPECT_EQ(ClassOf(FileType::kMp4), ContentClass::kVideo);
+  EXPECT_EQ(ClassOf(FileType::kMpg), ContentClass::kVideo);
+  EXPECT_EQ(ClassOf(FileType::kAvi), ContentClass::kVideo);
+  EXPECT_EQ(ClassOf(FileType::kWmv), ContentClass::kVideo);
+  EXPECT_EQ(ClassOf(FileType::kJpg), ContentClass::kImage);
+  EXPECT_EQ(ClassOf(FileType::kPng), ContentClass::kImage);
+  EXPECT_EQ(ClassOf(FileType::kGif), ContentClass::kImage);
+  EXPECT_EQ(ClassOf(FileType::kTiff), ContentClass::kImage);
+  EXPECT_EQ(ClassOf(FileType::kBmp), ContentClass::kImage);
+  EXPECT_EQ(ClassOf(FileType::kHtml), ContentClass::kOther);
+  EXPECT_EQ(ClassOf(FileType::kCss), ContentClass::kOther);
+  EXPECT_EQ(ClassOf(FileType::kJs), ContentClass::kOther);
+  EXPECT_EQ(ClassOf(FileType::kXml), ContentClass::kOther);
+  EXPECT_EQ(ClassOf(FileType::kMp3), ContentClass::kOther);
+  EXPECT_EQ(ClassOf(FileType::kUnknown), ContentClass::kOther);
+}
+
+TEST(FileTypeFromExtensionTest, CaseAndDotInsensitive) {
+  EXPECT_EQ(FileTypeFromExtension("mp4"), FileType::kMp4);
+  EXPECT_EQ(FileTypeFromExtension(".MP4"), FileType::kMp4);
+  EXPECT_EQ(FileTypeFromExtension("JPEG"), FileType::kJpg);
+  EXPECT_EQ(FileTypeFromExtension("jpg"), FileType::kJpg);
+  EXPECT_EQ(FileTypeFromExtension("tif"), FileType::kTiff);
+  EXPECT_EQ(FileTypeFromExtension("htm"), FileType::kHtml);
+  EXPECT_EQ(FileTypeFromExtension("m4v"), FileType::kMp4);
+  EXPECT_EQ(FileTypeFromExtension("mpeg"), FileType::kMpg);
+}
+
+TEST(FileTypeFromExtensionTest, UnknownExtensions) {
+  EXPECT_EQ(FileTypeFromExtension("exe"), FileType::kUnknown);
+  EXPECT_EQ(FileTypeFromExtension(""), FileType::kUnknown);
+}
+
+TEST(FileTypeFromUrlTest, ParsesPaths) {
+  EXPECT_EQ(FileTypeFromUrl("/videos/clip.mp4"), FileType::kMp4);
+  EXPECT_EQ(FileTypeFromUrl("/a/b/thumb.jpg?size=small"), FileType::kJpg);
+  EXPECT_EQ(FileTypeFromUrl("https://x.com/v/1.flv#t=30"), FileType::kFlv);
+  EXPECT_EQ(FileTypeFromUrl("/gallery.with.dots/pic.png"), FileType::kPng);
+}
+
+TEST(FileTypeFromUrlTest, NoExtension) {
+  EXPECT_EQ(FileTypeFromUrl("/api/stream"), FileType::kUnknown);
+  EXPECT_EQ(FileTypeFromUrl("/dir/"), FileType::kUnknown);
+  EXPECT_EQ(FileTypeFromUrl("/file."), FileType::kUnknown);
+  EXPECT_EQ(FileTypeFromUrl(""), FileType::kUnknown);
+}
+
+}  // namespace
+}  // namespace atlas::trace

@@ -1,0 +1,79 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace atlas::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, MismatchedLengthsThrow) {
+  EXPECT_THROW(PearsonCorrelation({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(PearsonTest, TooShortGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  util::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.NextGaussian());
+    y.push_back(rng.NextGaussian());
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(MidRanksTest, NoTies) {
+  const auto r = MidRanks({30, 10, 20});
+  EXPECT_EQ(r, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(MidRanksTest, TiesAveraged) {
+  const auto r = MidRanks({10, 20, 20, 30});
+  EXPECT_EQ(r, (std::vector<double>{1, 2.5, 2.5, 4}));
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  // Pearson is below 1 for nonlinear monotone data.
+  EXPECT_LT(PearsonCorrelation(x, y), 0.9);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, WithTies) {
+  // Ranks handle ties without blowing up.
+  std::vector<double> x = {1, 1, 2, 3};
+  std::vector<double> y = {1, 2, 2, 4};
+  const double rho = SpearmanCorrelation(x, y);
+  EXPECT_GT(rho, 0.5);
+  EXPECT_LE(rho, 1.0);
+}
+
+}  // namespace
+}  // namespace atlas::stats

@@ -1,0 +1,145 @@
+#include "cluster/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace atlas::cluster {
+namespace {
+
+TEST(DtwDistanceTest, IdenticalSeriesIsZero) {
+  const std::vector<double> a = {1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwDistanceTest, KnownSmallExample) {
+  // a={0,1}, b={1}: path (0,0),(1,0): cost |0-1| + |1-1| = 1.
+  EXPECT_DOUBLE_EQ(DtwDistance({0, 1}, {1}), 1.0);
+}
+
+TEST(DtwDistanceTest, ConstantShiftCosts) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> b = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 4.0);
+}
+
+TEST(DtwDistanceTest, WarpsThroughTimeShift) {
+  // The same bump at different positions: DTW should be much smaller than
+  // the pointwise L1 distance.
+  std::vector<double> a(40, 0.0), b(40, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    a[static_cast<std::size_t>(5 + i)] = 1.0;
+    b[static_cast<std::size_t>(25 + i)] = 1.0;
+  }
+  double l1 = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) l1 += std::abs(a[i] - b[i]);
+  EXPECT_LT(DtwDistance(a, b), l1 / 2.0);
+}
+
+TEST(DtwDistanceTest, BandRestrictsWarping) {
+  std::vector<double> a(40, 0.0), b(40, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    a[static_cast<std::size_t>(5 + i)] = 1.0;
+    b[static_cast<std::size_t>(25 + i)] = 1.0;
+  }
+  // A tight band cannot align bumps 20 steps apart.
+  EXPECT_GT(DtwDistance(a, b, 3), DtwDistance(a, b, 0));
+}
+
+TEST(DtwDistanceTest, SymmetricInArguments) {
+  util::Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, 5), DtwDistance(b, a, 5));
+}
+
+TEST(DtwDistanceTest, NonNegative) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.push_back(rng.NextGaussian());
+      b.push_back(rng.NextGaussian());
+    }
+    EXPECT_GE(DtwDistance(a, b), 0.0);
+  }
+}
+
+TEST(DtwDistanceTest, UnequalLengths) {
+  EXPECT_NO_THROW(DtwDistance({1, 2, 3, 4, 5}, {1, 5}));
+  // Band narrower than the length difference is widened internally.
+  EXPECT_NO_THROW(DtwDistance({1, 2, 3, 4, 5, 6, 7, 8}, {1, 2}, 1));
+}
+
+TEST(DtwDistanceTest, EmptyThrows) {
+  EXPECT_THROW(DtwDistance({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(DtwDistance({1.0}, {}), std::invalid_argument);
+}
+
+TEST(DtwPathTest, StartsAndEndsAtCorners) {
+  const auto path = DtwPath({1, 2, 3}, {1, 3});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<std::size_t, std::size_t>{2, 1}));
+}
+
+TEST(DtwPathTest, MonotoneSteps) {
+  util::Rng rng(11);
+  std::vector<double> a, b;
+  for (int i = 0; i < 25; ++i) a.push_back(rng.NextDouble());
+  for (int i = 0; i < 18; ++i) b.push_back(rng.NextDouble());
+  const auto path = DtwPath(a, b);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto di = path[i].first - path[i - 1].first;
+    const auto dj = path[i].second - path[i - 1].second;
+    EXPECT_LE(di, 1u);
+    EXPECT_LE(dj, 1u);
+    EXPECT_TRUE(di == 1 || dj == 1);
+  }
+}
+
+TEST(DtwPathTest, PathCostEqualsDistance) {
+  util::Rng rng(13);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  const auto path = DtwPath(a, b);
+  double cost = 0;
+  for (const auto& [i, j] : path) cost += std::abs(a[i] - b[j]);
+  EXPECT_NEAR(cost, DtwDistance(a, b), 1e-9);
+}
+
+TEST(DistanceMatrixTest, SymmetricStorage) {
+  DistanceMatrix m(4);
+  m.Set(1, 3, 2.5);
+  EXPECT_DOUBLE_EQ(m.Get(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(m.Get(3, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.Get(2, 2), 0.0);
+}
+
+TEST(DistanceMatrixTest, BoundsChecked) {
+  DistanceMatrix m(3);
+  EXPECT_THROW(m.Get(0, 3), std::out_of_range);
+  EXPECT_THROW(m.Set(3, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(DistanceMatrix(1), std::invalid_argument);
+}
+
+TEST(PairwiseDtwTest, AllPairsFilled) {
+  const std::vector<std::vector<double>> series = {
+      {1, 2, 3}, {1, 2, 3}, {5, 5, 5}};
+  const auto m = PairwiseDtw(series);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 0.0);
+  EXPECT_GT(m.Get(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), m.Get(2, 1));
+}
+
+}  // namespace
+}  // namespace atlas::cluster

@@ -1,0 +1,117 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace atlas::stats {
+namespace {
+
+TEST(EcdfTest, EvaluateStepFunction) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.Evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.Evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.Evaluate(100.0), 1.0);
+}
+
+TEST(EcdfTest, DuplicatesAccumulate) {
+  Ecdf e({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.Evaluate(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.Evaluate(1.99), 0.0);
+}
+
+TEST(EcdfTest, AddThenFinalize) {
+  Ecdf e;
+  e.Add(3.0);
+  e.Add(1.0);
+  e.Finalize();
+  EXPECT_DOUBLE_EQ(e.Evaluate(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.Max(), 3.0);
+}
+
+TEST(EcdfTest, UnfinalizedThrows) {
+  Ecdf e;
+  e.Add(1.0);
+  EXPECT_THROW(e.Evaluate(1.0), std::logic_error);
+}
+
+TEST(EcdfTest, EmptyThrows) {
+  Ecdf e;
+  e.Finalize();
+  EXPECT_THROW(e.Evaluate(1.0), std::logic_error);
+  EXPECT_THROW(e.Quantile(0.5), std::logic_error);
+}
+
+TEST(EcdfTest, QuantilesInterpolate) {
+  Ecdf e({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(e.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(1.0), 10.0);
+}
+
+TEST(EcdfTest, MedianOfOddCount) {
+  Ecdf e({1.0, 2.0, 9.0});
+  EXPECT_DOUBLE_EQ(e.Median(), 2.0);
+}
+
+TEST(EcdfTest, QuantileRangeChecked) {
+  Ecdf e({1.0});
+  EXPECT_THROW(e.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(e.Quantile(1.1), std::invalid_argument);
+}
+
+TEST(EcdfTest, MeanMatches) {
+  Ecdf e({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(e.Mean(), 2.0);
+}
+
+TEST(EcdfTest, LogGridMonotone) {
+  util::Rng rng(7);
+  Ecdf e;
+  for (int i = 0; i < 1000; ++i) e.Add(rng.NextLogNormal(10, 1.5));
+  e.Finalize();
+  const auto grid = e.LogGrid(30);
+  ASSERT_EQ(grid.size(), 30u);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i].first, grid[i - 1].first);
+    EXPECT_GE(grid[i].second, grid[i - 1].second);
+  }
+  EXPECT_NEAR(grid.back().second, 1.0, 1e-12);
+}
+
+TEST(EcdfTest, LinearGridEndpoints) {
+  Ecdf e({1.0, 2.0, 3.0});
+  const auto grid = e.LinearGrid(5);
+  EXPECT_DOUBLE_EQ(grid.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(grid.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(grid.back().second, 1.0);
+}
+
+TEST(EcdfTest, KsDistanceIdentical) {
+  Ecdf a({1.0, 2.0, 3.0}), b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Ecdf::KsDistance(a, b), 0.0);
+}
+
+TEST(EcdfTest, KsDistanceDisjoint) {
+  Ecdf a({1.0, 2.0}), b({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(Ecdf::KsDistance(a, b), 1.0);
+}
+
+TEST(EcdfTest, KsDistanceSymmetric) {
+  util::Rng rng(11);
+  Ecdf a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.Add(rng.NextGaussian());
+    b.Add(rng.NextGaussian(0.5, 1.0));
+  }
+  a.Finalize();
+  b.Finalize();
+  EXPECT_DOUBLE_EQ(Ecdf::KsDistance(a, b), Ecdf::KsDistance(b, a));
+  EXPECT_GT(Ecdf::KsDistance(a, b), 0.05);
+}
+
+}  // namespace
+}  // namespace atlas::stats

@@ -1,0 +1,75 @@
+#include "analysis/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_fixtures.h"
+#include "cdn/scenario.h"
+#include "util/time.h"
+
+namespace atlas::analysis {
+namespace {
+
+using testing::MakeRecord;
+using testing::RecordSpec;
+
+TEST(GeoTest, GroupsByTimezoneContinent) {
+  trace::TraceBuffer buf;
+  // NA user (UTC-6 = -24 quarter hours): 2 requests.
+  buf.Add(MakeRecord({.t = 0, .url = 1, .user = 1, .bytes = 100, .tz = -24}));
+  buf.Add(MakeRecord({.t = 1000, .url = 2, .user = 1, .bytes = 50, .tz = -24}));
+  // EU user (UTC+1): 1 request.
+  buf.Add(MakeRecord({.t = 2000, .url = 3, .user = 2, .bytes = 10, .tz = 4}));
+  // Asia user (UTC+8): 1 request.
+  buf.Add(MakeRecord({.t = 3000, .url = 4, .user = 3, .bytes = 20, .tz = 32}));
+  const auto geo = ComputeGeo(buf, "X");
+  EXPECT_EQ(geo.of(synth::Continent::kNorthAmerica).requests, 2u);
+  EXPECT_EQ(geo.of(synth::Continent::kNorthAmerica).bytes, 150u);
+  EXPECT_EQ(geo.of(synth::Continent::kNorthAmerica).unique_users, 1u);
+  EXPECT_EQ(geo.of(synth::Continent::kEurope).requests, 1u);
+  EXPECT_EQ(geo.of(synth::Continent::kAsia).requests, 1u);
+  EXPECT_EQ(geo.of(synth::Continent::kSouthAmerica).requests, 0u);
+  EXPECT_EQ(geo.TotalRequests(), 4u);
+  EXPECT_DOUBLE_EQ(geo.RequestShare(synth::Continent::kNorthAmerica), 0.5);
+}
+
+TEST(GeoTest, UtcHourlyAccounting) {
+  trace::TraceBuffer buf;
+  for (int i = 0; i < 5; ++i) {
+    buf.Add(MakeRecord({.t = 3 * util::kMillisPerHour + i, .url = 1,
+                        .user = 1, .bytes = 10, .tz = -24}));
+  }
+  buf.Add(MakeRecord({.t = 10 * util::kMillisPerHour, .url = 1, .user = 1,
+                      .bytes = 10, .tz = -24}));
+  const auto geo = ComputeGeo(buf, "X");
+  const auto& na = geo.of(synth::Continent::kNorthAmerica);
+  EXPECT_EQ(na.PeakUtcHour(), 3);
+  EXPECT_DOUBLE_EQ(na.utc_hourly_requests[3], 5.0);
+  EXPECT_GT(na.PeakHourlyBytes(1), 0.0);
+}
+
+TEST(GeoTest, EmptyTraceSafe) {
+  const auto geo = ComputeGeo(trace::TraceBuffer{}, "E");
+  EXPECT_EQ(geo.TotalRequests(), 0u);
+  EXPECT_DOUBLE_EQ(geo.RequestShare(synth::Continent::kEurope), 0.0);
+}
+
+// Closed loop: the generator's continent mix is recovered from the trace.
+TEST(GeoClosedLoopTest, RecoversContinentMix) {
+  cdn::SimulatorConfig config;
+  const auto profile = synth::SiteProfile::V1(0.02);
+  const auto sim = cdn::SimulateSite(profile, 0, config, 3);
+  const auto geo = ComputeGeo(sim.trace, "V-1");
+  // Profile mix {NA 0.45, EU 0.30, AS 0.15, SA 0.10}; request shares follow
+  // user shares loosely (heavy-tailed activity adds variance).
+  EXPECT_GT(geo.RequestShare(synth::Continent::kNorthAmerica), 0.2);
+  EXPECT_GT(geo.RequestShare(synth::Continent::kEurope), 0.1);
+  EXPECT_GT(geo.RequestShare(synth::Continent::kAsia), 0.02);
+  EXPECT_GT(geo.RequestShare(synth::Continent::kSouthAmerica), 0.02);
+  // Every region's users are a subset of the site's users.
+  std::uint64_t users = 0;
+  for (const auto& c : geo.continents) users += c.unique_users;
+  EXPECT_EQ(users, sim.trace.UniqueUsers());
+}
+
+}  // namespace
+}  // namespace atlas::analysis

@@ -1,0 +1,66 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace atlas::util {
+namespace {
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, DifferentInputsDifferentHashes) {
+  EXPECT_NE(Fnv1a64("/video/1.mp4"), Fnv1a64("/video/2.mp4"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("acb"));
+}
+
+TEST(Mix64Test, BijectiveOnSamples) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(Mix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Mix64Test, AvalancheChangesManyBits) {
+  const std::uint64_t a = Mix64(1);
+  const std::uint64_t b = Mix64(2);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(123, 456), HashCombine(123, 456));
+}
+
+TEST(HashToBucketTest, InRange) {
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    EXPECT_LT(HashToBucket(Mix64(h), 7), 7u);
+  }
+}
+
+TEST(HashToBucketTest, ZeroBucketsThrows) {
+  EXPECT_THROW(HashToBucket(1, 0), std::invalid_argument);
+}
+
+TEST(HashToBucketTest, RoughlyUniform) {
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[HashToBucket(Mix64(static_cast<std::uint64_t>(i)), 8)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace atlas::util

@@ -1,0 +1,114 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace atlas::stats {
+namespace {
+
+TEST(LinearHistogramTest, BinsAndBounds) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.Add(0.0);
+  h.Add(1.9);
+  h.Add(9.99);
+  h.Add(-1.0);
+  h.Add(10.0);  // hi is exclusive -> overflow
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(LinearHistogramTest, WeightedAdd) {
+  LinearHistogram h(0, 10, 2);
+  h.Add(1.0, 5);
+  EXPECT_EQ(h.bin(0), 5u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LinearHistogramTest, ModeBin) {
+  LinearHistogram h(0, 3, 3);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  EXPECT_EQ(h.ModeBin(), 1u);
+}
+
+TEST(LinearHistogramTest, RejectsBadArgs) {
+  EXPECT_THROW(LinearHistogram(1, 1, 5), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0, 1, 0), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, DecadeBinning) {
+  LogHistogram h(1.0, 1e4, 1);  // 4 bins, one per decade
+  EXPECT_EQ(h.bin_count(), 4u);
+  h.Add(5);     // [1, 10)
+  h.Add(50);    // [10, 100)
+  h.Add(5000);  // [1000, 10000)
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(3), 1u);
+}
+
+TEST(LogHistogramTest, UnderOverflow) {
+  LogHistogram h(10.0, 1000.0, 2);
+  h.Add(1.0);
+  h.Add(0.0);
+  h.Add(-5.0);
+  h.Add(1e6);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(LogHistogramTest, BinEdgesAreGeometric) {
+  LogHistogram h(1.0, 100.0, 1);
+  EXPECT_NEAR(h.bin_lo(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_mid(0), std::sqrt(10.0), 1e-9);
+}
+
+TEST(LogHistogramTest, DetectsBimodalModes) {
+  // Two lognormal populations a decade apart, like thumbnail vs. full-size
+  // images (paper Fig. 5b).
+  util::Rng rng(3);
+  LogHistogram h(100.0, 1e7, 4);
+  for (int i = 0; i < 5000; ++i) {
+    h.Add(rng.NextLogNormal(std::log(8e3), 0.4));
+    h.Add(rng.NextLogNormal(std::log(4e5), 0.4));
+  }
+  const auto modes = h.Modes(0.02);
+  ASSERT_GE(modes.size(), 2u);
+  EXPECT_GT(modes.back() / modes.front(), 10.0);
+}
+
+TEST(LogHistogramTest, UnimodalHasOneMode) {
+  util::Rng rng(3);
+  LogHistogram h(100.0, 1e7, 4);
+  for (int i = 0; i < 5000; ++i) {
+    h.Add(rng.NextLogNormal(std::log(5e4), 0.4));
+  }
+  EXPECT_EQ(h.Modes(0.02).size(), 1u);
+}
+
+TEST(LogHistogramTest, RenderShowsBars) {
+  LogHistogram h(1.0, 100.0, 1);
+  h.Add(5, 10);
+  const std::string render = h.Render(20);
+  EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(LogHistogramTest, RejectsBadArgs) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atlas::stats

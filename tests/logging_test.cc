@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace atlas::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink(&sink_);
+    SetLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  ATLAS_LOG(kInfo) << "hello " << 42;
+  EXPECT_NE(sink_.str().find("hello 42"), std::string::npos);
+  EXPECT_NE(sink_.str().find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowLevel) {
+  ATLAS_LOG(kDebug) << "should not appear";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, LevelChangeTakesEffect) {
+  SetLogLevel(LogLevel::kError);
+  ATLAS_LOG(kWarn) << "suppressed";
+  EXPECT_TRUE(sink_.str().empty());
+  ATLAS_LOG(kError) << "emitted";
+  EXPECT_NE(sink_.str().find("emitted"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  ATLAS_LOG(kError) << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST(LogLevelNameTest, Names) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace atlas::util

@@ -1,0 +1,97 @@
+#include "cluster/medoid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atlas::cluster {
+namespace {
+
+DistanceMatrix FromPoints(const std::vector<double>& pts) {
+  DistanceMatrix m(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      m.Set(i, j, std::abs(pts[i] - pts[j]));
+    }
+  }
+  return m;
+}
+
+TEST(MedoidIndexTest, CentralPointWins) {
+  // Points 0, 5, 6, 7, 20: medoid is 6 (index 2).
+  const auto m = FromPoints({0, 5, 6, 7, 20});
+  const std::vector<std::size_t> all = {0, 1, 2, 3, 4};
+  EXPECT_EQ(MedoidIndex(m, all), 2u);
+}
+
+TEST(MedoidIndexTest, SubsetOnly) {
+  const auto m = FromPoints({0, 5, 6, 7, 20});
+  // Within {0, 4} (points 0 and 20) either is optimal; first wins ties.
+  const std::vector<std::size_t> pair = {0, 4};
+  EXPECT_EQ(MedoidIndex(m, pair), 0u);
+}
+
+TEST(MedoidIndexTest, SingletonIsItself) {
+  const auto m = FromPoints({1, 2, 3});
+  EXPECT_EQ(MedoidIndex(m, {1}), 0u);
+}
+
+TEST(MedoidIndexTest, EmptyThrows) {
+  const auto m = FromPoints({1, 2});
+  EXPECT_THROW(MedoidIndex(m, {}), std::invalid_argument);
+}
+
+TEST(SummarizeClustersTest, MedoidAndSpread) {
+  const std::vector<std::vector<double>> series = {
+      {0.0, 1.0}, {0.0, 1.2}, {0.0, 0.8},  // cluster 0 around {0, 1}
+      {5.0, 5.0}, {5.0, 5.0},              // cluster 1: identical members
+  };
+  DistanceMatrix m(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      double d = 0;
+      for (std::size_t t = 0; t < 2; ++t) d += std::abs(series[i][t] - series[j][t]);
+      m.Set(i, j, d);
+    }
+  }
+  const std::vector<std::size_t> labels = {0, 0, 0, 1, 1};
+  const auto summaries = SummarizeClusters(m, series, labels);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].member_count, 3u);
+  EXPECT_EQ(summaries[0].medoid_item, 0u);  // {0,1} is central
+  // sigma at t=0 is 0; at t=1 it is sqrt(mean of squared devs from mean 1.0).
+  EXPECT_NEAR(summaries[0].pointwise_stddev[0], 0.0, 1e-12);
+  EXPECT_NEAR(summaries[0].pointwise_stddev[1],
+              std::sqrt((0.0 + 0.04 + 0.04) / 3.0), 1e-12);
+  // Identical members: zero spread.
+  EXPECT_NEAR(summaries[1].pointwise_stddev[0], 0.0, 1e-12);
+  EXPECT_NEAR(summaries[1].pointwise_stddev[1], 0.0, 1e-12);
+}
+
+TEST(SummarizeClustersTest, SizeMismatchThrows) {
+  DistanceMatrix m(3);
+  const std::vector<std::vector<double>> series = {{1.0}, {2.0}};
+  EXPECT_THROW(SummarizeClusters(m, series, {0, 0}), std::invalid_argument);
+}
+
+TEST(SparklineTest, WidthAndPeak) {
+  const auto line = Sparkline({0, 0, 1, 0, 0}, 5);
+  EXPECT_EQ(line.size(), 5u);
+  EXPECT_EQ(line[2], '#');
+  EXPECT_EQ(line[0], ' ');
+}
+
+TEST(SparklineTest, DownsamplesLongSeries) {
+  std::vector<double> series(100, 0.0);
+  series[50] = 1.0;
+  const auto line = Sparkline(series, 10);
+  EXPECT_EQ(line.size(), 10u);
+}
+
+TEST(SparklineTest, EmptyAndFlat) {
+  EXPECT_EQ(Sparkline({}, 10), "");
+  EXPECT_EQ(Sparkline({0, 0, 0}, 3), "   ");
+}
+
+}  // namespace
+}  // namespace atlas::cluster

@@ -1,0 +1,106 @@
+#include "stats/powerlaw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace atlas::stats {
+namespace {
+
+std::vector<double> ParetoSamples(double alpha, double x_min, int n,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.NextPareto(x_min, alpha - 1.0));
+  return v;
+}
+
+TEST(FitPowerLawTest, RecoversKnownExponent) {
+  // Pareto(shape k) density ~ x^-(k+1) => power-law alpha = k + 1.
+  const auto samples = ParetoSamples(2.5, 1.0, 50000, 42);
+  const auto fit = FitPowerLaw(samples, 1.0);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.05);
+  EXPECT_LT(fit.ks, 0.02);
+  EXPECT_EQ(fit.tail_n, samples.size());
+}
+
+TEST(FitPowerLawTest, TailOnly) {
+  auto samples = ParetoSamples(3.0, 10.0, 20000, 7);
+  samples.insert(samples.end(), 5000, 1.0);  // sub-threshold mass ignored
+  const auto fit = FitPowerLaw(samples, 10.0);
+  EXPECT_NEAR(fit.alpha, 3.0, 0.08);
+  EXPECT_EQ(fit.tail_n, 20000u);
+}
+
+TEST(FitPowerLawTest, BadArgsThrow) {
+  EXPECT_THROW(FitPowerLaw({1, 2, 3}, 0.0), std::invalid_argument);
+  EXPECT_THROW(FitPowerLaw({1, 2, 3}, 100.0), std::invalid_argument);
+}
+
+TEST(FitPowerLawTest, DegenerateAllEqual) {
+  const auto fit = FitPowerLaw({5, 5, 5, 5}, 5.0);
+  EXPECT_TRUE(std::isinf(fit.alpha));
+  EXPECT_DOUBLE_EQ(fit.ks, 0.0);
+}
+
+TEST(FitPowerLawAutoTest, FindsGoodXMin) {
+  // Lognormal body + power-law tail from x >= 5.
+  util::Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(rng.NextRange(1.0, 4.0));  // non-power-law body
+  }
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.NextPareto(5.0, 1.8));
+  const auto fit = FitPowerLawAuto(samples);
+  EXPECT_NEAR(fit.alpha, 2.8, 0.2);
+  EXPECT_GE(fit.x_min, 4.0);
+}
+
+TEST(FitPowerLawAutoTest, ThrowsOnNoPositive) {
+  EXPECT_THROW(FitPowerLawAuto({0.0, -1.0}), std::invalid_argument);
+}
+
+TEST(TopShareTest, UniformIsProportional) {
+  std::vector<double> v(100, 1.0);
+  EXPECT_NEAR(TopShare(v, 0.1), 0.1, 1e-12);
+}
+
+TEST(TopShareTest, FullySkewed) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_DOUBLE_EQ(TopShare(v, 0.01), 1.0);
+}
+
+TEST(TopShareTest, EdgeFractions) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(TopShare(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(TopShare(v, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(TopShare({}, 0.5), 0.0);
+}
+
+TEST(GiniTest, PerfectEquality) {
+  std::vector<double> v(50, 3.0);
+  EXPECT_NEAR(Gini(v), 0.0, 1e-12);
+}
+
+TEST(GiniTest, ExtremeInequality) {
+  std::vector<double> v(1000, 0.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(Gini(v), 1.0, 0.01);
+}
+
+TEST(GiniTest, KnownValue) {
+  // For {1, 3}: gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(Gini({1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(GiniTest, SmallInputs) {
+  EXPECT_DOUBLE_EQ(Gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace atlas::stats

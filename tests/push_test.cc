@@ -1,0 +1,91 @@
+#include "cdn/push.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace atlas::cdn {
+namespace {
+
+synth::Catalog MakeCatalog(double scale = 0.05, std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  return synth::Catalog(synth::SiteProfile::V2(scale), rng);
+}
+
+TEST(BuildPushPlanTest, DisabledIsEmpty) {
+  const auto catalog = MakeCatalog();
+  PushConfig config;
+  config.enabled = false;
+  EXPECT_TRUE(BuildPushPlan(catalog, config).empty());
+}
+
+TEST(BuildPushPlanTest, RespectsTopN) {
+  const auto catalog = MakeCatalog();
+  PushConfig config;
+  config.enabled = true;
+  config.top_n = 25;
+  const auto plan = BuildPushPlan(catalog, config);
+  EXPECT_LE(plan.size(), 25u);
+  EXPECT_GT(plan.size(), 0u);
+}
+
+TEST(BuildPushPlanTest, OnlySelectedPatterns) {
+  const auto catalog = MakeCatalog();
+  PushConfig config;
+  config.enabled = true;
+  config.top_n = 1000000;
+  config.include_diurnal = true;
+  config.include_long_lived = false;
+  config.include_short_lived = false;
+  config.include_flash = false;
+  config.include_outlier = false;
+  const auto plan = BuildPushPlan(catalog, config);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& item : plan) {
+    EXPECT_EQ(catalog.object(item.object_index).pattern.type,
+              synth::PatternType::kDiurnal);
+  }
+}
+
+TEST(BuildPushPlanTest, SortedBySchedule) {
+  const auto catalog = MakeCatalog();
+  PushConfig config;
+  config.enabled = true;
+  config.top_n = 200;
+  const auto plan = BuildPushPlan(catalog, config);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].push_at_ms, plan[i].push_at_ms);
+  }
+  for (const auto& item : plan) {
+    EXPECT_GE(item.push_at_ms, 0);  // pre-existing objects clamp to t=0
+  }
+}
+
+TEST(BuildPushPlanTest, PicksMostPopularEligible) {
+  const auto catalog = MakeCatalog();
+  PushConfig config;
+  config.enabled = true;
+  config.top_n = 10;
+  const auto plan = BuildPushPlan(catalog, config);
+  ASSERT_EQ(plan.size(), 10u);
+  // Every planned object must have weight >= every unplanned eligible one.
+  double min_planned = 1e300;
+  std::set<std::uint32_t> planned;
+  for (const auto& item : plan) {
+    planned.insert(item.object_index);
+    min_planned = std::min(min_planned,
+                           catalog.object(item.object_index).popularity_weight);
+  }
+  for (std::uint32_t i = 0; i < catalog.size(); ++i) {
+    const auto& obj = catalog.object(i);
+    const bool eligible =
+        obj.pattern.type == synth::PatternType::kDiurnal ||
+        obj.pattern.type == synth::PatternType::kLongLived;
+    if (eligible && planned.count(i) == 0) {
+      EXPECT_LE(obj.popularity_weight, min_planned + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atlas::cdn

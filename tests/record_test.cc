@@ -1,0 +1,55 @@
+#include "trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace atlas::trace {
+namespace {
+
+TEST(RecordTest, LocalTimestampAppliesOffset) {
+  LogRecord r;
+  r.timestamp_ms = 1000000;
+  r.tz_offset_quarter_hours = 4;  // +1h
+  EXPECT_EQ(r.LocalTimestampMs(), 1000000 + 3600 * 1000);
+  r.tz_offset_quarter_hours = -2;  // -30min
+  EXPECT_EQ(r.LocalTimestampMs(), 1000000 - 30 * 60 * 1000);
+}
+
+TEST(RecordTest, EqualityIsFieldwise) {
+  LogRecord a, b;
+  EXPECT_EQ(a, b);
+  b.url_hash = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(EnumStringTest, ContentClassRoundTrip) {
+  for (int i = 0; i < kNumContentClasses; ++i) {
+    const auto c = static_cast<ContentClass>(i);
+    EXPECT_EQ(ContentClassFromString(ToString(c)), c);
+  }
+  EXPECT_THROW(ContentClassFromString("bogus"), std::invalid_argument);
+}
+
+TEST(EnumStringTest, DeviceTypeRoundTrip) {
+  for (int i = 0; i < kNumDeviceTypes; ++i) {
+    const auto d = static_cast<DeviceType>(i);
+    EXPECT_EQ(DeviceTypeFromString(ToString(d)), d);
+  }
+  EXPECT_THROW(DeviceTypeFromString(""), std::invalid_argument);
+}
+
+TEST(EnumStringTest, FileTypeRoundTrip) {
+  for (int i = 0; i < kNumFileTypes; ++i) {
+    const auto t = static_cast<FileType>(i);
+    EXPECT_EQ(FileTypeFromString(ToString(t)), t);
+  }
+  EXPECT_THROW(FileTypeFromString("exe"), std::invalid_argument);
+}
+
+TEST(EnumStringTest, CacheStatusRoundTrip) {
+  EXPECT_EQ(CacheStatusFromString("HIT"), CacheStatus::kHit);
+  EXPECT_EQ(CacheStatusFromString("MISS"), CacheStatus::kMiss);
+  EXPECT_THROW(CacheStatusFromString("hit"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atlas::trace

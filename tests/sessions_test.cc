@@ -1,0 +1,101 @@
+#include "analysis/sessions.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_fixtures.h"
+#include "cdn/simulator.h"
+#include "util/time.h"
+
+namespace atlas::analysis {
+namespace {
+
+using testing::MakeRecord;
+using testing::RecordSpec;
+using util::kMillisPerMinute;
+
+TEST(SessionizeTest, TimeoutSplitsSessions) {
+  trace::TraceBuffer buf;
+  // User 1: requests at 0, 1min, 2min (one session), then 30min (second).
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  buf.Add(MakeRecord({.t = kMillisPerMinute, .user = 1}));
+  buf.Add(MakeRecord({.t = 2 * kMillisPerMinute, .user = 1}));
+  buf.Add(MakeRecord({.t = 30 * kMillisPerMinute, .user = 1}));
+  const auto sessions = Sessionize(buf);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].requests, 3u);
+  EXPECT_EQ(sessions[0].LengthMs(), 2 * kMillisPerMinute);
+  EXPECT_EQ(sessions[1].requests, 1u);
+  EXPECT_EQ(sessions[1].LengthMs(), 0);
+}
+
+TEST(SessionizeTest, BoundaryGapExactlyTimeoutStays) {
+  trace::TraceBuffer buf;
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  buf.Add(MakeRecord({.t = kSessionTimeoutMs, .user = 1}));
+  EXPECT_EQ(Sessionize(buf).size(), 1u);
+  trace::TraceBuffer buf2;
+  buf2.Add(MakeRecord({.t = 0, .user = 1}));
+  buf2.Add(MakeRecord({.t = kSessionTimeoutMs + 1, .user = 1}));
+  EXPECT_EQ(Sessionize(buf2).size(), 2u);
+}
+
+TEST(SessionizeTest, UsersIndependent) {
+  trace::TraceBuffer buf;
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  buf.Add(MakeRecord({.t = 1000, .user = 2}));
+  const auto sessions = Sessionize(buf);
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionizeTest, UnsortedInputHandled) {
+  trace::TraceBuffer buf;
+  buf.Add(MakeRecord({.t = 2 * kMillisPerMinute, .user = 1}));
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  const auto sessions = Sessionize(buf);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].LengthMs(), 2 * kMillisPerMinute);
+}
+
+TEST(SessionizeTest, BadTimeoutThrows) {
+  EXPECT_THROW(Sessionize(trace::TraceBuffer{}, 0), std::invalid_argument);
+}
+
+TEST(ComputeSessionsTest, IatIncludesInterSessionGaps) {
+  trace::TraceBuffer buf;
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  buf.Add(MakeRecord({.t = 10 * 1000, .user = 1}));
+  buf.Add(MakeRecord({.t = 3600 * 1000, .user = 1}));
+  const auto result = ComputeSessions(buf, "X");
+  EXPECT_EQ(result.iat_seconds.count(), 2u);
+  EXPECT_DOUBLE_EQ(result.iat_seconds.Max(), 3590.0);
+}
+
+TEST(ComputeSessionsTest, RequestsPerSessionDistribution) {
+  trace::TraceBuffer buf;
+  buf.Add(MakeRecord({.t = 0, .user = 1}));
+  buf.Add(MakeRecord({.t = 1000, .user = 1}));
+  buf.Add(MakeRecord({.t = 0, .user = 2}));
+  const auto result = ComputeSessions(buf, "X");
+  EXPECT_EQ(result.session_count, 2u);
+  EXPECT_DOUBLE_EQ(result.requests_per_session.Mean(), 1.5);
+}
+
+// Closed loop (Figs. 11-12): video sites have much shorter IATs than image
+// sites, and their sessions last on the order of a minute.
+TEST(SessionsClosedLoopTest, VideoShorterIatThanImage) {
+  cdn::SimulatorConfig config;
+  const auto v1 = cdn::SimulateSite(synth::SiteProfile::V1(0.01), 0, config, 3);
+  const auto p1 = cdn::SimulateSite(synth::SiteProfile::P1(0.01), 1, config, 3);
+  const auto sv = ComputeSessions(v1.trace, "V-1");
+  const auto sp = ComputeSessions(p1.trace, "P-1");
+  // Paper: video median IAT < 10 min; image-heavy median > 1 h.
+  EXPECT_LT(sv.MedianIatSeconds(), 600.0);
+  EXPECT_GT(sp.MedianIatSeconds(), 600.0);
+  EXPECT_LT(sv.MedianIatSeconds(), sp.MedianIatSeconds() / 10.0);
+  // Video sessions run minutes, not hours.
+  EXPECT_GT(sv.MedianSessionSeconds(), 10.0);
+  EXPECT_LT(sv.MedianSessionSeconds(), 600.0);
+}
+
+}  // namespace
+}  // namespace atlas::analysis

@@ -1,0 +1,141 @@
+#include "cluster/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/temporal.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace atlas::cluster {
+namespace {
+
+using synth::PatternType;
+
+// Clean synthetic hourly series for each archetype.
+std::vector<double> DiurnalSeries(double amplitude = 0.6) {
+  std::vector<double> v(168);
+  for (int h = 0; h < 168; ++h) {
+    v[static_cast<std::size_t>(h)] =
+        10.0 * (1.0 + amplitude * std::cos(2.0 * M_PI * (h % 24) / 24.0));
+  }
+  return v;
+}
+
+std::vector<double> LongLivedSeries(double tau_hours = 30.0) {
+  std::vector<double> v(168, 0.0);
+  for (int h = 0; h < 168; ++h) {
+    v[static_cast<std::size_t>(h)] =
+        50.0 * std::exp(-h / tau_hours) *
+        (1.0 + 0.4 * std::cos(2.0 * M_PI * (h % 24) / 24.0));
+  }
+  return v;
+}
+
+std::vector<double> ShortLivedSeries(double tau_hours = 3.0) {
+  std::vector<double> v(168, 0.0);
+  for (int h = 0; h < 24; ++h) {
+    v[static_cast<std::size_t>(h)] = 100.0 * std::exp(-h / tau_hours);
+  }
+  return v;
+}
+
+std::vector<double> FlashSeries(int spike_at = 80) {
+  std::vector<double> v(168, 0.05);
+  for (int h = spike_at; h < spike_at + 8 && h < 168; ++h) {
+    v[static_cast<std::size_t>(h)] =
+        120.0 * std::exp(-(h - spike_at) / 3.0);
+  }
+  return v;
+}
+
+TEST(ExtractShapeFeaturesTest, EmptyAndZero) {
+  EXPECT_EQ(ExtractShapeFeatures({}).total, 0.0);
+  EXPECT_EQ(ExtractShapeFeatures({0, 0, 0}).total, 0.0);
+}
+
+TEST(ExtractShapeFeaturesTest, DiurnalFeatures) {
+  const auto f = ExtractShapeFeatures(DiurnalSeries());
+  EXPECT_GT(f.autocorr_24h, 0.5);
+  EXPECT_GT(f.active_span_hours, 150.0);
+  EXPECT_LT(f.peak_day_mass, 0.3);
+  EXPECT_NEAR(f.decay_ratio, 1.0, 0.3);
+}
+
+TEST(ExtractShapeFeaturesTest, ShortLivedFeatures) {
+  const auto f = ExtractShapeFeatures(ShortLivedSeries());
+  EXPECT_LT(f.active_span_hours, 30.0);
+  EXPECT_LE(f.time_to_peak_hours, 2.0);
+  EXPECT_GT(f.peak_6h_mass, 0.8);
+}
+
+TEST(ExtractShapeFeaturesTest, DecayRatioDetectsDecay) {
+  EXPECT_GT(ExtractShapeFeatures(LongLivedSeries()).decay_ratio, 2.5);
+}
+
+TEST(ClassifyShapeTest, CleanArchetypes) {
+  EXPECT_EQ(ClassifyShape(DiurnalSeries()), PatternType::kDiurnal);
+  EXPECT_EQ(ClassifyShape(LongLivedSeries()), PatternType::kLongLived);
+  EXPECT_EQ(ClassifyShape(ShortLivedSeries()), PatternType::kShortLived);
+  EXPECT_EQ(ClassifyShape(FlashSeries()), PatternType::kFlashCrowd);
+}
+
+TEST(ClassifyShapeTest, FlatWeekLongSeriesIsDiurnalish) {
+  EXPECT_EQ(ClassifyShape(std::vector<double>(168, 5.0)),
+            PatternType::kDiurnal);
+}
+
+TEST(ClassifyShapeTest, LateInjectedShortBurstIsNotDiurnal) {
+  std::vector<double> v(168, 0.0);
+  for (int h = 150; h < 156; ++h) v[static_cast<std::size_t>(h)] = 20.0;
+  const auto shape = ClassifyShape(v);
+  EXPECT_NE(shape, PatternType::kDiurnal);
+  EXPECT_NE(shape, PatternType::kLongLived);
+}
+
+// Closed-loop: series produced by the *generator's* demand model (exact
+// expected request intensity, before sampling noise) must classify as their
+// own type.
+class GeneratorShapeTest : public ::testing::TestWithParam<PatternType> {};
+
+TEST_P(GeneratorShapeTest, ExpectedIntensityClassifiesCorrectly) {
+  util::Rng rng(21);
+  const auto profile = synth::SiteProfile::V2(0.01);
+  int correct = 0;
+  const int kTrials = 24;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto params = synth::PatternParams::Sample(GetParam(), profile, rng);
+    std::vector<double> hourly(168);
+    for (int h = 0; h < 168; ++h) {
+      hourly[static_cast<std::size_t>(h)] = synth::ObjectDemandMultiplier(
+          params, 0, h * util::kMillisPerHour + util::kMillisPerHour / 2, 0.0);
+    }
+    if (ClassifyShape(hourly) == GetParam()) ++correct;
+  }
+  // Noise-free intensities should classify correctly almost always.
+  EXPECT_GE(correct, kTrials * 3 / 4) << synth::ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GeneratorShapeTest,
+    ::testing::Values(PatternType::kDiurnal, PatternType::kLongLived,
+                      PatternType::kShortLived, PatternType::kFlashCrowd),
+    [](const auto& info) {
+      switch (info.param) {
+        case PatternType::kDiurnal: return "Diurnal";
+        case PatternType::kLongLived: return "LongLived";
+        case PatternType::kShortLived: return "ShortLived";
+        case PatternType::kFlashCrowd: return "FlashCrowd";
+        default: return "Other";
+      }
+    });
+
+TEST(DescribeShapeTest, MentionsFeatures) {
+  const auto text = DescribeShape(ExtractShapeFeatures(DiurnalSeries()));
+  EXPECT_NE(text.find("span="), std::string::npos);
+  EXPECT_NE(text.find("ac24="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atlas::cluster

@@ -1,0 +1,93 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace atlas::stats {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, NegativeValues) {
+  Summary s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(SummaryTest, MergeMatchesSinglePass) {
+  util::Rng rng(5);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextGaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, b;
+  a.Add(1.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SummaryTest, NumericalStabilityLargeOffset) {
+  // Welford should not lose the variance of values near a huge mean.
+  Summary s;
+  const double base = 1e12;
+  for (double v : {base + 1, base + 2, base + 3}) s.Add(v);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(SummaryTest, ToStringContainsFields) {
+  Summary s;
+  s.Add(1);
+  s.Add(2);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+  EXPECT_NE(str.find("mean=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atlas::stats

@@ -1,0 +1,100 @@
+#include "cdn/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace atlas::cdn {
+namespace {
+
+TEST(TopologyTest, OneDcPerContinentByDefault) {
+  Topology topo(TopologyConfig{});
+  EXPECT_EQ(topo.dc_count(), 4u);
+}
+
+TEST(TopologyTest, MultipleDcsPerContinent) {
+  TopologyConfig config;
+  config.dcs_per_continent = 3;
+  Topology topo(config);
+  EXPECT_EQ(topo.dc_count(), 12u);
+}
+
+TEST(TopologyTest, RoutesToOwnContinent) {
+  Topology topo(TopologyConfig{});
+  for (int c = 0; c < synth::kNumContinents; ++c) {
+    const auto continent = static_cast<synth::Continent>(c);
+    const auto& dc = topo.Route(continent, 12345);
+    EXPECT_EQ(dc.continent, continent);
+  }
+}
+
+TEST(TopologyTest, RoutingIsStablePerUser) {
+  TopologyConfig config;
+  config.dcs_per_continent = 4;
+  Topology topo(config);
+  for (std::uint64_t user = 1; user < 50; ++user) {
+    const auto& a = topo.Route(synth::Continent::kEurope, user);
+    const auto& b = topo.Route(synth::Continent::kEurope, user);
+    EXPECT_EQ(&a, &b);
+  }
+}
+
+TEST(TopologyTest, ShardingSpreadsUsers) {
+  TopologyConfig config;
+  config.dcs_per_continent = 4;
+  Topology topo(config);
+  std::map<const DataCenter*, int> counts;
+  for (std::uint64_t user = 0; user < 4000; ++user) {
+    ++counts[&topo.Route(synth::Continent::kAsia, user * 2654435761ULL)];
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [dc, count] : counts) {
+    EXPECT_GT(count, 700);  // ~1000 expected per shard
+  }
+}
+
+TEST(TopologyTest, DcNamesDistinct) {
+  TopologyConfig config;
+  config.dcs_per_continent = 2;
+  Topology topo(config);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < topo.dc_count(); ++i) {
+    names.insert(topo.dc(i).name);
+  }
+  EXPECT_EQ(names.size(), topo.dc_count());
+}
+
+TEST(TopologyTest, EdgePolicyApplied) {
+  TopologyConfig config;
+  config.edge_policy = PolicyKind::kGdsf;
+  Topology topo(config);
+  EXPECT_EQ(topo.dc(0).cache->name(), "GDSF");
+}
+
+TEST(TopologyTest, OriginAccounting) {
+  Topology topo(TopologyConfig{});
+  topo.FetchFromOrigin(100);
+  topo.FetchFromOrigin(250);
+  EXPECT_EQ(topo.origin().fetches, 2u);
+  EXPECT_EQ(topo.origin().bytes, 350u);
+}
+
+TEST(TopologyTest, TotalEdgeStatsAggregates) {
+  Topology topo(TopologyConfig{});
+  topo.mutable_dc(0).cache->Access(1, 100, 0);
+  topo.mutable_dc(0).cache->Access(1, 100, 1);
+  topo.mutable_dc(1).cache->Access(2, 100, 0);
+  const auto total = topo.TotalEdgeStats();
+  EXPECT_EQ(total.hits, 1u);
+  EXPECT_EQ(total.misses, 2u);
+}
+
+TEST(TopologyTest, RejectsBadConfig) {
+  TopologyConfig config;
+  config.dcs_per_continent = 0;
+  EXPECT_THROW(Topology{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace atlas::cdn

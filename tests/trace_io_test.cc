@@ -1,0 +1,129 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace atlas::trace {
+namespace {
+
+TraceBuffer MakeSampleTrace(std::size_t n) {
+  util::Rng rng(17);
+  TraceBuffer buf;
+  for (std::size_t i = 0; i < n; ++i) {
+    LogRecord r;
+    r.timestamp_ms = static_cast<std::int64_t>(rng.NextBounded(1000000));
+    r.url_hash = rng.Next();
+    r.user_id = rng.Next();
+    r.object_size = rng.NextBounded(1 << 30);
+    r.response_bytes = rng.NextBounded(r.object_size + 1);
+    r.publisher_id = static_cast<std::uint32_t>(rng.NextBounded(6));
+    r.user_agent_id = static_cast<std::uint16_t>(rng.NextBounded(20));
+    r.response_code = rng.NextBool(0.9) ? 200 : 304;
+    r.file_type = static_cast<FileType>(rng.NextBounded(kNumFileTypes));
+    r.cache_status =
+        rng.NextBool(0.8) ? CacheStatus::kHit : CacheStatus::kMiss;
+    r.tz_offset_quarter_hours =
+        static_cast<std::int8_t>(rng.NextInt(-32, 36));
+    buf.Add(r);
+  }
+  return buf;
+}
+
+TEST(BinaryIoTest, RoundTripPreservesEveryField) {
+  const TraceBuffer original = MakeSampleTrace(500);
+  std::stringstream stream;
+  WriteBinary(original, stream);
+  const TraceBuffer loaded = ReadBinary(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]) << "record " << i;
+  }
+}
+
+TEST(BinaryIoTest, EmptyTrace) {
+  std::stringstream stream;
+  WriteBinary(TraceBuffer{}, stream);
+  EXPECT_EQ(ReadBinary(stream).size(), 0u);
+}
+
+TEST(BinaryIoTest, BadMagicRejected) {
+  std::stringstream stream("NOPE00000000");
+  EXPECT_THROW(ReadBinary(stream), std::runtime_error);
+}
+
+TEST(BinaryIoTest, TruncatedInputRejected) {
+  const TraceBuffer original = MakeSampleTrace(10);
+  std::stringstream stream;
+  WriteBinary(original, stream);
+  std::string data = stream.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(ReadBinary(truncated), std::runtime_error);
+}
+
+TEST(BinaryIoTest, VersionMismatchRejected) {
+  std::stringstream stream;
+  WriteBinary(TraceBuffer{}, stream);
+  std::string data = stream.str();
+  data[4] = 99;  // clobber version byte
+  std::stringstream bad(data);
+  EXPECT_THROW(ReadBinary(bad), std::runtime_error);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const TraceBuffer original = MakeSampleTrace(50);
+  const std::string path = ::testing::TempDir() + "/atlas_trace_test.bin";
+  WriteBinaryFile(original, path);
+  const TraceBuffer loaded = ReadBinaryFile(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[17], original[17]);
+}
+
+TEST(BinaryIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadBinaryFile("/nonexistent/path/x.bin"), std::runtime_error);
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  const TraceBuffer original = MakeSampleTrace(100);
+  std::stringstream stream;
+  WriteCsv(original, stream);
+  const TraceBuffer loaded = ReadCsv(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]) << "record " << i;
+  }
+}
+
+TEST(CsvIoTest, HeaderPresent) {
+  std::stringstream stream;
+  WriteCsv(MakeSampleTrace(1), stream);
+  std::string header;
+  std::getline(stream, header);
+  EXPECT_NE(header.find("timestamp_ms"), std::string::npos);
+  EXPECT_NE(header.find("cache_status"), std::string::npos);
+}
+
+TEST(CsvIoTest, BadFieldCountRejected) {
+  std::stringstream stream("h1,h2\n1,2\n");
+  EXPECT_THROW(ReadCsv(stream), std::runtime_error);
+}
+
+TEST(CsvIoTest, ClassMismatchRejected) {
+  // Build a valid row, then claim an mp4 is an image.
+  TraceBuffer buf = MakeSampleTrace(1);
+  buf.mutable_records()[0].file_type = FileType::kMp4;
+  std::stringstream stream;
+  WriteCsv(buf, stream);
+  std::string text = stream.str();
+  const auto pos = text.find(",video,");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, ",image,");
+  std::stringstream bad(text);
+  EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace atlas::trace

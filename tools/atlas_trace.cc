@@ -1,0 +1,208 @@
+// atlas_trace — command-line trace utility.
+//
+//   atlas_trace info   <trace.bin>                 summary + per-publisher stats
+//   atlas_trace head   <trace.bin> [--n 20]        print the first records
+//   atlas_trace tocsv  <trace.bin> <out.csv>       binary -> CSV
+//   atlas_trace tobin  <trace.csv> <out.bin>       CSV -> binary
+//   atlas_trace filter <in.bin> <out.bin> [--publisher N] [--class video]
+//                      [--from-ms T] [--to-ms T]   subset a trace
+//   atlas_trace gen    <out.bin> [--scale 0.05] [--seed 42]
+//                                                  generate a fresh study trace
+//
+// The binary format is the library's versioned little-endian layout; CSV
+// files are directly loadable in pandas/DuckDB.
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "analysis/composition.h"
+#include "cdn/scenario.h"
+#include "trace/content_class.h"
+#include "trace/trace_io.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace {
+
+using namespace atlas;
+
+int Usage(const char* prog) {
+  std::cerr << "usage: " << prog
+            << " <info|head|tocsv|tobin|filter|gen> <args...>\n"
+               "  info   <trace.bin>\n"
+               "  head   <trace.bin> [--n 20]\n"
+               "  tocsv  <trace.bin> <out.csv>\n"
+               "  tobin  <trace.csv> <out.bin>\n"
+               "  filter <in.bin> <out.bin> [--publisher N] [--class C] "
+               "[--from-ms T] [--to-ms T]\n"
+               "  gen    <out.bin> [--scale 0.05] [--seed 42]\n";
+  return 2;
+}
+
+int CmdInfo(const std::string& path) {
+  const auto trace = trace::ReadBinaryFile(path);
+  std::cout << path << ": " << trace.size() << " records, "
+            << trace.UniqueUsers() << " users, " << trace.UniqueObjects()
+            << " objects, "
+            << util::FormatBytes(static_cast<double>(trace.TotalBytes()))
+            << " delivered, span "
+            << util::FormatDuration(trace.EndMs() - trace.StartMs()) << "\n\n";
+  // Per-publisher breakdown.
+  std::map<std::uint32_t, trace::TraceBuffer> by_pub;
+  for (const auto& r : trace.records()) by_pub[r.publisher_id].Add(r);
+  std::cout << util::PadRight("publisher", 11) << util::PadLeft("records", 10)
+            << util::PadLeft("users", 9) << util::PadLeft("objects", 9)
+            << util::PadLeft("bytes", 11) << util::PadLeft("video%", 8)
+            << util::PadLeft("image%", 8) << '\n';
+  std::cout << std::string(66, '-') << '\n';
+  for (const auto& [pub, sub] : by_pub) {
+    const auto comp =
+        analysis::ComputeComposition(sub, std::to_string(pub));
+    std::cout << util::PadRight(std::to_string(pub), 11)
+              << util::PadLeft(util::FormatCount(static_cast<double>(sub.size())), 10)
+              << util::PadLeft(
+                     util::FormatCount(static_cast<double>(sub.UniqueUsers())), 9)
+              << util::PadLeft(
+                     util::FormatCount(static_cast<double>(sub.UniqueObjects())),
+                     9)
+              << util::PadLeft(
+                     util::FormatBytes(static_cast<double>(sub.TotalBytes())), 11)
+              << util::PadLeft(
+                     util::FormatPercent(
+                         comp.RequestShare(trace::ContentClass::kVideo), 1),
+                     8)
+              << util::PadLeft(
+                     util::FormatPercent(
+                         comp.RequestShare(trace::ContentClass::kImage), 1),
+                     8)
+              << '\n';
+  }
+  return 0;
+}
+
+int CmdHead(const std::string& path, int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineInt("n", 20, "records to print");
+  flags.Parse(argc, argv);
+  const auto trace = trace::ReadBinaryFile(path);
+  const auto n = std::min<std::size_t>(
+      static_cast<std::size_t>(flags.GetInt("n")), trace.size());
+  std::cout << util::PadRight("time", 14) << util::PadRight("pub", 5)
+            << util::PadRight("type", 6) << util::PadLeft("size", 11)
+            << util::PadLeft("sent", 11) << util::PadLeft("code", 6)
+            << util::PadLeft("cache", 7) << "  url_hash\n";
+  std::cout << std::string(78, '-') << '\n';
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = trace[i];
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(r.url_hash));
+    std::cout << util::PadRight(util::FormatTimestamp(r.timestamp_ms), 14)
+              << util::PadRight(std::to_string(r.publisher_id), 5)
+              << util::PadRight(trace::ToString(r.file_type), 6)
+              << util::PadLeft(
+                     util::FormatBytes(static_cast<double>(r.object_size)), 11)
+              << util::PadLeft(
+                     util::FormatBytes(static_cast<double>(r.response_bytes)),
+                     11)
+              << util::PadLeft(std::to_string(r.response_code), 6)
+              << util::PadLeft(trace::ToString(r.cache_status), 7) << "  "
+              << hash << '\n';
+  }
+  return 0;
+}
+
+int CmdToCsv(const std::string& in, const std::string& out) {
+  const auto trace = trace::ReadBinaryFile(in);
+  std::ofstream stream(out);
+  if (!stream) {
+    std::cerr << "cannot open " << out << '\n';
+    return 1;
+  }
+  trace::WriteCsv(trace, stream);
+  std::cout << "wrote " << trace.size() << " records to " << out << '\n';
+  return 0;
+}
+
+int CmdToBin(const std::string& in, const std::string& out) {
+  std::ifstream stream(in);
+  if (!stream) {
+    std::cerr << "cannot open " << in << '\n';
+    return 1;
+  }
+  const auto trace = trace::ReadCsv(stream);
+  trace::WriteBinaryFile(trace, out);
+  std::cout << "wrote " << trace.size() << " records to " << out << '\n';
+  return 0;
+}
+
+int CmdFilter(const std::string& in, const std::string& out, int argc,
+              char** argv) {
+  util::Flags flags;
+  flags.DefineInt("publisher", -1, "keep only this publisher id");
+  flags.DefineString("class", "", "keep only this class (video/image/other)");
+  flags.DefineInt("from-ms", -1, "keep records at/after this timestamp");
+  flags.DefineInt("to-ms", -1, "keep records before this timestamp");
+  flags.Parse(argc, argv);
+  auto trace = trace::ReadBinaryFile(in);
+  const std::int64_t pub = flags.GetInt("publisher");
+  const std::string cls_name = flags.GetString("class");
+  const std::int64_t from = flags.GetInt("from-ms");
+  const std::int64_t to = flags.GetInt("to-ms");
+  const bool use_class = !cls_name.empty();
+  const trace::ContentClass cls =
+      use_class ? trace::ContentClassFromString(cls_name)
+                : trace::ContentClass::kOther;
+  const auto filtered = trace.Filter([&](const trace::LogRecord& r) {
+    if (pub >= 0 && r.publisher_id != static_cast<std::uint32_t>(pub)) {
+      return false;
+    }
+    if (use_class && trace::ClassOf(r.file_type) != cls) return false;
+    if (from >= 0 && r.timestamp_ms < from) return false;
+    if (to >= 0 && r.timestamp_ms >= to) return false;
+    return true;
+  });
+  trace::WriteBinaryFile(filtered, out);
+  std::cout << "kept " << filtered.size() << " / " << trace.size()
+            << " records -> " << out << '\n';
+  return 0;
+}
+
+int CmdGen(const std::string& out, int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.Parse(argc, argv);
+  util::SetLogLevel(util::LogLevel::kWarn);
+  cdn::SimulatorConfig config;
+  const auto scenario = cdn::Scenario::PaperStudy(
+      flags.GetDouble("scale"), config,
+      static_cast<std::uint64_t>(flags.GetInt("seed")));
+  const auto merged = scenario.MergedTrace();
+  trace::WriteBinaryFile(merged, out);
+  std::cout << "generated " << merged.size() << " records -> " << out << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return CmdInfo(argv[2]);
+    if (cmd == "head") return CmdHead(argv[2], argc - 2, argv + 2);
+    if (cmd == "tocsv" && argc >= 4) return CmdToCsv(argv[2], argv[3]);
+    if (cmd == "tobin" && argc >= 4) return CmdToBin(argv[2], argv[3]);
+    if (cmd == "filter" && argc >= 4) {
+      return CmdFilter(argv[2], argv[3], argc - 3, argv + 3);
+    }
+    if (cmd == "gen") return CmdGen(argv[2], argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return Usage(argv[0]);
+}
