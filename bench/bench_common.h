@@ -15,6 +15,7 @@
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 
 namespace atlas::bench {
 
@@ -49,6 +50,9 @@ inline bool SetUpStudy(BenchEnv& env, int argc, char** argv,
   env.flags.DefineDouble("capacity-gb", 0.0,
                          "edge cache capacity per DC in GB (0 = auto-scale)");
   env.flags.DefineString("policy", "LRU", "edge cache policy");
+  env.flags.DefineInt("threads", 0,
+                      "worker threads (0 = hardware concurrency); results "
+                      "are identical at any value");
   try {
     env.flags.Parse(argc, argv);
   } catch (const std::exception& e) {
@@ -60,6 +64,7 @@ inline bool SetUpStudy(BenchEnv& env, int argc, char** argv,
     return false;
   }
   util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(env.flags.GetInt("threads")));
   env.scale = env.flags.GetDouble("scale");
   env.seed = static_cast<std::uint64_t>(env.flags.GetInt("seed"));
   env.config.topology.edge_policy =

@@ -16,6 +16,7 @@
 #include "synth/site_profile.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 #include "util/str.h"
 
 namespace {
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
   flags.DefineString("site", "V-1", "site profile (V-1, V-2, P-1, P-2, S-1, N-1)");
   flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
   flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); output is "
+                  "identical at any value");
   try {
     flags.Parse(argc, argv);
   } catch (const std::exception& e) {
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
   const double scale = flags.GetDouble("scale");
   const auto profile = ProfileByName(flags.GetString("site"), scale);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));

@@ -15,6 +15,7 @@
 #include "synth/user_model.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
   flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); output is "
+                  "identical at any value");
   try {
     flags.Parse(argc, argv);
   } catch (const std::exception& e) {
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
   const double scale = flags.GetDouble("scale");
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
 

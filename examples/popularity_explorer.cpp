@@ -15,6 +15,7 @@
 #include "cluster/shape.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 #include "util/str.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +25,9 @@ int main(int argc, char** argv) {
   flags.DefineString("class", "video", "content class: video or image");
   flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
   flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); output is "
+                  "identical at any value");
   flags.DefineInt("max-k", 8, "largest k to evaluate");
   flags.DefineInt("min-requests", 30, "min requests per clustered object");
   try {
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
 
   cdn::SimulatorConfig config;
   cdn::Scenario scenario = cdn::Scenario::PaperStudy(

@@ -11,12 +11,16 @@
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
   util::Flags flags;
   flags.DefineDouble("scale", 0.02, "population scale, (0, 1]");
   flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); output is "
+                  "identical at any value");
   flags.DefineBool("clusters", true, "run DTW trend clustering (Figs. 8-10)");
   flags.DefineString("save-trace", "", "optional path to dump the binary trace");
   try {
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
     std::cout << flags.Usage(argv[0]);
     return 0;
   }
+  util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
 
   cdn::SimulatorConfig config;
   // Edge capacity scales with the study so hit ratios stay in the paper's

@@ -4,42 +4,66 @@
 
 #include "analysis/report.h"
 #include "util/logging.h"
+#include "util/par.h"
 
 namespace atlas::analysis {
+namespace {
+
+SiteAnalysis AnalyzeSite(const trace::TraceBuffer& site_trace,
+                         const trace::Publisher& pub,
+                         const SuiteConfig& config) {
+  ATLAS_LOG(kInfo) << "analyzing " << pub.name << " (" << site_trace.size()
+                   << " records)";
+  SiteAnalysis a;
+  a.site = pub.name;
+  a.kind = pub.kind;
+  a.summary = ComputeDatasetSummary(site_trace, pub.name);
+  a.composition = ComputeComposition(site_trace, pub.name);
+  a.hourly = ComputeHourlyVolume(site_trace, pub.name);
+  a.devices = ComputeDeviceComposition(site_trace, pub.name);
+  a.sizes = ComputeSizeDistributions(site_trace, pub.name);
+  a.popularity = ComputePopularity(site_trace, pub.name);
+  a.aging = ComputeAging(site_trace, pub.name);
+  a.sessions = ComputeSessions(site_trace, pub.name);
+  a.engagement = ComputeEngagement(site_trace, pub.name);
+  a.caching = ComputeCaching(site_trace, pub.name);
+  if (config.run_trend_clusters) {
+    TrendClusterConfig video_cfg = config.trend;
+    video_cfg.use_class = true;
+    video_cfg.content_class = trace::ContentClass::kVideo;
+    a.video_trends = ComputeTrendClusters(site_trace, pub.name, video_cfg);
+    TrendClusterConfig image_cfg = config.trend;
+    image_cfg.use_class = true;
+    image_cfg.content_class = trace::ContentClass::kImage;
+    a.image_trends = ComputeTrendClusters(site_trace, pub.name, image_cfg);
+  }
+  return a;
+}
+
+}  // namespace
 
 AnalysisSuite::AnalysisSuite(const trace::TraceBuffer& full_trace,
                              const trace::PublisherRegistry& registry,
                              const SuiteConfig& config) {
-  for (const auto& pub : registry.all()) {
-    const trace::TraceBuffer site_trace =
-        full_trace.FilterByPublisher(pub.id);
-    if (site_trace.empty()) continue;
-    ATLAS_LOG(kInfo) << "analyzing " << pub.name << " (" << site_trace.size()
-                     << " records)";
-    SiteAnalysis a;
-    a.site = pub.name;
-    a.kind = pub.kind;
-    a.summary = ComputeDatasetSummary(site_trace, pub.name);
-    a.composition = ComputeComposition(site_trace, pub.name);
-    a.hourly = ComputeHourlyVolume(site_trace, pub.name);
-    a.devices = ComputeDeviceComposition(site_trace, pub.name);
-    a.sizes = ComputeSizeDistributions(site_trace, pub.name);
-    a.popularity = ComputePopularity(site_trace, pub.name);
-    a.aging = ComputeAging(site_trace, pub.name);
-    a.sessions = ComputeSessions(site_trace, pub.name);
-    a.engagement = ComputeEngagement(site_trace, pub.name);
-    a.caching = ComputeCaching(site_trace, pub.name);
-    if (config.run_trend_clusters) {
-      TrendClusterConfig video_cfg = config.trend;
-      video_cfg.use_class = true;
-      video_cfg.content_class = trace::ContentClass::kVideo;
-      a.video_trends = ComputeTrendClusters(site_trace, pub.name, video_cfg);
-      TrendClusterConfig image_cfg = config.trend;
-      image_cfg.use_class = true;
-      image_cfg.content_class = trace::ContentClass::kImage;
-      a.image_trends = ComputeTrendClusters(site_trace, pub.name, image_cfg);
-    }
-    sites_.push_back(std::move(a));
+  // Sites are analyzed concurrently: each worker filters its publisher's
+  // records out of the shared (read-only) trace and fills a dedicated slot.
+  // Registry order is preserved by indexing, so the suite — and everything
+  // rendered from it — is independent of the thread count. The per-site DTW
+  // clustering nested inside runs inline on the site's worker (ParallelFor
+  // detects the enclosing parallel region).
+  const std::vector<trace::Publisher>& pubs = registry.all();
+  std::vector<std::optional<SiteAnalysis>> slots(pubs.size());
+  util::ParallelFor(
+      pubs.size(),
+      [&](std::size_t i) {
+        const trace::TraceBuffer site_trace =
+            full_trace.FilterByPublisher(pubs[i].id);
+        if (site_trace.empty()) return;
+        slots[i] = AnalyzeSite(site_trace, pubs[i], config);
+      },
+      config.threads);
+  for (auto& slot : slots) {
+    if (slot) sites_.push_back(std::move(*slot));
   }
 }
 

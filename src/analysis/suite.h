@@ -30,6 +30,10 @@ struct SuiteConfig {
   // that don't need Figs. 8-10.
   bool run_trend_clusters = true;
   TrendClusterConfig trend;
+  // Worker threads for per-site analysis; <= 0 means util::DefaultThreads().
+  // Sites are analyzed concurrently, each into its own result slot, so the
+  // suite (and its rendered report) is identical at any thread count.
+  int threads = 0;
 };
 
 struct SiteAnalysis {

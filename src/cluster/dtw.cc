@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/par.h"
+
 namespace atlas::cluster {
 namespace {
 
@@ -104,13 +106,21 @@ void DistanceMatrix::Set(std::size_t i, std::size_t j, double d) {
 }
 
 DistanceMatrix PairwiseDtw(const std::vector<std::vector<double>>& series,
-                           std::size_t band) {
-  DistanceMatrix m(series.size());
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    for (std::size_t j = i + 1; j < series.size(); ++j) {
-      m.Set(i, j, DtwDistance(series[i], series[j], band));
-    }
-  }
+                           std::size_t band, int threads) {
+  const std::size_t n = series.size();
+  DistanceMatrix m(n);
+  // One shard per row i (cells j > i). Rows shrink as i grows; the pool's
+  // dynamic scheduling absorbs the imbalance. Each cell is written exactly
+  // once to its own condensed-matrix slot, so no synchronization is needed
+  // and the matrix is bit-identical at any thread count.
+  util::ParallelFor(
+      n == 0 ? 0 : n - 1,
+      [&](std::size_t i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          m.Set(i, j, DtwDistance(series[i], series[j], band));
+        }
+      },
+      threads);
   return m;
 }
 

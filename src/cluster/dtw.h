@@ -43,8 +43,11 @@ class DistanceMatrix {
   std::vector<double> data_;
 };
 
-// Pairwise DTW over a set of equal-length series.
+// Pairwise DTW over a set of equal-length series. Rows of the condensed
+// matrix are computed in parallel (`threads` <= 0 means
+// util::DefaultThreads()); every cell (i, j) is independent, so the result
+// is identical for any thread count.
 DistanceMatrix PairwiseDtw(const std::vector<std::vector<double>>& series,
-                           std::size_t band = 0);
+                           std::size_t band = 0, int threads = 0);
 
 }  // namespace atlas::cluster

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/par.h"
 
 namespace atlas::synth {
 
@@ -14,11 +15,36 @@ WorkloadGenerator::WorkloadGenerator(const SiteProfile& profile,
       rng_(seed),
       catalog_(profile_, rng_),
       users_(profile_, rng_),
-      week_hours_(profile_) {}
+      week_hours_(profile_) {
+  BuildShards();
+}
+
+void WorkloadGenerator::BuildShards() {
+  // Contiguous user ranges; every user (and their favorite set) lives in
+  // exactly one shard, so repeat-access behaviour is untouched by sharding.
+  const std::size_t n = users_.size();
+  const std::size_t shard_count = std::min<std::size_t>(kGenerateShards, n);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    GenShard shard;
+    shard.user_lo = static_cast<std::uint32_t>(s * n / shard_count);
+    shard.user_hi = static_cast<std::uint32_t>((s + 1) * n / shard_count);
+    std::vector<double> activities;
+    activities.reserve(shard.user_hi - shard.user_lo);
+    for (std::uint32_t u = shard.user_lo; u < shard.user_hi; ++u) {
+      const double a = users_.user(u).activity;
+      activities.push_back(a);
+      shard.activity_mass += a;
+    }
+    shard.user_alias = std::make_unique<stats::AliasTable>(activities);
+    shards_.push_back(std::move(shard));
+  }
+}
 
 RequestEvent WorkloadGenerator::MakeRequest(
     std::int64_t t, std::uint32_t user_index,
-    std::vector<std::uint32_t>& favorites, bool session_start) {
+    std::vector<std::uint32_t>& favorites, bool session_start,
+    util::Rng& rng) const {
   RequestEvent ev;
   ev.timestamp_ms = t;
   ev.user_index = user_index;
@@ -30,21 +56,21 @@ RequestEvent WorkloadGenerator::MakeRequest(
   // short-lived object disappears, so do its repeats. Without this gate,
   // favorites would smear every pattern into a week-long plateau.
   bool repeated = false;
-  if (!favorites.empty() && rng_.NextBool(profile_.repeat_request_prob)) {
-    const std::uint32_t fav = favorites[rng_.NextBounded(favorites.size())];
+  if (!favorites.empty() && rng.NextBool(profile_.repeat_request_prob)) {
+    const std::uint32_t fav = favorites[rng.NextBounded(favorites.size())];
     const auto& fav_obj = catalog_.object(fav);
     const double mult =
         ObjectDemandMultiplier(fav_obj.pattern, fav_obj.injected_at_ms, t,
                                catalog_.representative_tz_hours());
     const double ceiling = ObjectDemandCeiling(fav_obj.pattern);
-    if (ceiling > 0.0 && rng_.NextDouble() < mult / ceiling) {
+    if (ceiling > 0.0 && rng.NextDouble() < mult / ceiling) {
       ev.object_index = fav;
       ev.is_repeat = true;
       repeated = true;
     }
   }
   if (!repeated) {
-    ev.object_index = static_cast<std::uint32_t>(catalog_.SampleObject(t, rng_));
+    ev.object_index = static_cast<std::uint32_t>(catalog_.SampleObject(t, rng));
     // Only video content is sticky enough to adopt (Fig. 14: image objects
     // rarely exceed 10 requests per user; video objects frequently do).
     const auto& obj = catalog_.object(ev.object_index);
@@ -52,9 +78,9 @@ RequestEvent WorkloadGenerator::MakeRequest(
         obj.content_class == trace::ContentClass::kVideo
             ? profile_.favorite_adopt_prob
             : profile_.favorite_adopt_prob * 0.25;
-    if (rng_.NextBool(adopt)) {
+    if (rng.NextBool(adopt)) {
       if (favorites.size() >= profile_.max_favorites) {
-        favorites[rng_.NextBounded(favorites.size())] = ev.object_index;
+        favorites[rng.NextBounded(favorites.size())] = ev.object_index;
       } else {
         favorites.push_back(ev.object_index);
       }
@@ -65,12 +91,12 @@ RequestEvent WorkloadGenerator::MakeRequest(
   const auto& obj = catalog_.object(ev.object_index);
   if (obj.content_class == trace::ContentClass::kVideo) {
     ev.watch_fraction = std::clamp(
-        rng_.NextLogNormal(std::log(profile_.watch_fraction_mean), 0.5), 0.05,
+        rng.NextLogNormal(std::log(profile_.watch_fraction_mean), 0.5), 0.05,
         1.0);
   }
 
   // Anomalies (mutually exclusive, rare).
-  const double u = rng_.NextDouble();
+  const double u = rng.NextDouble();
   if (u < profile_.hotlink_rate) {
     ev.anomaly = Anomaly::kHotlink;
   } else if (u < profile_.hotlink_rate + profile_.bad_range_rate) {
@@ -82,14 +108,15 @@ RequestEvent WorkloadGenerator::MakeRequest(
   return ev;
 }
 
-std::vector<RequestEvent> WorkloadGenerator::Generate(
-    std::uint64_t logical_requests) {
-  const std::uint64_t budget =
-      logical_requests > 0 ? logical_requests : profile_.total_requests;
+std::vector<RequestEvent> WorkloadGenerator::GenerateShard(
+    const GenShard& shard, std::uint64_t budget,
+    std::uint64_t stream_seed) const {
+  util::Rng rng(stream_seed);
 
   // Per-user favorite sets persist across sessions for the whole week —
   // that persistence is what produces "some users repeatedly access certain
-  // content" at the week scale.
+  // content" at the week scale. Users never leave their shard, so the map
+  // is shard-private.
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> favorites;
 
   std::vector<RequestEvent> events;
@@ -100,11 +127,11 @@ std::vector<RequestEvent> WorkloadGenerator::Generate(
 
   while (events.size() < budget) {
     const auto user_index =
-        static_cast<std::uint32_t>(users_.SampleUser(rng_));
+        shard.user_lo + static_cast<std::uint32_t>(shard.user_alias->Sample(rng));
     const UserInfo& user = users_.user(user_index);
 
     // Session start: local-time draw from the site curve, converted to UTC.
-    const std::int64_t local_ms = week_hours_.SampleLocalMs(rng_);
+    const std::int64_t local_ms = week_hours_.SampleLocalMs(rng);
     std::int64_t t = local_ms - static_cast<std::int64_t>(
                                     user.tz_offset_quarter_hours) *
                                     15 * util::kMillisPerMinute;
@@ -113,26 +140,66 @@ std::vector<RequestEvent> WorkloadGenerator::Generate(
     t = ((t % util::kMillisPerWeek) + util::kMillisPerWeek) %
         util::kMillisPerWeek;
 
-    const std::uint64_t session_requests = 1 + rng_.NextGeometric(geom_p);
+    const std::uint64_t session_requests = 1 + rng.NextGeometric(geom_p);
     auto& favs = favorites[user_index];
     for (std::uint64_t r = 0; r < session_requests && events.size() < budget;
          ++r) {
       if (r > 0) {
-        const double gap_s = rng_.NextLogNormal(iat_mu, profile_.iat_sigma);
+        const double gap_s = rng.NextLogNormal(iat_mu, profile_.iat_sigma);
         t += static_cast<std::int64_t>(gap_s * 1000.0);
         if (t >= util::kMillisPerWeek) break;  // session ran past the trace
       }
-      events.push_back(MakeRequest(t, user_index, favs, r == 0));
+      events.push_back(MakeRequest(t, user_index, favs, r == 0, rng));
     }
   }
+  return events;
+}
 
-  std::sort(events.begin(), events.end(),
-            [](const RequestEvent& a, const RequestEvent& b) {
-              return a.timestamp_ms < b.timestamp_ms;
-            });
+std::vector<RequestEvent> WorkloadGenerator::Generate(
+    std::uint64_t logical_requests, int threads) {
+  const std::uint64_t budget =
+      logical_requests > 0 ? logical_requests : profile_.total_requests;
+
+  // Everything downstream is a pure function of these two draws-at-rest:
+  // the stream base advances rng_ exactly once per Generate call (so
+  // successive calls produce fresh weeks), and from it every shard derives
+  // its own independent stream before any parallel work starts.
+  const std::uint64_t stream_base = rng_.Next();
+  const util::ShardedRng streams(stream_base, shards_.size());
+
+  // Each shard gets the exact slice of the budget its users' activity mass
+  // claims (largest-remainder, so the quotas sum to `budget`).
+  std::vector<double> masses;
+  masses.reserve(shards_.size());
+  for (const auto& s : shards_) masses.push_back(s.activity_mass);
+  const std::vector<std::uint64_t> quotas =
+      util::ApportionByWeight(budget, masses);
+
+  std::vector<std::vector<RequestEvent>> per_shard(shards_.size());
+  util::ParallelFor(
+      shards_.size(),
+      [&](std::size_t s) {
+        per_shard[s] = GenerateShard(shards_[s], quotas[s], streams.seed(s));
+      },
+      threads);
+
+  // Deterministic merge: concatenate in shard order, then stable-sort by
+  // timestamp. Both steps are independent of the thread count.
+  std::vector<RequestEvent> events;
+  events.reserve(budget);
+  for (auto& shard_events : per_shard) {
+    events.insert(events.end(), shard_events.begin(), shard_events.end());
+    shard_events.clear();
+    shard_events.shrink_to_fit();
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const RequestEvent& a, const RequestEvent& b) {
+                     return a.timestamp_ms < b.timestamp_ms;
+                   });
   ATLAS_LOG(kInfo) << profile_.name << ": generated " << events.size()
                    << " logical requests (" << users_.size() << " users, "
-                   << catalog_.size() << " objects)";
+                   << catalog_.size() << " objects, " << shards_.size()
+                   << " shards)";
   return events;
 }
 

@@ -9,9 +9,18 @@
 //
 // Events are *logical* requests; the CDN simulator expands video views into
 // chunked HTTP transactions and assigns response codes / cache status.
+//
+// Parallelism and determinism: the user population is split into a fixed
+// number of contiguous shards (kGenerateShards, independent of the thread
+// count). Each shard owns its users outright — their favorite sets, their
+// sessions, their share of the request budget (apportioned by activity
+// mass) — and draws from its own SplitMix64-derived RNG stream. Shards are
+// generated independently (ParallelFor) and merged with a stable sort, so
+// Generate(seed, T threads) is bit-identical for every T.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "synth/catalog.h"
@@ -38,6 +47,10 @@ struct RequestEvent {
   Anomaly anomaly = Anomaly::kNone;
 };
 
+// Fixed shard count for parallel generation. Part of the output contract:
+// changing it reshuffles RNG streams and therefore every generated trace.
+inline constexpr std::size_t kGenerateShards = 32;
+
 class WorkloadGenerator {
  public:
   WorkloadGenerator(const SiteProfile& profile, std::uint64_t seed);
@@ -47,8 +60,11 @@ class WorkloadGenerator {
   const UserPopulation& users() const { return users_; }
 
   // Generates the full week of logical request events, sorted by timestamp.
-  // `logical_requests` == 0 means "use profile.total_requests".
-  std::vector<RequestEvent> Generate(std::uint64_t logical_requests = 0);
+  // `logical_requests` == 0 means "use profile.total_requests"; `threads`
+  // <= 0 means util::DefaultThreads(). The result depends only on the
+  // construction seed and the budget, never on `threads`.
+  std::vector<RequestEvent> Generate(std::uint64_t logical_requests = 0,
+                                     int threads = 0);
 
   // Expected log records per logical request once the CDN simulator expands
   // video views into `chunk_bytes`-sized transactions. Used to calibrate the
@@ -56,15 +72,33 @@ class WorkloadGenerator {
   double EstimateRecordsPerRequest(std::uint64_t chunk_bytes) const;
 
  private:
+  // One contiguous slice [user_lo, user_hi) of the population, with its own
+  // activity-weighted sampler. Built once at construction; a pure function
+  // of the profile + seed.
+  struct GenShard {
+    std::uint32_t user_lo = 0;
+    std::uint32_t user_hi = 0;
+    std::unique_ptr<stats::AliasTable> user_alias;
+    double activity_mass = 0.0;
+  };
+
+  void BuildShards();
+
   RequestEvent MakeRequest(std::int64_t t, std::uint32_t user_index,
                            std::vector<std::uint32_t>& favorites,
-                           bool session_start);
+                           bool session_start, util::Rng& rng) const;
+
+  // Generates exactly `budget` events for one shard from its own stream.
+  std::vector<RequestEvent> GenerateShard(const GenShard& shard,
+                                          std::uint64_t budget,
+                                          std::uint64_t stream_seed) const;
 
   SiteProfile profile_;
   util::Rng rng_;
   Catalog catalog_;
   UserPopulation users_;
   WeekHourDistribution week_hours_;
+  std::vector<GenShard> shards_;
 };
 
 }  // namespace atlas::synth

@@ -6,7 +6,7 @@
 //   atlas_trace tobin  <trace.csv> <out.bin>       CSV -> binary
 //   atlas_trace filter <in.bin> <out.bin> [--publisher N] [--class video]
 //                      [--from-ms T] [--to-ms T]   subset a trace
-//   atlas_trace gen    <out.bin> [--scale 0.05] [--seed 42]
+//   atlas_trace gen    <out.bin> [--scale 0.05] [--seed 42] [--threads N]
 //                                                  generate a fresh study trace
 //
 // The binary format is the library's versioned little-endian layout; CSV
@@ -21,6 +21,7 @@
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/par.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -37,7 +38,7 @@ int Usage(const char* prog) {
                "  tobin  <trace.csv> <out.bin>\n"
                "  filter <in.bin> <out.bin> [--publisher N] [--class C] "
                "[--from-ms T] [--to-ms T]\n"
-               "  gen    <out.bin> [--scale 0.05] [--seed 42]\n";
+               "  gen    <out.bin> [--scale 0.05] [--seed 42] [--threads N]\n";
   return 2;
 }
 
@@ -174,8 +175,12 @@ int CmdGen(const std::string& out, int argc, char** argv) {
   util::Flags flags;
   flags.DefineDouble("scale", 0.05, "population scale");
   flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); the trace is "
+                  "identical at any value");
   flags.Parse(argc, argv);
   util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
   cdn::SimulatorConfig config;
   const auto scenario = cdn::Scenario::PaperStudy(
       flags.GetDouble("scale"), config,
