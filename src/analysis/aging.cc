@@ -1,53 +1,48 @@
 #include "analysis/aging.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/time.h"
 
 namespace atlas::analysis {
 
-AgingResult ComputeAging(const trace::TraceBuffer& trace,
-                         const std::string& site_name) {
+AgingAccumulator::AgingAccumulator(std::size_t size_hint) {
+  lives_.reserve(size_hint / 4 + 1);
+}
+
+void AgingAccumulator::Add(const trace::LogRecord& r) {
+  if (any_ && r.timestamp_ms < last_ts_) {
+    throw std::invalid_argument("AgingAccumulator: input not sorted by time");
+  }
+  any_ = true;
+  last_ts_ = r.timestamp_ms;
+  end_ms_ = r.timestamp_ms;  // sorted input: the latest so far
+  auto& life =
+      lives_.try_emplace(r.url_hash, ObjectLife{r.timestamp_ms, 0})
+          .first->second;
+  const std::int64_t age_ms = r.timestamp_ms - life.first_seen;
+  const auto day = static_cast<int>(age_ms / util::kMillisPerDay);  // 0-based
+  if (day >= 0 && day < kMaxAgeDays) {
+    life.active_days |= (1u << day);
+  }
+}
+
+AgingResult AgingAccumulator::Finalize(const std::string& site_name) {
   AgingResult result;
   result.site = site_name;
-  if (trace.empty()) return result;
+  if (lives_.empty()) return result;
 
-  struct ObjectLife {
-    std::int64_t first_seen = 0;
-    // Bitmask of life-days (day 1 = bit 0) with at least one request.
-    std::uint32_t active_days = 0;
-  };
-  std::unordered_map<std::uint64_t, ObjectLife> lives;
-  lives.reserve(trace.size() / 4 + 1);
-
-  // Pass 1: first appearance per object.
-  for (const auto& r : trace.records()) {
-    auto [it, inserted] = lives.try_emplace(r.url_hash,
-                                            ObjectLife{r.timestamp_ms, 0});
-    if (!inserted) {
-      it->second.first_seen = std::min(it->second.first_seen, r.timestamp_ms);
-    }
-  }
-  // Pass 2: mark active life-days.
-  for (const auto& r : trace.records()) {
-    auto& life = lives.at(r.url_hash);
-    const std::int64_t age_ms = r.timestamp_ms - life.first_seen;
-    const auto day = static_cast<int>(age_ms / util::kMillisPerDay);  // 0-based
-    if (day >= 0 && day < kMaxAgeDays) {
-      life.active_days |= (1u << day);
-    }
-  }
-
-  const std::int64_t trace_end = trace.EndMs();
+  const std::int64_t trace_end = end_ms_;
   std::array<std::uint64_t, kMaxAgeDays> requested{};
   std::uint64_t full_week_objects = 0;
   std::uint64_t full_week_all_days = 0;
   std::uint64_t observable_4plus = 0;
   std::uint64_t silent_after_3 = 0;
 
-  for (const auto& [hash, life] : lives) {
+  for (const auto& [hash, life] : lives_) {
     (void)hash;
     // Number of fully observable life-days for this object.
     const std::int64_t window = trace_end - life.first_seen;
@@ -85,9 +80,9 @@ AgingResult ComputeAging(const trace::TraceBuffer& trace,
             : static_cast<double>(requested[i]) /
                   static_cast<double>(result.observable_objects[i]);
     result.fraction_requested_uncorrected[i] =
-        lives.empty() ? 0.0
-                      : static_cast<double>(requested[i]) /
-                            static_cast<double>(lives.size());
+        lives_.empty() ? 0.0
+                       : static_cast<double>(requested[i]) /
+                             static_cast<double>(lives_.size());
   }
   result.requested_all_days =
       full_week_objects == 0 ? 0.0
@@ -98,6 +93,24 @@ AgingResult ComputeAging(const trace::TraceBuffer& trace,
                             : static_cast<double>(silent_after_3) /
                                   static_cast<double>(observable_4plus);
   return result;
+}
+
+AgingResult ComputeAging(const trace::TraceBuffer& trace,
+                         const std::string& site_name) {
+  AgingAccumulator acc(trace.size());
+  if (trace.IsSortedByTime()) {
+    for (const auto& r : trace.records()) acc.Add(r);
+  } else {
+    // The result is order-independent, so feed a sorted view.
+    std::vector<std::uint32_t> order(trace.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return trace[a].timestamp_ms < trace[b].timestamp_ms;
+                     });
+    for (const auto i : order) acc.Add(trace[i]);
+  }
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "trace/trace_buffer.h"
 
@@ -38,6 +39,30 @@ struct AgingResult {
   // Fraction of objects with >= 4 observable days that receive no request
   // after their day 3 — the "not requested after 3 days" number.
   double silent_after_3_days = 0.0;
+};
+
+// Single-pass accumulator behind ComputeAging. Requires records in
+// non-decreasing timestamp order (throws std::invalid_argument otherwise):
+// with sorted input an object's first occurrence IS its earliest, so one
+// pass suffices where the random-access path needed two. The result is
+// input-order independent, so ComputeAging feeds a sorted permutation when
+// handed an unsorted buffer and matches the historical output exactly.
+class AgingAccumulator {
+ public:
+  explicit AgingAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  AgingResult Finalize(const std::string& site_name);
+
+ private:
+  struct ObjectLife {
+    std::int64_t first_seen = 0;
+    // Bitmask of life-days (day 1 = bit 0) with at least one request.
+    std::uint32_t active_days = 0;
+  };
+  std::unordered_map<std::uint64_t, ObjectLife> lives_;
+  std::int64_t last_ts_ = 0;
+  std::int64_t end_ms_ = 0;
+  bool any_ = false;
 };
 
 AgingResult ComputeAging(const trace::TraceBuffer& trace,

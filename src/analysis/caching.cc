@@ -1,6 +1,6 @@
 #include "analysis/caching.h"
 
-#include <unordered_map>
+#include <utility>
 
 #include "stats/correlation.h"
 #include "trace/content_class.h"
@@ -18,61 +18,58 @@ double CachingResult::NotModifiedShare() const {
                           static_cast<double>(total);
 }
 
-CachingResult ComputeCaching(const trace::TraceBuffer& trace,
-                             const std::string& site_name) {
-  CachingResult result;
-  result.site = site_name;
+CachingAccumulator::CachingAccumulator(std::size_t size_hint) {
+  per_object_.reserve(size_hint / 4 + 1);
+}
 
-  struct ObjAcc {
-    trace::ContentClass cls = trace::ContentClass::kOther;
-    std::uint64_t cacheable = 0;  // content-bearing responses (200/206/304)
-    std::uint64_t hits = 0;
-  };
-  std::unordered_map<std::uint64_t, ObjAcc> per_object;
-  per_object.reserve(trace.size() / 4 + 1);
-
-  std::uint64_t total_cacheable = 0, total_hits = 0;
-  std::uint64_t video_cacheable = 0, video_hits = 0;
-  std::uint64_t image_cacheable = 0, image_hits = 0;
-
-  for (const auto& r : trace.records()) {
-    const auto cls = trace::ClassOf(r.file_type);
-    // Fig. 16 counts every response.
-    ++result.all_response_codes[r.response_code];
-    if (cls == trace::ContentClass::kVideo) {
-      ++result.video_response_codes[r.response_code];
-    } else if (cls == trace::ContentClass::kImage) {
-      ++result.image_response_codes[r.response_code];
-    }
-    // Hit-ratio accounting only covers responses the cache could answer
-    // (errors like 403/416 and beacons say nothing about cache state).
-    if (r.response_code != trace::kHttpOk &&
-        r.response_code != trace::kHttpPartialContent &&
-        r.response_code != trace::kHttpNotModified) {
-      continue;
-    }
-    auto& acc = per_object[r.url_hash];
-    acc.cls = cls;
-    ++acc.cacheable;
-    ++total_cacheable;
-    const bool hit = r.cache_status == trace::CacheStatus::kHit;
-    if (hit) {
-      ++acc.hits;
-      ++total_hits;
-    }
-    if (cls == trace::ContentClass::kVideo) {
-      ++video_cacheable;
-      if (hit) ++video_hits;
-    } else if (cls == trace::ContentClass::kImage) {
-      ++image_cacheable;
-      if (hit) ++image_hits;
-    }
+void CachingAccumulator::Add(const trace::LogRecord& r) {
+  const auto cls = trace::ClassOf(r.file_type);
+  // Fig. 16 counts every response.
+  ++result_.all_response_codes[r.response_code];
+  if (cls == trace::ContentClass::kVideo) {
+    ++result_.video_response_codes[r.response_code];
+  } else if (cls == trace::ContentClass::kImage) {
+    ++result_.image_response_codes[r.response_code];
   }
+  // Hit-ratio accounting only covers responses the cache could answer
+  // (errors like 403/416 and beacons say nothing about cache state).
+  if (r.response_code != trace::kHttpOk &&
+      r.response_code != trace::kHttpPartialContent &&
+      r.response_code != trace::kHttpNotModified) {
+    return;
+  }
+  auto& acc = per_object_[r.url_hash];
+  acc.cls = cls;
+  ++acc.cacheable;
+  ++total_cacheable_;
+  const bool hit = r.cache_status == trace::CacheStatus::kHit;
+  if (hit) {
+    ++acc.hits;
+    ++total_hits_;
+  }
+  if (cls == trace::ContentClass::kVideo) {
+    ++video_cacheable_;
+    if (hit) ++video_hits_;
+  } else if (cls == trace::ContentClass::kImage) {
+    ++image_cacheable_;
+    if (hit) ++image_hits_;
+  }
+}
+
+CachingResult CachingAccumulator::Finalize(const std::string& site_name) {
+  CachingResult result = std::move(result_);
+  result.site = site_name;
+  const std::uint64_t total_cacheable = total_cacheable_;
+  const std::uint64_t total_hits = total_hits_;
+  const std::uint64_t video_cacheable = video_cacheable_;
+  const std::uint64_t video_hits = video_hits_;
+  const std::uint64_t image_cacheable = image_cacheable_;
+  const std::uint64_t image_hits = image_hits_;
 
   std::vector<double> popularity, hit_ratio;
-  popularity.reserve(per_object.size());
-  hit_ratio.reserve(per_object.size());
-  for (const auto& [hash, acc] : per_object) {
+  popularity.reserve(per_object_.size());
+  hit_ratio.reserve(per_object_.size());
+  for (const auto& [hash, acc] : per_object_) {
     (void)hash;
     if (acc.cacheable == 0) continue;
     const double ratio = static_cast<double>(acc.hits) /
@@ -105,6 +102,13 @@ CachingResult ComputeCaching(const trace::TraceBuffer& trace,
         stats::SpearmanCorrelation(popularity, hit_ratio);
   }
   return result;
+}
+
+CachingResult ComputeCaching(const trace::TraceBuffer& trace,
+                             const std::string& site_name) {
+  CachingAccumulator acc(trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

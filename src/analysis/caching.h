@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/ecdf.h"
@@ -39,6 +40,27 @@ struct CachingResult {
   // Fraction of all responses that are 304 (the incognito-browsing signal:
   // low for adult sites).
   double NotModifiedShare() const;
+};
+
+// Single-pass accumulator behind ComputeCaching; O(distinct objects) state.
+class CachingAccumulator {
+ public:
+  explicit CachingAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  CachingResult Finalize(const std::string& site_name);
+
+ private:
+  struct ObjAcc {
+    trace::ContentClass cls = trace::ContentClass::kOther;
+    std::uint64_t cacheable = 0;  // content-bearing responses (200/206/304)
+    std::uint64_t hits = 0;
+  };
+
+  CachingResult result_;
+  std::unordered_map<std::uint64_t, ObjAcc> per_object_;
+  std::uint64_t total_cacheable_ = 0, total_hits_ = 0;
+  std::uint64_t video_cacheable_ = 0, video_hits_ = 0;
+  std::uint64_t image_cacheable_ = 0, image_hits_ = 0;
 };
 
 CachingResult ComputeCaching(const trace::TraceBuffer& trace,

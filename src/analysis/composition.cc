@@ -1,6 +1,6 @@
 #include "analysis/composition.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "trace/content_class.h"
 
@@ -47,37 +47,71 @@ double CompositionResult::ByteShare(trace::ContentClass c) const {
                           static_cast<double>(total);
 }
 
+CompositionAccumulator::CompositionAccumulator(std::size_t size_hint) {
+  seen_.reserve(size_hint / 4 + 1);
+}
+
+void CompositionAccumulator::Add(const trace::LogRecord& r) {
+  const auto cls = trace::ClassOf(r.file_type);
+  const auto c = static_cast<std::size_t>(cls);
+  ++result_.requests[c];
+  result_.bytes[c] += r.response_bytes;
+  seen_.emplace(r.url_hash, cls);
+}
+
+CompositionResult CompositionAccumulator::Finalize(
+    const std::string& site_name) {
+  result_.site = site_name;
+  for (const auto& [hash, cls] : seen_) {
+    (void)hash;
+    ++result_.objects[static_cast<std::size_t>(cls)];
+  }
+  return std::move(result_);
+}
+
 CompositionResult ComputeComposition(const trace::TraceBuffer& site_trace,
                                      const std::string& site_name) {
-  CompositionResult result;
-  result.site = site_name;
-  std::unordered_map<std::uint64_t, trace::ContentClass> seen;
-  seen.reserve(site_trace.size() / 4 + 1);
-  for (const auto& r : site_trace.records()) {
-    const auto cls = trace::ClassOf(r.file_type);
-    const auto c = static_cast<std::size_t>(cls);
-    ++result.requests[c];
-    result.bytes[c] += r.response_bytes;
-    seen.emplace(r.url_hash, cls);
+  CompositionAccumulator acc(site_trace.size());
+  for (const auto& r : site_trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
+}
+
+DatasetSummaryAccumulator::DatasetSummaryAccumulator(std::size_t size_hint) {
+  users_.reserve(size_hint / 4 + 1);
+  objects_.reserve(size_hint / 4 + 1);
+}
+
+void DatasetSummaryAccumulator::Add(const trace::LogRecord& r) {
+  if (records_ == 0) {
+    start_ms_ = r.timestamp_ms;
+    end_ms_ = r.timestamp_ms;
+  } else {
+    start_ms_ = std::min(start_ms_, r.timestamp_ms);
+    end_ms_ = std::max(end_ms_, r.timestamp_ms);
   }
-  for (const auto& [hash, cls] : seen) {
-    (void)hash;
-    ++result.objects[static_cast<std::size_t>(cls)];
-  }
-  return result;
+  ++records_;
+  bytes_ += r.response_bytes;
+  users_.insert(r.user_id);
+  objects_.insert(r.url_hash);
+}
+
+DatasetSummary DatasetSummaryAccumulator::Finalize(const std::string& label) {
+  DatasetSummary s;
+  s.label = label;
+  s.records = records_;
+  s.users = users_.size();
+  s.objects = objects_.size();
+  s.bytes = bytes_;
+  s.start_ms = start_ms_;
+  s.end_ms = end_ms_;
+  return s;
 }
 
 DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,
                                      const std::string& label) {
-  DatasetSummary s;
-  s.label = label;
-  s.records = trace.size();
-  s.users = trace.UniqueUsers();
-  s.objects = trace.UniqueObjects();
-  s.bytes = trace.TotalBytes();
-  s.start_ms = trace.StartMs();
-  s.end_ms = trace.EndMs();
-  return s;
+  DatasetSummaryAccumulator acc(trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(label);
 }
 
 }  // namespace atlas::analysis

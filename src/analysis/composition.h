@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "trace/trace_buffer.h"
 
@@ -28,6 +30,20 @@ struct CompositionResult {
   double ByteShare(trace::ContentClass c) const;
 };
 
+// Single-pass accumulator behind ComputeComposition; feed records in any
+// order, then Finalize exactly once. State is O(distinct objects), so a
+// week-long trace streams through without materializing.
+class CompositionAccumulator {
+ public:
+  explicit CompositionAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  CompositionResult Finalize(const std::string& site_name);
+
+ private:
+  CompositionResult result_;
+  std::unordered_map<std::uint64_t, trace::ContentClass> seen_;
+};
+
 // Computes composition for a (single-site) trace.
 CompositionResult ComputeComposition(const trace::TraceBuffer& site_trace,
                                      const std::string& site_name);
@@ -41,6 +57,22 @@ struct DatasetSummary {
   std::uint64_t bytes = 0;
   std::int64_t start_ms = 0;
   std::int64_t end_ms = 0;
+};
+
+// Streaming counterpart of ComputeDatasetSummary; O(users + objects) state.
+class DatasetSummaryAccumulator {
+ public:
+  explicit DatasetSummaryAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  DatasetSummary Finalize(const std::string& label);
+
+ private:
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::int64_t start_ms_ = 0;
+  std::int64_t end_ms_ = 0;
+  std::unordered_set<std::uint64_t> users_;
+  std::unordered_set<std::uint64_t> objects_;
 };
 
 DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,

@@ -4,46 +4,49 @@
 
 namespace atlas::analysis {
 
-DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,
-                                           const std::string& site_name) {
+DeviceCompositionAccumulator::DeviceCompositionAccumulator(
+    std::size_t size_hint) {
+  user_ua_.reserve(size_hint / 4 + 1);
+}
+
+// Parse each distinct UA id once (the bank is small); then attribute each
+// unique user to the device of their first-seen UA.
+const trace::UaInfo& DeviceCompositionAccumulator::InfoFor(
+    std::uint16_t ua_id) {
+  auto it = parsed_.find(ua_id);
+  if (it == parsed_.end()) {
+    const auto& bank = trace::UaBank::Instance();
+    it = parsed_.emplace(ua_id, trace::ParseUserAgent(bank.String(ua_id)))
+             .first;
+  }
+  return it->second;
+}
+
+void DeviceCompositionAccumulator::Add(const trace::LogRecord& r) {
+  user_ua_.emplace(r.user_id, r.user_agent_id);
+  ++request_counts_[static_cast<std::size_t>(InfoFor(r.user_agent_id).device)];
+  ++requests_;
+}
+
+DeviceComposition DeviceCompositionAccumulator::Finalize(
+    const std::string& site_name) {
   DeviceComposition result;
   result.site = site_name;
-  const auto& bank = trace::UaBank::Instance();
-
-  // Parse each distinct UA id once (the bank is small); then attribute each
-  // unique user to the device of their first-seen UA.
-  std::unordered_map<std::uint16_t, trace::UaInfo> parsed;
-  const auto info_for = [&](std::uint16_t ua_id) -> const trace::UaInfo& {
-    auto it = parsed.find(ua_id);
-    if (it == parsed.end()) {
-      it = parsed.emplace(ua_id, trace::ParseUserAgent(bank.String(ua_id)))
-               .first;
-    }
-    return it->second;
-  };
-
-  std::unordered_map<std::uint64_t, std::uint16_t> user_ua;
-  user_ua.reserve(trace.size() / 4 + 1);
-  std::array<std::uint64_t, trace::kNumDeviceTypes> request_counts{};
-  for (const auto& r : trace.records()) {
-    user_ua.emplace(r.user_id, r.user_agent_id);
-    ++request_counts[static_cast<std::size_t>(info_for(r.user_agent_id).device)];
-  }
 
   std::array<std::uint64_t, trace::kNumDeviceTypes> user_counts{};
   std::array<std::uint64_t, trace::kNumOsFamilies> os_counts{};
   std::array<std::uint64_t, trace::kNumBrowserFamilies> browser_counts{};
-  for (const auto& [user, ua_id] : user_ua) {
+  for (const auto& [user, ua_id] : user_ua_) {
     (void)user;
-    const auto& info = info_for(ua_id);
+    const auto& info = InfoFor(ua_id);
     ++user_counts[static_cast<std::size_t>(info.device)];
     ++os_counts[static_cast<std::size_t>(info.os)];
     ++browser_counts[static_cast<std::size_t>(info.browser)];
   }
 
-  result.unique_users = user_ua.size();
-  const double users = static_cast<double>(user_ua.size());
-  const double requests = static_cast<double>(trace.size());
+  result.unique_users = user_ua_.size();
+  const double users = static_cast<double>(user_ua_.size());
+  const double requests = static_cast<double>(requests_);
   if (users > 0.0) {
     for (std::size_t i = 0; i < user_counts.size(); ++i) {
       result.user_share[i] = static_cast<double>(user_counts[i]) / users;
@@ -56,12 +59,19 @@ DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,
     }
   }
   if (requests > 0.0) {
-    for (std::size_t i = 0; i < request_counts.size(); ++i) {
+    for (std::size_t i = 0; i < request_counts_.size(); ++i) {
       result.request_share[i] =
-          static_cast<double>(request_counts[i]) / requests;
+          static_cast<double>(request_counts_[i]) / requests;
     }
   }
   return result;
+}
+
+DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,
+                                           const std::string& site_name) {
+  DeviceCompositionAccumulator acc(trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

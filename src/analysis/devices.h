@@ -7,7 +7,9 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "trace/trace_buffer.h"
 #include "trace/useragent.h"
@@ -30,6 +32,23 @@ struct DeviceComposition {
     return 1.0 - user_share[static_cast<std::size_t>(
                      trace::DeviceType::kDesktop)];
   }
+};
+
+// Single-pass accumulator behind ComputeDeviceComposition. State is one
+// entry per unique user plus the (tiny) parsed-UA cache.
+class DeviceCompositionAccumulator {
+ public:
+  explicit DeviceCompositionAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  DeviceComposition Finalize(const std::string& site_name);
+
+ private:
+  const trace::UaInfo& InfoFor(std::uint16_t ua_id);
+
+  std::unordered_map<std::uint16_t, trace::UaInfo> parsed_;
+  std::unordered_map<std::uint64_t, std::uint16_t> user_ua_;
+  std::array<std::uint64_t, trace::kNumDeviceTypes> request_counts_{};
+  std::uint64_t requests_ = 0;
 };
 
 DeviceComposition ComputeDeviceComposition(const trace::TraceBuffer& trace,

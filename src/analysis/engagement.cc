@@ -8,35 +8,29 @@
 
 namespace atlas::analysis {
 
-EngagementResult ComputeEngagement(const trace::TraceBuffer& trace,
-                                   const std::string& site_name,
-                                   double addicted_ratio) {
+EngagementAccumulator::EngagementAccumulator(double addicted_ratio,
+                                             std::size_t size_hint)
+    : addicted_ratio_(addicted_ratio) {
+  pair_counts_.reserve(size_hint);
+}
+
+void EngagementAccumulator::Add(const trace::LogRecord& r) {
+  ++pair_counts_[{r.url_hash, r.user_id}];
+  classes_.emplace(r.url_hash, trace::ClassOf(r.file_type));
+}
+
+EngagementResult EngagementAccumulator::Finalize(
+    const std::string& site_name) {
   EngagementResult result;
   result.site = site_name;
-
-  // (object, user) -> request count.
-  struct PairHash {
-    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
-        const {
-      return util::HashCombine(p.first, p.second);
-    }
-  };
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
-                     PairHash>
-      pair_counts;
-  pair_counts.reserve(trace.size());
-  std::unordered_map<std::uint64_t, trace::ContentClass> classes;
-  for (const auto& r : trace.records()) {
-    ++pair_counts[{r.url_hash, r.user_id}];
-    classes.emplace(r.url_hash, trace::ClassOf(r.file_type));
-  }
+  const double addicted_ratio = addicted_ratio_;
 
   std::unordered_map<std::uint64_t, ObjectEngagement> per_object;
-  per_object.reserve(classes.size());
-  for (const auto& [key, count] : pair_counts) {
+  per_object.reserve(classes_.size());
+  for (const auto& [key, count] : pair_counts_) {
     auto& obj = per_object[key.first];
     obj.url_hash = key.first;
-    obj.content_class = classes.at(key.first);
+    obj.content_class = classes_.at(key.first);
     obj.requests += count;
     obj.unique_users += 1;
     obj.max_requests_per_user = std::max(obj.max_requests_per_user, count);
@@ -81,6 +75,14 @@ EngagementResult ComputeEngagement(const trace::TraceBuffer& trace,
                        : static_cast<double>(image_over_10) /
                              static_cast<double>(image_total);
   return result;
+}
+
+EngagementResult ComputeEngagement(const trace::TraceBuffer& trace,
+                                   const std::string& site_name,
+                                   double addicted_ratio) {
+  EngagementAccumulator acc(addicted_ratio, trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

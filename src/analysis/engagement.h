@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stats/ecdf.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
+#include "util/hash.h"
 
 namespace atlas::analysis {
 
@@ -47,6 +50,30 @@ struct EngagementResult {
   // Objects whose demand is >= `addicted_ratio` x their user count.
   std::uint64_t addicted_objects = 0;
   std::uint64_t viral_objects = 0;
+};
+
+// Single-pass accumulator behind ComputeEngagement; state is one counter
+// per distinct (object, user) pair.
+class EngagementAccumulator {
+ public:
+  explicit EngagementAccumulator(double addicted_ratio = 3.0,
+                                 std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  EngagementResult Finalize(const std::string& site_name);
+
+ private:
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& p) const {
+      return util::HashCombine(p.first, p.second);
+    }
+  };
+
+  double addicted_ratio_;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
+                     PairHash>
+      pair_counts_;
+  std::unordered_map<std::uint64_t, trace::ContentClass> classes_;
 };
 
 // `addicted_ratio`: requests/user above which an object counts as

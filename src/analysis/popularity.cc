@@ -17,25 +17,26 @@ std::unordered_map<std::uint64_t, std::uint64_t> RequestCountsByObject(
   return counts;
 }
 
-PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
-                                   const std::string& site_name) {
+PopularityAccumulator::PopularityAccumulator(std::size_t size_hint) {
+  counts_.reserve(size_hint / 4 + 1);
+}
+
+void PopularityAccumulator::Add(const trace::LogRecord& r) {
+  ++counts_[r.url_hash];
+  classes_.emplace(r.url_hash, trace::ClassOf(r.file_type));
+}
+
+PopularityResult PopularityAccumulator::Finalize(
+    const std::string& site_name) {
   PopularityResult result;
   result.site = site_name;
 
-  std::unordered_map<std::uint64_t, std::uint64_t> counts;
-  std::unordered_map<std::uint64_t, trace::ContentClass> classes;
-  counts.reserve(trace.size() / 4 + 1);
-  for (const auto& r : trace.records()) {
-    ++counts[r.url_hash];
-    classes.emplace(r.url_hash, trace::ClassOf(r.file_type));
-  }
-
   std::vector<double> all;
-  all.reserve(counts.size());
-  for (const auto& [hash, count] : counts) {
+  all.reserve(counts_.size());
+  for (const auto& [hash, count] : counts_) {
     const auto c = static_cast<double>(count);
     all.push_back(c);
-    switch (classes.at(hash)) {
+    switch (classes_.at(hash)) {
       case trace::ContentClass::kVideo:
         result.video_counts.Add(c);
         break;
@@ -57,6 +58,13 @@ PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
     result.power_law = stats::FitPowerLawAuto(all);
   }
   return result;
+}
+
+PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
+                                   const std::string& site_name) {
+  PopularityAccumulator acc(trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

@@ -33,6 +33,19 @@ struct PopularityResult {
   double SingletonFraction() const;
 };
 
+// Single-pass accumulator behind ComputePopularity; O(distinct objects)
+// state.
+class PopularityAccumulator {
+ public:
+  explicit PopularityAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  PopularityResult Finalize(const std::string& site_name);
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::unordered_map<std::uint64_t, trace::ContentClass> classes_;
+};
+
 PopularityResult ComputePopularity(const trace::TraceBuffer& trace,
                                    const std::string& site_name);
 

@@ -1,8 +1,10 @@
 #include "analysis/sessions.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace atlas::analysis {
 
@@ -48,38 +50,84 @@ std::vector<Session> Sessionize(const trace::TraceBuffer& trace,
   return sessions;
 }
 
+SessionAccumulator::SessionAccumulator(std::int64_t timeout_ms,
+                                       std::size_t size_hint)
+    : timeout_ms_(timeout_ms) {
+  if (timeout_ms <= 0) {
+    throw std::invalid_argument("SessionAccumulator: bad timeout");
+  }
+  open_.reserve(size_hint / 4 + 1);
+}
+
+void SessionAccumulator::CloseSession(const Session& s) {
+  result_.session_length_seconds.Add(static_cast<double>(s.LengthMs()) /
+                                     1000.0);
+  result_.requests_per_session.Add(static_cast<double>(s.requests));
+  ++result_.session_count;
+}
+
+void SessionAccumulator::Add(const trace::LogRecord& r) {
+  if (any_ && r.timestamp_ms < last_ts_) {
+    throw std::invalid_argument(
+        "SessionAccumulator: input not sorted by time");
+  }
+  any_ = true;
+  last_ts_ = r.timestamp_ms;
+
+  auto [it, inserted] = open_.try_emplace(r.user_id);
+  Session& current = it->second;
+  if (inserted) {
+    current.user_id = r.user_id;
+    current.start_ms = r.timestamp_ms;
+    current.end_ms = r.timestamp_ms;
+    current.requests = 1;
+    return;
+  }
+  // Every consecutive same-user gap feeds the IAT CDF, in or out of
+  // session (Fig. 11 plots all gaps).
+  result_.iat_seconds.Add(
+      static_cast<double>(r.timestamp_ms - current.end_ms) / 1000.0);
+  if (r.timestamp_ms - current.end_ms > timeout_ms_) {
+    CloseSession(current);
+    current.start_ms = r.timestamp_ms;
+    current.requests = 0;
+  }
+  current.end_ms = r.timestamp_ms;
+  ++current.requests;
+}
+
+SessionResult SessionAccumulator::Finalize(const std::string& site_name) {
+  result_.site = site_name;
+  for (const auto& [user, session] : open_) {
+    (void)user;
+    CloseSession(session);
+  }
+  open_.clear();
+  result_.iat_seconds.Finalize();
+  result_.session_length_seconds.Finalize();
+  result_.requests_per_session.Finalize();
+  return std::move(result_);
+}
+
 SessionResult ComputeSessions(const trace::TraceBuffer& trace,
                               const std::string& site_name,
                               std::int64_t timeout_ms) {
-  SessionResult result;
-  result.site = site_name;
-
-  // IATs: all consecutive same-user gaps.
-  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> per_user;
-  per_user.reserve(trace.size() / 4 + 1);
-  for (const auto& r : trace.records()) {
-    per_user[r.user_id].push_back(r.timestamp_ms);
+  SessionAccumulator acc(timeout_ms, trace.size());
+  if (trace.IsSortedByTime()) {
+    for (const auto& r : trace.records()) acc.Add(r);
+  } else {
+    // The Ecdf-based result only depends on each user's sorted timestamps,
+    // so feeding a time-sorted view reproduces the historical
+    // sort-per-user output exactly.
+    std::vector<std::uint32_t> order(trace.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return trace[a].timestamp_ms < trace[b].timestamp_ms;
+                     });
+    for (const auto i : order) acc.Add(trace[i]);
   }
-  for (auto& [user, times] : per_user) {
-    (void)user;
-    std::sort(times.begin(), times.end());
-    for (std::size_t i = 1; i < times.size(); ++i) {
-      result.iat_seconds.Add(
-          static_cast<double>(times[i] - times[i - 1]) / 1000.0);
-    }
-  }
-  result.iat_seconds.Finalize();
-
-  const auto sessions = Sessionize(trace, timeout_ms);
-  result.session_count = sessions.size();
-  for (const auto& s : sessions) {
-    result.session_length_seconds.Add(static_cast<double>(s.LengthMs()) /
-                                      1000.0);
-    result.requests_per_session.Add(static_cast<double>(s.requests));
-  }
-  result.session_length_seconds.Finalize();
-  result.requests_per_session.Finalize();
-  return result;
+  return acc.Finalize(site_name);
 }
 
 }  // namespace atlas::analysis

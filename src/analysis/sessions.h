@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/ecdf.h"
@@ -39,6 +40,29 @@ struct SessionResult {
 
   double MedianIatSeconds() const;
   double MedianSessionSeconds() const;
+};
+
+// Single-pass accumulator behind ComputeSessions. Requires records in
+// non-decreasing timestamp order (throws std::invalid_argument otherwise);
+// state is one open session per user, not the full timestamp list, so
+// arbitrarily long traces stream through. The Ecdf-based result is
+// independent of cross-user interleaving, so it matches the historical
+// sort-per-user implementation exactly on sorted input.
+class SessionAccumulator {
+ public:
+  explicit SessionAccumulator(std::int64_t timeout_ms = kSessionTimeoutMs,
+                              std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  SessionResult Finalize(const std::string& site_name);
+
+ private:
+  void CloseSession(const Session& s);
+
+  std::int64_t timeout_ms_;
+  std::unordered_map<std::uint64_t, Session> open_;
+  std::int64_t last_ts_ = 0;
+  bool any_ = false;
+  SessionResult result_;
 };
 
 // `timeout_ms` parameterizes the sessionization (the paper uses 10 min).

@@ -17,19 +17,23 @@ double SizeDistributions::ImageBelowMb() const {
   return image.Evaluate(1e6);
 }
 
-SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,
-                                           const std::string& site_name) {
+SizeDistributionsAccumulator::SizeDistributionsAccumulator(
+    std::size_t size_hint) {
+  firsts_.reserve(size_hint / 4 + 1);
+}
+
+void SizeDistributionsAccumulator::Add(const trace::LogRecord& r) {
+  firsts_.emplace(r.url_hash, FirstSeen{r.object_size, r.file_type});
+}
+
+SizeDistributions SizeDistributionsAccumulator::Finalize(
+    const std::string& site_name) {
   SizeDistributions result;
   result.site = site_name;
-  std::unordered_map<std::uint64_t, const trace::LogRecord*> firsts;
-  firsts.reserve(trace.size() / 4 + 1);
-  for (const auto& r : trace.records()) {
-    firsts.emplace(r.url_hash, &r);
-  }
-  for (const auto& [hash, rec] : firsts) {
+  for (const auto& [hash, first] : firsts_) {
     (void)hash;
-    const double size = static_cast<double>(rec->object_size);
-    switch (trace::ClassOf(rec->file_type)) {
+    const double size = static_cast<double>(first.object_size);
+    switch (trace::ClassOf(first.file_type)) {
       case trace::ContentClass::kVideo:
         result.video.Add(size);
         break;
@@ -45,6 +49,13 @@ SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,
   result.image.Finalize();
   result.other.Finalize();
   return result;
+}
+
+SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,
+                                           const std::string& site_name) {
+  SizeDistributionsAccumulator acc(trace.size());
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 bool ImageSizesAreBimodal(const stats::Ecdf& image_sizes) {

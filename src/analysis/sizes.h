@@ -7,7 +7,9 @@
 // distinct object contributes once, at its full size).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/ecdf.h"
@@ -25,6 +27,23 @@ struct SizeDistributions {
   // two headline claims of §IV-B.
   double VideoAboveMb() const;
   double ImageBelowMb() const;
+};
+
+// Single-pass accumulator behind ComputeSizeDistributions. Keeps the size
+// and type of each object's first-seen record (by value — records are not
+// retained, so the input may be a transient stream chunk).
+class SizeDistributionsAccumulator {
+ public:
+  explicit SizeDistributionsAccumulator(std::size_t size_hint = 0);
+  void Add(const trace::LogRecord& r);
+  SizeDistributions Finalize(const std::string& site_name);
+
+ private:
+  struct FirstSeen {
+    std::uint64_t object_size = 0;
+    trace::FileType file_type{};
+  };
+  std::unordered_map<std::uint64_t, FirstSeen> firsts_;
 };
 
 SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,

@@ -1,65 +1,130 @@
 #include "analysis/suite.h"
 
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "analysis/report.h"
 #include "util/logging.h"
 #include "util/par.h"
 
 namespace atlas::analysis {
-namespace {
 
-SiteAnalysis AnalyzeSite(const trace::TraceBuffer& site_trace,
-                         const trace::Publisher& pub,
-                         const SuiteConfig& config) {
-  ATLAS_LOG(kInfo) << "analyzing " << pub.name << " (" << site_trace.size()
+SiteAccumulator::SiteAccumulator(const trace::Publisher& publisher,
+                                 const SuiteConfig& config)
+    : publisher_(publisher),
+      run_trend_clusters_(config.run_trend_clusters),
+      video_trend_config_(config.trend),
+      image_trend_config_(config.trend) {
+  video_trend_config_.use_class = true;
+  video_trend_config_.content_class = trace::ContentClass::kVideo;
+  image_trend_config_.use_class = true;
+  image_trend_config_.content_class = trace::ContentClass::kImage;
+  if (run_trend_clusters_) {
+    video_series_.emplace(video_trend_config_);
+    image_series_.emplace(image_trend_config_);
+  }
+}
+
+void SiteAccumulator::Add(const trace::LogRecord& r) {
+  ++records_;
+  summary_.Add(r);
+  composition_.Add(r);
+  hourly_.Add(r);
+  devices_.Add(r);
+  sizes_.Add(r);
+  popularity_.Add(r);
+  aging_.Add(r);
+  sessions_.Add(r);
+  engagement_.Add(r);
+  caching_.Add(r);
+  if (video_series_) video_series_->Add(r);
+  if (image_series_) image_series_->Add(r);
+}
+
+SiteAnalysis SiteAccumulator::Finalize() {
+  ATLAS_LOG(kInfo) << "analyzing " << publisher_.name << " (" << records_
                    << " records)";
   SiteAnalysis a;
-  a.site = pub.name;
-  a.kind = pub.kind;
-  a.summary = ComputeDatasetSummary(site_trace, pub.name);
-  a.composition = ComputeComposition(site_trace, pub.name);
-  a.hourly = ComputeHourlyVolume(site_trace, pub.name);
-  a.devices = ComputeDeviceComposition(site_trace, pub.name);
-  a.sizes = ComputeSizeDistributions(site_trace, pub.name);
-  a.popularity = ComputePopularity(site_trace, pub.name);
-  a.aging = ComputeAging(site_trace, pub.name);
-  a.sessions = ComputeSessions(site_trace, pub.name);
-  a.engagement = ComputeEngagement(site_trace, pub.name);
-  a.caching = ComputeCaching(site_trace, pub.name);
-  if (config.run_trend_clusters) {
-    TrendClusterConfig video_cfg = config.trend;
-    video_cfg.use_class = true;
-    video_cfg.content_class = trace::ContentClass::kVideo;
-    a.video_trends = ComputeTrendClusters(site_trace, pub.name, video_cfg);
-    TrendClusterConfig image_cfg = config.trend;
-    image_cfg.use_class = true;
-    image_cfg.content_class = trace::ContentClass::kImage;
-    a.image_trends = ComputeTrendClusters(site_trace, pub.name, image_cfg);
+  a.site = publisher_.name;
+  a.kind = publisher_.kind;
+  a.summary = summary_.Finalize(publisher_.name);
+  a.composition = composition_.Finalize(publisher_.name);
+  a.hourly = hourly_.Finalize(publisher_.name);
+  a.devices = devices_.Finalize(publisher_.name);
+  a.sizes = sizes_.Finalize(publisher_.name);
+  a.popularity = popularity_.Finalize(publisher_.name);
+  a.aging = aging_.Finalize(publisher_.name);
+  a.sessions = sessions_.Finalize(publisher_.name);
+  a.engagement = engagement_.Finalize(publisher_.name);
+  a.caching = caching_.Finalize(publisher_.name);
+  if (video_series_) {
+    a.video_trends = ClusterTrendSeries(video_series_->Finalize(),
+                                        publisher_.name, video_trend_config_);
+  }
+  if (image_series_) {
+    a.image_trends = ClusterTrendSeries(image_series_->Finalize(),
+                                        publisher_.name, image_trend_config_);
   }
   return a;
 }
 
-}  // namespace
-
 AnalysisSuite::AnalysisSuite(const trace::TraceBuffer& full_trace,
                              const trace::PublisherRegistry& registry,
                              const SuiteConfig& config) {
-  // Sites are analyzed concurrently: each worker filters its publisher's
-  // records out of the shared (read-only) trace and fills a dedicated slot.
-  // Registry order is preserved by indexing, so the suite — and everything
-  // rendered from it — is independent of the thread count. The per-site DTW
-  // clustering nested inside runs inline on the site's worker (ParallelFor
-  // detects the enclosing parallel region).
+  if (full_trace.IsSortedByTime()) {
+    trace::BufferSource source(full_trace);
+    Run(source, registry, config);
+  } else {
+    trace::TraceBuffer sorted = full_trace;
+    sorted.SortByTime();
+    trace::BufferSource source(sorted);
+    Run(source, registry, config);
+  }
+}
+
+AnalysisSuite::AnalysisSuite(trace::RecordSource& source,
+                             const trace::PublisherRegistry& registry,
+                             const SuiteConfig& config) {
+  Run(source, registry, config);
+}
+
+void AnalysisSuite::Run(trace::RecordSource& source,
+                        const trace::PublisherRegistry& registry,
+                        const SuiteConfig& config) {
+  // One sequential demultiplexing pass feeds a per-publisher accumulator
+  // set; accumulation order is the stream order regardless of thread
+  // count, so the suite is deterministic by construction. Finalization —
+  // where the expensive work (Ecdf sorts, DTW clustering) lives — then
+  // runs one site per worker into a dedicated slot, preserving registry
+  // order. The per-site DTW clustering nested inside runs inline on the
+  // site's worker (ParallelFor detects the enclosing parallel region).
   const std::vector<trace::Publisher>& pubs = registry.all();
+  std::unordered_map<std::uint32_t, std::size_t> pub_index;
+  pub_index.reserve(pubs.size());
+  for (std::size_t i = 0; i < pubs.size(); ++i) {
+    pub_index.emplace(pubs[i].id, i);
+  }
+
+  std::vector<std::unique_ptr<SiteAccumulator>> accumulators(pubs.size());
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& r : chunk) {
+      const auto it = pub_index.find(r.publisher_id);
+      if (it == pub_index.end()) continue;  // unregistered publisher
+      auto& acc = accumulators[it->second];
+      if (!acc) {
+        acc = std::make_unique<SiteAccumulator>(pubs[it->second], config);
+      }
+      acc->Add(r);
+    }
+  }
+
   std::vector<std::optional<SiteAnalysis>> slots(pubs.size());
   util::ParallelFor(
       pubs.size(),
       [&](std::size_t i) {
-        const trace::TraceBuffer site_trace =
-            full_trace.FilterByPublisher(pubs[i].id);
-        if (site_trace.empty()) return;
-        slots[i] = AnalyzeSite(site_trace, pubs[i], config);
+        if (accumulators[i]) slots[i] = accumulators[i]->Finalize();
       },
       config.threads);
   for (auto& slot : slots) {

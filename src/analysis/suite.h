@@ -21,6 +21,7 @@
 #include "analysis/temporal.h"
 #include "analysis/trend_cluster.h"
 #include "trace/publisher.h"
+#include "trace/stream.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::analysis {
@@ -54,10 +55,57 @@ struct SiteAnalysis {
   std::optional<TrendClusterResult> image_trends;
 };
 
+// Every per-site analysis folded into one single-pass consumer: feed it a
+// site's records (in trace order) and Finalize into the SiteAnalysis the
+// report renders. This is the unit the streaming suite demultiplexes a
+// record stream into; aggregate state is O(users + objects + pairs), never
+// O(records), so traces far beyond RAM stream through.
+class SiteAccumulator {
+ public:
+  SiteAccumulator(const trace::Publisher& publisher,
+                  const SuiteConfig& config);
+  void Add(const trace::LogRecord& r);
+  SiteAnalysis Finalize();
+
+  std::uint64_t records() const { return records_; }
+
+ private:
+  trace::Publisher publisher_;
+  bool run_trend_clusters_;
+  TrendClusterConfig video_trend_config_;
+  TrendClusterConfig image_trend_config_;
+  std::uint64_t records_ = 0;
+
+  DatasetSummaryAccumulator summary_;
+  CompositionAccumulator composition_;
+  HourlyVolumeAccumulator hourly_;
+  DeviceCompositionAccumulator devices_;
+  SizeDistributionsAccumulator sizes_;
+  PopularityAccumulator popularity_;
+  AgingAccumulator aging_;
+  SessionAccumulator sessions_;
+  EngagementAccumulator engagement_;
+  CachingAccumulator caching_;
+  std::optional<TrendSeriesAccumulator> video_series_;
+  std::optional<TrendSeriesAccumulator> image_series_;
+};
+
 class AnalysisSuite {
  public:
-  // Analyzes each registered publisher found in `full_trace`.
+  // Analyzes each registered publisher found in `full_trace`. Implemented
+  // on top of the streaming constructor via BufferSource; if the buffer is
+  // not time-sorted a sorted copy is streamed (all ATLAS producers emit
+  // sorted traces, so this is a compatibility path, not a hot one).
   AnalysisSuite(const trace::TraceBuffer& full_trace,
+                const trace::PublisherRegistry& registry,
+                const SuiteConfig& config = {});
+
+  // Single-pass streaming analysis: demultiplexes `source` (which must
+  // yield records in non-decreasing timestamp order, as TraceWriter files
+  // and merged scenario traces do) into one SiteAccumulator per registered
+  // publisher, then finalizes sites in parallel. Peak memory is the
+  // accumulator state plus one stream chunk — independent of trace length.
+  AnalysisSuite(trace::RecordSource& source,
                 const trace::PublisherRegistry& registry,
                 const SuiteConfig& config = {});
 
@@ -68,6 +116,10 @@ class AnalysisSuite {
   void Render(std::ostream& out) const;
 
  private:
+  void Run(trace::RecordSource& source,
+           const trace::PublisherRegistry& registry,
+           const SuiteConfig& config);
+
   std::vector<SiteAnalysis> sites_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/time.h"
 
@@ -26,39 +27,43 @@ double HourlyVolume::PeakToMean() const {
   return peak / mean;
 }
 
-HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
-                                 const std::string& site_name) {
-  HourlyVolume result;
-  result.site = site_name;
-  result.week_series =
+HourlyVolumeAccumulator::HourlyVolumeAccumulator() {
+  result_.week_series =
       stats::TimeSeries(util::kMillisPerHour, util::kHoursPerWeek);
+}
 
-  std::array<double, 24> counts{};
-  std::array<double, 24> bytes{};
-  double total_count = 0.0;
-  double total_bytes = 0.0;
-  for (const auto& r : site_trace.records()) {
-    const std::int64_t local = r.LocalTimestampMs();
-    const int hour = util::HourOfDay(local);
-    counts[static_cast<std::size_t>(hour)] += 1.0;
-    bytes[static_cast<std::size_t>(hour)] +=
-        static_cast<double>(r.response_bytes);
-    total_count += 1.0;
-    total_bytes += static_cast<double>(r.response_bytes);
-    // Weekly series folds local time into the observed week.
-    const std::int64_t wrapped =
-        ((local % util::kMillisPerWeek) + util::kMillisPerWeek) %
-        util::kMillisPerWeek;
-    result.week_series.Accumulate(wrapped, 1.0);
-  }
+void HourlyVolumeAccumulator::Add(const trace::LogRecord& r) {
+  const std::int64_t local = r.LocalTimestampMs();
+  const int hour = util::HourOfDay(local);
+  counts_[static_cast<std::size_t>(hour)] += 1.0;
+  bytes_[static_cast<std::size_t>(hour)] +=
+      static_cast<double>(r.response_bytes);
+  total_count_ += 1.0;
+  total_bytes_ += static_cast<double>(r.response_bytes);
+  // Weekly series folds local time into the observed week.
+  const std::int64_t wrapped =
+      ((local % util::kMillisPerWeek) + util::kMillisPerWeek) %
+      util::kMillisPerWeek;
+  result_.week_series.Accumulate(wrapped, 1.0);
+}
+
+HourlyVolume HourlyVolumeAccumulator::Finalize(const std::string& site_name) {
+  result_.site = site_name;
   for (int h = 0; h < 24; ++h) {
     const auto i = static_cast<std::size_t>(h);
-    result.percent_by_hour[i] =
-        total_count > 0.0 ? counts[i] / total_count * 100.0 : 0.0;
-    result.percent_bytes_by_hour[i] =
-        total_bytes > 0.0 ? bytes[i] / total_bytes * 100.0 : 0.0;
+    result_.percent_by_hour[i] =
+        total_count_ > 0.0 ? counts_[i] / total_count_ * 100.0 : 0.0;
+    result_.percent_bytes_by_hour[i] =
+        total_bytes_ > 0.0 ? bytes_[i] / total_bytes_ * 100.0 : 0.0;
   }
-  return result;
+  return std::move(result_);
+}
+
+HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
+                                 const std::string& site_name) {
+  HourlyVolumeAccumulator acc;
+  for (const auto& r : site_trace.records()) acc.Add(r);
+  return acc.Finalize(site_name);
 }
 
 int PeakHourDistance(const HourlyVolume& a, const HourlyVolume& b) {

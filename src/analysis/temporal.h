@@ -30,6 +30,23 @@ struct HourlyVolume {
   double PeakToMean() const;
 };
 
+// Single-pass accumulator behind ComputeHourlyVolume. Records must be fed
+// in trace order for bit-identical float sums between the streaming and
+// in-memory paths (both feed chronological order).
+class HourlyVolumeAccumulator {
+ public:
+  HourlyVolumeAccumulator();
+  void Add(const trace::LogRecord& r);
+  HourlyVolume Finalize(const std::string& site_name);
+
+ private:
+  HourlyVolume result_;
+  std::array<double, 24> counts_{};
+  std::array<double, 24> bytes_{};
+  double total_count_ = 0.0;
+  double total_bytes_ = 0.0;
+};
+
 HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
                                  const std::string& site_name);
 

@@ -27,34 +27,31 @@ double TrendClusterResult::MemberShareOf(synth::PatternType type) const {
          static_cast<double>(clustered_objects);
 }
 
-std::vector<std::pair<std::uint64_t, std::vector<double>>>
-BuildObjectHourlySeries(const trace::TraceBuffer& trace,
-                        const TrendClusterConfig& config) {
-  // Request counts and hourly series per object of the selected class.
-  struct Acc {
-    std::uint64_t count = 0;
-    std::vector<double> hours;
-  };
-  std::unordered_map<std::uint64_t, Acc> accs;
-  for (const auto& r : trace.records()) {
-    if (config.use_class &&
-        trace::ClassOf(r.file_type) != config.content_class) {
-      continue;
-    }
-    auto& acc = accs[r.url_hash];
-    if (acc.hours.empty()) {
-      acc.hours.assign(static_cast<std::size_t>(util::kHoursPerWeek), 0.0);
-    }
-    ++acc.count;
-    const auto hour = static_cast<std::size_t>(std::clamp<std::int64_t>(
-        r.timestamp_ms / util::kMillisPerHour, 0, util::kHoursPerWeek - 1));
-    acc.hours[hour] += 1.0;
-  }
+TrendSeriesAccumulator::TrendSeriesAccumulator(
+    const TrendClusterConfig& config)
+    : config_(config) {}
 
+void TrendSeriesAccumulator::Add(const trace::LogRecord& r) {
+  if (config_.use_class &&
+      trace::ClassOf(r.file_type) != config_.content_class) {
+    return;
+  }
+  auto& acc = accs_[r.url_hash];
+  if (acc.hours.empty()) {
+    acc.hours.assign(static_cast<std::size_t>(util::kHoursPerWeek), 0.0);
+  }
+  ++acc.count;
+  const auto hour = static_cast<std::size_t>(std::clamp<std::int64_t>(
+      r.timestamp_ms / util::kMillisPerHour, 0, util::kHoursPerWeek - 1));
+  acc.hours[hour] += 1.0;
+}
+
+std::vector<std::pair<std::uint64_t, std::vector<double>>>
+TrendSeriesAccumulator::Finalize() {
   // Qualify and rank by request count.
   std::vector<std::pair<std::uint64_t, Acc*>> qualified;
-  for (auto& [hash, acc] : accs) {
-    if (acc.count >= config.min_requests) qualified.emplace_back(hash, &acc);
+  for (auto& [hash, acc] : accs_) {
+    if (acc.count >= config_.min_requests) qualified.emplace_back(hash, &acc);
   }
   std::sort(qualified.begin(), qualified.end(),
             [](const auto& a, const auto& b) {
@@ -63,8 +60,8 @@ BuildObjectHourlySeries(const trace::TraceBuffer& trace,
               }
               return a.first < b.first;  // deterministic tie-break
             });
-  if (qualified.size() > config.max_objects) {
-    qualified.resize(config.max_objects);
+  if (qualified.size() > config_.max_objects) {
+    qualified.resize(config_.max_objects);
   }
 
   std::vector<std::pair<std::uint64_t, std::vector<double>>> out;
@@ -73,21 +70,28 @@ BuildObjectHourlySeries(const trace::TraceBuffer& trace,
     // Smooth (objects are sparse at hour granularity), then sum-normalize:
     // shape, not magnitude (the paper's "normalized request count").
     stats::TimeSeries ts(util::kMillisPerHour, acc->hours);
-    if (config.smooth_hours > 1) ts = ts.Smoothed(config.smooth_hours);
+    if (config_.smooth_hours > 1) ts = ts.Smoothed(config_.smooth_hours);
     ts = ts.SumNormalized();
     out.emplace_back(hash, ts.values());
   }
   return out;
 }
 
-TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
-                                        const std::string& site_name,
-                                        const TrendClusterConfig& config) {
+std::vector<std::pair<std::uint64_t, std::vector<double>>>
+BuildObjectHourlySeries(const trace::TraceBuffer& trace,
+                        const TrendClusterConfig& config) {
+  TrendSeriesAccumulator acc(config);
+  for (const auto& r : trace.records()) acc.Add(r);
+  return acc.Finalize();
+}
+
+TrendClusterResult ClusterTrendSeries(
+    std::vector<std::pair<std::uint64_t, std::vector<double>>>
+        series_by_object,
+    const std::string& site_name, const TrendClusterConfig& config) {
   TrendClusterResult result;
   result.site = site_name;
   result.content_class = config.content_class;
-
-  auto series_by_object = BuildObjectHourlySeries(trace, config);
   result.clustered_objects = series_by_object.size();
   if (series_by_object.size() < 2) return result;
 
@@ -144,6 +148,13 @@ TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
               return a.member_count > b.member_count;
             });
   return result;
+}
+
+TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
+                                        const std::string& site_name,
+                                        const TrendClusterConfig& config) {
+  return ClusterTrendSeries(BuildObjectHourlySeries(trace, config), site_name,
+                            config);
 }
 
 }  // namespace atlas::analysis

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/dtw.h"
@@ -78,6 +80,33 @@ struct TrendClusterResult {
 TrendClusterResult ComputeTrendClusters(const trace::TraceBuffer& trace,
                                         const std::string& site_name,
                                         const TrendClusterConfig& config);
+
+// Single-pass accumulator behind BuildObjectHourlySeries: one 168-bin
+// hourly histogram per qualifying-class object, so the series matrix is
+// built without holding the trace. Finalize applies the qualification
+// threshold, the deterministic count/hash ranking, smoothing, and
+// sum-normalization.
+class TrendSeriesAccumulator {
+ public:
+  explicit TrendSeriesAccumulator(const TrendClusterConfig& config);
+  void Add(const trace::LogRecord& r);
+  std::vector<std::pair<std::uint64_t, std::vector<double>>> Finalize();
+
+ private:
+  struct Acc {
+    std::uint64_t count = 0;
+    std::vector<double> hours;
+  };
+  TrendClusterConfig config_;
+  std::unordered_map<std::uint64_t, Acc> accs_;
+};
+
+// Clustering back half of ComputeTrendClusters, operating on a prebuilt
+// series matrix (from TrendSeriesAccumulator or BuildObjectHourlySeries).
+TrendClusterResult ClusterTrendSeries(
+    std::vector<std::pair<std::uint64_t, std::vector<double>>>
+        series_by_object,
+    const std::string& site_name, const TrendClusterConfig& config);
 
 // Helper: hourly, sum-normalized request-count series per qualifying object
 // (exposed for tests and the medoid figure benches).

@@ -90,6 +90,16 @@ class Cache {
     used_bytes_ -= size;
     ++stats_.evictions;
   }
+  // Shared guard every Insert path must call first: an object larger than
+  // the whole cache can never fit no matter how much is evicted, so it is
+  // counted as rejected and the insert is skipped. Without this, policy
+  // eviction loops drain the cache and then fail hunting for a victim that
+  // cannot exist.
+  bool RejectOversized(std::uint64_t size_bytes) {
+    if (size_bytes <= capacity_bytes_) return false;
+    ++stats_.rejected;
+    return true;
+  }
 
  private:
   std::uint64_t capacity_bytes_;

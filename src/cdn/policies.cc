@@ -15,19 +15,23 @@ bool LruCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
 
 void LruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                       std::int64_t /*now_ms*/) {
-  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  if (RejectOversized(size_bytes)) return;
+  while (used_bytes() + size_bytes > capacity_bytes()) {
+    if (!EvictOne()) return;
+  }
   lru_.push_front(key);
   entries_[key] = Entry{size_bytes, lru_.begin()};
   OnInsertBytes(size_bytes);
 }
 
-void LruCache::EvictOne() {
-  if (lru_.empty()) throw std::logic_error("LruCache: evict from empty");
+bool LruCache::EvictOne() {
+  if (lru_.empty()) return false;
   const std::uint64_t victim = lru_.back();
   lru_.pop_back();
   auto it = entries_.find(victim);
   OnEvictBytes(it->second.size);
   entries_.erase(it);
+  return true;
 }
 
 // --- FifoCache ---------------------------------------------------------------
@@ -38,17 +42,23 @@ bool FifoCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
 
 void FifoCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                        std::int64_t /*now_ms*/) {
+  if (RejectOversized(size_bytes)) return;
   while (used_bytes() + size_bytes > capacity_bytes()) {
-    if (queue_.empty()) throw std::logic_error("FifoCache: evict from empty");
-    const std::uint64_t victim = queue_.front();
-    queue_.pop_front();
-    auto it = entries_.find(victim);
-    OnEvictBytes(it->second);
-    entries_.erase(it);
+    if (!EvictOne()) return;
   }
   queue_.push_back(key);
   entries_[key] = size_bytes;
   OnInsertBytes(size_bytes);
+}
+
+bool FifoCache::EvictOne() {
+  if (queue_.empty()) return false;
+  const std::uint64_t victim = queue_.front();
+  queue_.pop_front();
+  auto it = entries_.find(victim);
+  OnEvictBytes(it->second);
+  entries_.erase(it);
+  return true;
 }
 
 // --- LfuCache ---------------------------------------------------------------
@@ -72,15 +82,18 @@ bool LfuCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
 
 void LfuCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                       std::int64_t /*now_ms*/) {
-  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  if (RejectOversized(size_bytes)) return;
+  while (used_bytes() + size_bytes > capacity_bytes()) {
+    if (!EvictOne()) return;
+  }
   auto& bucket = buckets_[1];
   bucket.push_front(key);
   entries_[key] = Entry{size_bytes, 1, bucket.begin()};
   OnInsertBytes(size_bytes);
 }
 
-void LfuCache::EvictOne() {
-  if (buckets_.empty()) throw std::logic_error("LfuCache: evict from empty");
+bool LfuCache::EvictOne() {
+  if (buckets_.empty()) return false;
   auto bucket_it = buckets_.begin();  // lowest frequency
   auto& lru_list = bucket_it->second;
   const std::uint64_t victim = lru_list.back();  // least recent within bucket
@@ -89,6 +102,7 @@ void LfuCache::EvictOne() {
   auto it = entries_.find(victim);
   OnEvictBytes(it->second.size);
   entries_.erase(it);
+  return true;
 }
 
 // --- GdsfCache ---------------------------------------------------------------
@@ -101,6 +115,20 @@ double GdsfCache::PriorityOf(const Entry& e) const {
 
 void GdsfCache::PushHeap(std::uint64_t key, const Entry& e) {
   heap_.push(HeapItem{e.priority, key});
+  // Every hit strands the key's previous heap item, so without compaction
+  // the heap grows with accesses, not residents. Rebuild once stale items
+  // outnumber live ones (the +16 keeps tiny caches from recompacting on
+  // every push).
+  if (heap_.size() > 2 * entries_.size() + 16) CompactHeap();
+}
+
+void GdsfCache::CompactHeap() {
+  std::vector<HeapItem> live;
+  live.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    live.push_back(HeapItem{e.priority, key});
+  }
+  heap_ = decltype(heap_)(std::greater<>(), std::move(live));
 }
 
 bool GdsfCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
@@ -114,7 +142,10 @@ bool GdsfCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
 
 void GdsfCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                        std::int64_t /*now_ms*/) {
-  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  if (RejectOversized(size_bytes)) return;
+  while (used_bytes() + size_bytes > capacity_bytes()) {
+    if (!EvictOne()) return;
+  }
   Entry e{size_bytes, 1, 0.0};
   e.priority = PriorityOf(e);
   entries_[key] = e;
@@ -122,7 +153,7 @@ void GdsfCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
   OnInsertBytes(size_bytes);
 }
 
-void GdsfCache::EvictOne() {
+bool GdsfCache::EvictOne() {
   while (!heap_.empty()) {
     const HeapItem item = heap_.top();
     heap_.pop();
@@ -132,9 +163,9 @@ void GdsfCache::EvictOne() {
     inflation_ = item.priority;
     OnEvictBytes(it->second.size);
     entries_.erase(it);
-    return;
+    return true;
   }
-  throw std::logic_error("GdsfCache: evict from empty");
+  return false;
 }
 
 // --- S4LruCache ---------------------------------------------------------------
@@ -164,6 +195,7 @@ bool S4LruCache::Lookup(std::uint64_t key, std::int64_t /*now_ms*/) {
 
 void S4LruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                         std::int64_t /*now_ms*/) {
+  if (RejectOversized(size_bytes)) return;
   lists_[0].push_front(key);
   seg_bytes_[0] += size_bytes;
   entries_[key] = Entry{size_bytes, 0, lists_[0].begin()};
@@ -228,15 +260,19 @@ bool TtlLruCache::Lookup(std::uint64_t key, std::int64_t now_ms) {
 
 void TtlLruCache::Insert(std::uint64_t key, std::uint64_t size_bytes,
                          std::int64_t now_ms) {
-  while (used_bytes() + size_bytes > capacity_bytes()) EvictOne();
+  if (RejectOversized(size_bytes)) return;
+  while (used_bytes() + size_bytes > capacity_bytes()) {
+    if (!EvictOne()) return;
+  }
   lru_.push_front(key);
   entries_[key] = Entry{size_bytes, now_ms + ttl_ms_, lru_.begin()};
   OnInsertBytes(size_bytes);
 }
 
-void TtlLruCache::EvictOne() {
-  if (lru_.empty()) throw std::logic_error("TtlLruCache: evict from empty");
+bool TtlLruCache::EvictOne() {
+  if (lru_.empty()) return false;
   Erase(lru_.back());
+  return true;
 }
 
 }  // namespace atlas::cdn

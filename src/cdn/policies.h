@@ -46,7 +46,7 @@ class LruCache : public Cache {
     std::uint64_t size;
     std::list<std::uint64_t>::iterator lru_it;
   };
-  void EvictOne();
+  bool EvictOne();  // false when there is nothing left to evict
 
   std::list<std::uint64_t> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, Entry> entries_;
@@ -67,6 +67,8 @@ class FifoCache : public Cache {
               std::int64_t now_ms) override;
 
  private:
+  bool EvictOne();  // false when there is nothing left to evict
+
   std::list<std::uint64_t> queue_;  // front = oldest
   std::unordered_map<std::uint64_t, std::uint64_t> entries_;  // key -> size
 };
@@ -92,7 +94,7 @@ class LfuCache : public Cache {
     std::list<std::uint64_t>::iterator bucket_it;
   };
   void Touch(std::uint64_t key, Entry& entry);
-  void EvictOne();
+  bool EvictOne();  // false when there is nothing left to evict
 
   // freq -> LRU list of keys at that frequency (front = most recent).
   std::map<std::uint64_t, std::list<std::uint64_t>> buckets_;
@@ -107,6 +109,10 @@ class GdsfCache : public Cache {
     return entries_.count(key) > 0;
   }
   std::string name() const override { return "GDSF"; }
+  // Lazy-invalidation heap size, stale entries included. Compaction keeps
+  // this bounded by a small multiple of the live entry count (exposed so
+  // tests can assert the bound).
+  std::size_t heap_size() const { return heap_.size(); }
 
  protected:
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
@@ -128,7 +134,11 @@ class GdsfCache : public Cache {
   };
   double PriorityOf(const Entry& e) const;
   void PushHeap(std::uint64_t key, const Entry& e);
-  void EvictOne();
+  bool EvictOne();  // false when there is nothing left to evict
+  // Rebuilds the heap from live entries when stale items dominate; without
+  // it every hit leaves a dead heap item behind and the heap grows with the
+  // access count instead of the resident set.
+  void CompactHeap();
 
   double inflation_ = 0.0;  // "L": priority of the last evicted entry
   std::unordered_map<std::uint64_t, Entry> entries_;
@@ -188,7 +198,7 @@ class TtlLruCache : public Cache {
     std::list<std::uint64_t>::iterator lru_it;
   };
   void Erase(std::uint64_t key);
-  void EvictOne();
+  bool EvictOne();  // false when there is nothing left to evict
 
   std::int64_t ttl_ms_;
   std::list<std::uint64_t> lru_;

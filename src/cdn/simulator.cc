@@ -45,21 +45,32 @@ void Simulator::ApplyPushUpTo(std::int64_t now_ms,
   while (cursor < plan.size() && plan[cursor].push_at_ms <= now_ms) {
     const auto& item = plan[cursor];
     const auto& obj = catalog.object(item.object_index);
-    // Push the object (or its leading chunks) into every edge DC.
+    // Push the object (or its leading chunks) into every edge DC. When the
+    // prefix reaches the end of the file the final chunk is pushed at its
+    // actual (possibly short) size, matching what a viewer fetch would
+    // insert — otherwise pushed and fetched copies of the same chunk key
+    // disagree on occupancy.
     std::uint64_t chunks = 1;
     std::uint64_t chunk_size = obj.size_bytes;
+    std::uint64_t last_size = obj.size_bytes;
     if (obj.content_class == trace::ContentClass::kVideo &&
         config_.chunk_bytes > 0 && obj.size_bytes > config_.chunk_bytes) {
-      chunks = std::min<std::uint64_t>(
-          config_.push.video_prefix_chunks,
-          (obj.size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes);
+      const std::uint64_t total_chunks =
+          (obj.size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes;
+      chunks = std::min<std::uint64_t>(config_.push.video_prefix_chunks,
+                                       total_chunks);
       chunk_size = config_.chunk_bytes;
+      last_size = chunks == total_chunks
+                      ? obj.size_bytes - (total_chunks - 1) * config_.chunk_bytes
+                      : config_.chunk_bytes;
     }
     for (std::size_t d = 0; d < topology.dc_count(); ++d) {
       for (std::uint64_t c = 0; c < chunks; ++c) {
+        const std::uint64_t push_bytes = c + 1 == chunks ? last_size
+                                                         : chunk_size;
         if (topology.mutable_dc(d).cache->Admit(ChunkKey(obj.url_hash, c),
-                                                chunk_size, item.push_at_ms)) {
-          result.pushed_bytes += chunk_size;
+                                                push_bytes, item.push_at_ms)) {
+          result.pushed_bytes += push_bytes;
         }
       }
     }
@@ -160,10 +171,12 @@ SimulatorResult Simulator::Run(const synth::WorkloadGenerator& gen,
         const std::uint64_t bytes =
             c + 1 == plan.num_chunks ? plan.last_chunk_bytes : plan.chunk_bytes;
         const std::uint64_t key = ChunkKey(obj.url_hash, c);
-        const trace::CacheStatus status =
-            dc.cache->Access(key, plan.chunk_bytes, t);
+        // The final chunk is usually short; cache and origin accounting must
+        // use its actual size or every non-multiple video inflates edge
+        // occupancy and origin bytes by up to chunk_bytes - 1.
+        const trace::CacheStatus status = dc.cache->Access(key, bytes, t);
         if (status == trace::CacheStatus::kMiss) {
-          fill(dc, key, plan.chunk_bytes);
+          fill(dc, key, bytes);
         }
         trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id_);
         rec.timestamp_ms = t;

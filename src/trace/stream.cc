@@ -1,0 +1,237 @@
+#include "trace/stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "trace/wire_format.h"
+#include "util/hash.h"
+
+namespace atlas::trace {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'T', 'L', 'S'};
+
+template <typename T>
+void WriteLe(std::ostream& out, T value) {
+  unsigned char bytes[sizeof(T)];
+  wire::StoreLe(bytes, value);
+  out.write(reinterpret_cast<const char*>(bytes), sizeof(T));
+}
+
+template <typename T>
+T ReadLe(std::istream& in) {
+  unsigned char bytes[sizeof(T)];
+  in.read(reinterpret_cast<char*>(bytes), sizeof(T));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  return wire::LoadLe<T>(bytes);
+}
+
+}  // namespace
+
+BufferSource::BufferSource(const TraceBuffer& buffer,
+                           std::size_t chunk_records)
+    : buffer_(buffer), chunk_records_(std::max<std::size_t>(1, chunk_records)) {}
+
+std::span<const LogRecord> BufferSource::NextChunk() {
+  const auto& records = buffer_.records();
+  if (pos_ >= records.size()) return {};
+  const std::size_t n = std::min(chunk_records_, records.size() - pos_);
+  std::span<const LogRecord> chunk(records.data() + pos_, n);
+  pos_ += n;
+  return chunk;
+}
+
+TraceWriter::TraceWriter(std::ostream& out, std::size_t block_records)
+    : out_(out),
+      block_records_(
+          std::clamp<std::size_t>(block_records, 1, kMaxBlockRecords)) {
+  payload_.reserve(block_records_ * wire::kRecordWireSize);
+  out_.write(kMagic, sizeof(kMagic));
+  WriteLe(out_, kBlockFormatVersion);
+  count_pos_ = out_.tellp();
+  seekable_ = count_pos_ != std::ostream::pos_type(-1);
+  WriteLe(out_, kUnknownCount);
+  if (!out_) throw std::runtime_error("trace_io: write failed");
+}
+
+void TraceWriter::Add(const LogRecord& record) {
+  if (finished_) throw std::logic_error("TraceWriter: Add after Finish");
+  unsigned char buf[wire::kRecordWireSize];
+  wire::EncodeRecord(record, buf);
+  payload_.insert(payload_.end(), buf, buf + sizeof(buf));
+  ++block_nrec_;
+  ++total_;
+  if (block_nrec_ == block_records_) FlushBlock();
+}
+
+void TraceWriter::Append(std::span<const LogRecord> records) {
+  for (const auto& r : records) Add(r);
+}
+
+void TraceWriter::FlushBlock() {
+  if (block_nrec_ == 0) return;
+  WriteLe(out_, block_nrec_);
+  WriteLe(out_, static_cast<std::uint32_t>(payload_.size()));
+  WriteLe(out_, util::Crc32(payload_.data(), payload_.size()));
+  out_.write(reinterpret_cast<const char*>(payload_.data()),
+             static_cast<std::streamsize>(payload_.size()));
+  if (!out_) throw std::runtime_error("trace_io: write failed");
+  payload_.clear();
+  block_nrec_ = 0;
+}
+
+void TraceWriter::Finish() {
+  if (finished_) return;
+  FlushBlock();
+  // Terminator block, then the trailer count every reader can rely on.
+  WriteLe(out_, std::uint32_t{0});
+  WriteLe(out_, std::uint32_t{0});
+  WriteLe(out_, std::uint32_t{0});
+  WriteLe(out_, total_);
+  if (seekable_) {
+    const auto end_pos = out_.tellp();
+    out_.seekp(count_pos_);
+    WriteLe(out_, total_);
+    out_.seekp(end_pos);
+  }
+  out_.flush();
+  if (!out_) throw std::runtime_error("trace_io: write failed");
+  finished_ = true;
+}
+
+TraceReader::TraceReader(std::istream& in, std::size_t chunk_records)
+    : in_(in),
+      chunk_records_(
+          std::clamp<std::size_t>(chunk_records, 1, kMaxBlockRecords)) {
+  char magic[4];
+  in_.read(magic, sizeof(magic));
+  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace_io: bad magic");
+  }
+  version_ = ReadLe<std::uint32_t>(in_);
+  if (version_ != 1 && version_ != kBlockFormatVersion) {
+    throw std::runtime_error("trace_io: unsupported version " +
+                             std::to_string(version_));
+  }
+  header_count_ = ReadLe<std::uint64_t>(in_);
+  if (version_ == 1 && header_count_ == kUnknownCount) {
+    throw std::runtime_error("trace_io: bad record count");
+  }
+}
+
+std::optional<std::uint64_t> TraceReader::declared_count() const {
+  if (header_count_ == kUnknownCount) return std::nullopt;
+  return header_count_;
+}
+
+std::span<const LogRecord> TraceReader::NextChunk() {
+  if (done_) return {};
+  return version_ == 1 ? NextChunkV1() : NextChunkV2();
+}
+
+std::span<const LogRecord> TraceReader::NextChunkV1() {
+  const std::uint64_t remaining = header_count_ - records_read_;
+  if (remaining == 0) {
+    done_ = true;
+    return {};
+  }
+  const auto n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining, chunk_records_));
+  raw_.resize(n * wire::kRecordWireSize);
+  in_.read(reinterpret_cast<char*>(raw_.data()),
+           static_cast<std::streamsize>(raw_.size()));
+  if (static_cast<std::size_t>(in_.gcount()) != raw_.size()) {
+    throw std::runtime_error("trace_io: truncated input");
+  }
+  records_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records_[i] = wire::DecodeRecord(raw_.data() + i * wire::kRecordWireSize);
+  }
+  records_read_ += n;
+  return {records_.data(), n};
+}
+
+std::span<const LogRecord> TraceReader::NextChunkV2() {
+  const auto nrec = ReadLe<std::uint32_t>(in_);
+  const auto payload_bytes = ReadLe<std::uint32_t>(in_);
+  const auto crc = ReadLe<std::uint32_t>(in_);
+  if (nrec == 0) {
+    // Terminator. The trailer count must match what we handed out, and the
+    // header count too when the writer was able to patch it in.
+    if (payload_bytes != 0 || crc != 0) {
+      throw std::runtime_error("trace_io: malformed terminator block");
+    }
+    const auto trailer = ReadLe<std::uint64_t>(in_);
+    if (trailer != records_read_) {
+      throw std::runtime_error("trace_io: trailer count mismatch");
+    }
+    if (header_count_ != kUnknownCount && header_count_ != records_read_) {
+      throw std::runtime_error("trace_io: header count mismatch");
+    }
+    done_ = true;
+    return {};
+  }
+  if (nrec > kMaxBlockRecords ||
+      payload_bytes != nrec * wire::kRecordWireSize) {
+    throw std::runtime_error("trace_io: bad block header");
+  }
+  raw_.resize(payload_bytes);
+  in_.read(reinterpret_cast<char*>(raw_.data()),
+           static_cast<std::streamsize>(raw_.size()));
+  if (static_cast<std::size_t>(in_.gcount()) != raw_.size()) {
+    throw std::runtime_error("trace_io: truncated input");
+  }
+  if (util::Crc32(raw_.data(), raw_.size()) != crc) {
+    throw std::runtime_error("trace_io: block CRC mismatch");
+  }
+  records_.resize(nrec);
+  for (std::size_t i = 0; i < nrec; ++i) {
+    records_[i] = wire::DecodeRecord(raw_.data() + i * wire::kRecordWireSize);
+  }
+  records_read_ += nrec;
+  return {records_.data(), records_.size()};
+}
+
+std::ifstream& TraceFileReader::Checked(std::ifstream& in,
+                                        const std::string& path) {
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return in;
+}
+
+TraceFileReader::TraceFileReader(const std::string& path,
+                                 std::size_t chunk_records)
+    : in_(path, std::ios::binary),
+      reader_(Checked(in_, path), chunk_records) {}
+
+void WriteV2(const TraceBuffer& trace, std::ostream& out,
+             std::size_t block_records) {
+  TraceWriter writer(out, block_records);
+  writer.Append(trace.records());
+  writer.Finish();
+}
+
+void WriteV2File(const TraceBuffer& trace, const std::string& path,
+                 std::size_t block_records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  WriteV2(trace, out, block_records);
+}
+
+TraceBuffer ReadAllRecords(RecordSource& source) {
+  TraceBuffer trace;
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& r : chunk) trace.Add(r);
+  }
+  return trace;
+}
+
+TraceBuffer ReadAnyBinaryFile(const std::string& path) {
+  TraceFileReader reader(path);
+  return ReadAllRecords(reader);
+}
+
+}  // namespace atlas::trace

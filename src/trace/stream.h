@@ -1,0 +1,165 @@
+// Streaming trace I/O: the v2 block format plus the RecordSource interface
+// the analysis side consumes.
+//
+// Format v2 (little-endian):
+//
+//   magic "ATLS" | u32 version=2 | u64 total_count
+//   blocks:  u32 nrec (> 0) | u32 payload_bytes | u32 crc32 | payload
+//   end:     u32 0 | u32 0 | u32 0 | u64 total_count (trailer)
+//
+// Each payload holds `nrec` records at 51 bytes apiece (wire_format.h), so
+// `payload_bytes` is redundant with `nrec` and both are validated, along
+// with the payload CRC-32, before any record is decoded. The header count
+// is patched in at Finish() when the sink is seekable; on a pipe it stays
+// at the kUnknownCount sentinel and readers learn the count from the
+// trailer. A trace of any length streams through one block of memory.
+//
+// RecordSource is the pull interface: NextChunk() yields a span of records
+// valid until the next call, empty at end of stream. TraceReader implements
+// it for v1 and v2 files alike, BufferSource for in-memory TraceBuffers —
+// which is how the one-shot in-memory analysis path is built on top of the
+// streaming one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.h"
+
+namespace atlas::trace {
+
+inline constexpr std::uint32_t kBlockFormatVersion = 2;
+// Records per block: 8192 * 51 B ≈ 408 KB payloads — big enough to
+// amortize syscalls, small enough that a reader's working set is trivial.
+inline constexpr std::size_t kDefaultBlockRecords = 8192;
+// Upper bound a reader will accept for one block; anything larger is
+// corruption, not a legitimate writer.
+inline constexpr std::size_t kMaxBlockRecords = 1u << 20;
+// Header count sentinel for v2 streams written to non-seekable sinks.
+inline constexpr std::uint64_t kUnknownCount = ~0ULL;
+
+// Pull-based record stream. Spans stay valid until the next NextChunk()
+// call (or the source's destruction).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  // Next batch of records; empty span means end of stream.
+  virtual std::span<const LogRecord> NextChunk() = 0;
+};
+
+// Streams an in-memory TraceBuffer, chunk_records at a time.
+class BufferSource final : public RecordSource {
+ public:
+  explicit BufferSource(const TraceBuffer& buffer,
+                        std::size_t chunk_records = kDefaultBlockRecords);
+  std::span<const LogRecord> NextChunk() override;
+
+ private:
+  const TraceBuffer& buffer_;
+  std::size_t chunk_records_;
+  std::size_t pos_ = 0;
+};
+
+// Writes the v2 block format. Records accumulate into a block buffer that
+// is flushed (with its CRC) whenever full; Finish() flushes the tail block,
+// writes the terminator + trailer, and back-patches the header count when
+// the sink is seekable. Finish() must be called — a stream abandoned
+// without it has no terminator and readers will (correctly) report it as
+// truncated.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out,
+                       std::size_t block_records = kDefaultBlockRecords);
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void Add(const LogRecord& record);
+  void Append(std::span<const LogRecord> records);
+  // Idempotent; throws std::runtime_error if the sink failed.
+  void Finish();
+
+  std::uint64_t written() const { return total_; }
+
+ private:
+  void FlushBlock();
+
+  std::ostream& out_;
+  std::size_t block_records_;
+  std::vector<unsigned char> payload_;
+  std::uint32_t block_nrec_ = 0;
+  std::uint64_t total_ = 0;
+  std::ostream::pos_type count_pos_;
+  bool seekable_ = false;
+  bool finished_ = false;
+};
+
+// Reads v1 or v2 trace streams (dispatching on the header version) through
+// bounded memory. For v2, every block's length fields and CRC are verified
+// and the trailer count is cross-checked against the records actually
+// delivered, so truncation and bit-rot surface as errors, not short reads.
+class TraceReader final : public RecordSource {
+ public:
+  // Throws std::runtime_error on bad magic or unsupported version.
+  explicit TraceReader(std::istream& in,
+                       std::size_t chunk_records = kDefaultBlockRecords);
+
+  std::span<const LogRecord> NextChunk() override;
+
+  std::uint32_t version() const { return version_; }
+  // Count from the header; nullopt for a v2 stream whose writer could not
+  // seek (the count is then only known from the trailer, at end of read).
+  std::optional<std::uint64_t> declared_count() const;
+  std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  std::span<const LogRecord> NextChunkV1();
+  std::span<const LogRecord> NextChunkV2();
+
+  std::istream& in_;
+  std::size_t chunk_records_;
+  std::uint32_t version_ = 0;
+  std::uint64_t header_count_ = 0;
+  std::uint64_t records_read_ = 0;
+  bool done_ = false;
+  std::vector<unsigned char> raw_;
+  std::vector<LogRecord> records_;
+};
+
+// TraceReader over a file it owns; the usual way to hand a trace file to
+// the streaming analysis suite.
+class TraceFileReader final : public RecordSource {
+ public:
+  // Throws std::runtime_error if the file cannot be opened or parsed.
+  explicit TraceFileReader(const std::string& path,
+                           std::size_t chunk_records = kDefaultBlockRecords);
+  std::span<const LogRecord> NextChunk() override { return reader_.NextChunk(); }
+
+  std::uint32_t version() const { return reader_.version(); }
+  std::optional<std::uint64_t> declared_count() const {
+    return reader_.declared_count();
+  }
+
+ private:
+  static std::ifstream& Checked(std::ifstream& in, const std::string& path);
+
+  std::ifstream in_;
+  TraceReader reader_;
+};
+
+// Whole-buffer conveniences over the streaming primitives.
+void WriteV2(const TraceBuffer& trace, std::ostream& out,
+             std::size_t block_records = kDefaultBlockRecords);
+void WriteV2File(const TraceBuffer& trace, const std::string& path,
+                 std::size_t block_records = kDefaultBlockRecords);
+
+// Drains a source into a TraceBuffer (the in-memory bridge).
+TraceBuffer ReadAllRecords(RecordSource& source);
+// Reads a v1 *or* v2 trace file into memory.
+TraceBuffer ReadAnyBinaryFile(const std::string& path);
+
+}  // namespace atlas::trace

@@ -1,5 +1,6 @@
 #include "trace/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 
 #include "trace/content_class.h"
+#include "trace/wire_format.h"
 #include "util/csv.h"
 #include "util/str.h"
 
@@ -15,65 +17,37 @@ namespace {
 
 constexpr char kMagic[4] = {'A', 'T', 'L', 'S'};
 
+// The header's record count is corruption-controlled until the records
+// themselves parse; never pre-allocate more than this many on its say-so.
+// (A genuine giant trace still loads fine — the vector just grows.)
+constexpr std::uint64_t kMaxPreallocRecords = 1u << 20;
+
 template <typename T>
 void WriteLe(std::ostream& out, T value) {
-  static_assert(std::is_integral_v<T>);
   unsigned char bytes[sizeof(T)];
-  using U = std::make_unsigned_t<T>;
-  auto u = static_cast<U>(value);
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    bytes[i] = static_cast<unsigned char>(u & 0xff);
-    u = static_cast<U>(u >> 8);
-  }
+  wire::StoreLe(bytes, value);
   out.write(reinterpret_cast<const char*>(bytes), sizeof(T));
 }
 
 template <typename T>
 T ReadLe(std::istream& in) {
-  static_assert(std::is_integral_v<T>);
   unsigned char bytes[sizeof(T)];
   in.read(reinterpret_cast<char*>(bytes), sizeof(T));
   if (!in) throw std::runtime_error("trace_io: truncated input");
-  using U = std::make_unsigned_t<T>;
-  U u = 0;
-  for (std::size_t i = sizeof(T); i > 0; --i) {
-    u = static_cast<U>(u << 8) | bytes[i - 1];
-  }
-  return static_cast<T>(u);
+  return wire::LoadLe<T>(bytes);
 }
 
 void WriteRecord(std::ostream& out, const LogRecord& r) {
-  WriteLe(out, r.timestamp_ms);
-  WriteLe(out, r.url_hash);
-  WriteLe(out, r.user_id);
-  WriteLe(out, r.object_size);
-  WriteLe(out, r.response_bytes);
-  WriteLe(out, r.publisher_id);
-  WriteLe(out, r.user_agent_id);
-  WriteLe(out, r.response_code);
-  WriteLe(out, static_cast<std::uint8_t>(r.file_type));
-  WriteLe(out, static_cast<std::uint8_t>(r.cache_status));
-  WriteLe(out, r.tz_offset_quarter_hours);
+  unsigned char buf[wire::kRecordWireSize];
+  wire::EncodeRecord(r, buf);
+  out.write(reinterpret_cast<const char*>(buf), sizeof(buf));
 }
 
 LogRecord ReadRecord(std::istream& in) {
-  LogRecord r;
-  r.timestamp_ms = ReadLe<std::int64_t>(in);
-  r.url_hash = ReadLe<std::uint64_t>(in);
-  r.user_id = ReadLe<std::uint64_t>(in);
-  r.object_size = ReadLe<std::uint64_t>(in);
-  r.response_bytes = ReadLe<std::uint64_t>(in);
-  r.publisher_id = ReadLe<std::uint32_t>(in);
-  r.user_agent_id = ReadLe<std::uint16_t>(in);
-  r.response_code = ReadLe<std::uint16_t>(in);
-  const auto ft = ReadLe<std::uint8_t>(in);
-  if (ft >= kNumFileTypes) throw std::runtime_error("trace_io: bad file type");
-  r.file_type = static_cast<FileType>(ft);
-  const auto cs = ReadLe<std::uint8_t>(in);
-  if (cs > 1) throw std::runtime_error("trace_io: bad cache status");
-  r.cache_status = static_cast<CacheStatus>(cs);
-  r.tz_offset_quarter_hours = ReadLe<std::int8_t>(in);
-  return r;
+  unsigned char buf[wire::kRecordWireSize];
+  in.read(reinterpret_cast<char*>(buf), sizeof(buf));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  return wire::DecodeRecord(buf);
 }
 
 }  // namespace
@@ -105,7 +79,8 @@ TraceBuffer ReadBinary(std::istream& in) {
   }
   const auto count = ReadLe<std::uint64_t>(in);
   TraceBuffer trace;
-  trace.Reserve(count);
+  trace.Reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kMaxPreallocRecords)));
   for (std::uint64_t i = 0; i < count; ++i) trace.Add(ReadRecord(in));
   return trace;
 }
@@ -154,7 +129,10 @@ TraceBuffer ReadCsv(std::istream& in) {
       throw std::runtime_error("trace_io: bad CSV field count");
     }
     LogRecord r;
-    r.timestamp_ms = static_cast<std::int64_t>(util::ParseUint64(fields[0]));
+    r.timestamp_ms = util::ParseInt64(fields[0]);
+    if (r.timestamp_ms < 0) {
+      throw std::runtime_error("trace_io: negative timestamp_ms");
+    }
     r.url_hash = util::ParseUint64(fields[1]);
     r.user_id = util::ParseUint64(fields[2]);
     r.object_size = util::ParseUint64(fields[3]);

@@ -1,9 +1,11 @@
 // Trace serialization: a versioned binary format plus CSV import/export.
 //
-// Binary layout (little-endian):
+// Binary layout (little-endian), format v1:
 //   magic "ATLS" | u32 version | u64 record_count | records...
 // Each record is written field-by-field (no struct memcpy), so the format is
-// independent of compiler padding and stable across platforms.
+// independent of compiler padding and stable across platforms. The block-
+// based, checksummed v2 format and its streaming reader/writer live in
+// stream.h; ReadAnyBinaryFile there accepts either version.
 #pragma once
 
 #include <iosfwd>

@@ -27,6 +27,33 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
                  (seed >> 4));
 }
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 std::uint64_t HashToBucket(std::uint64_t hash, std::uint64_t buckets) {
   if (buckets == 0) throw std::invalid_argument("HashToBucket: 0 buckets");
   return static_cast<std::uint64_t>(

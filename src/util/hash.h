@@ -25,4 +25,9 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value);
 // consistent sharding of users onto data centers and similar assignments.
 std::uint64_t HashToBucket(std::uint64_t hash, std::uint64_t buckets);
 
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// v2 block trace format stamps on every payload. Incremental: pass the
+// previous return value as `seed` to extend a running checksum.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
 }  // namespace atlas::util

@@ -1,0 +1,43 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace atlas::util {
+namespace {
+
+// Parses "<field>:   <n> kB" out of /proc/self/status; 0 if absent.
+std::uint64_t StatusFieldKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t CurrentRssBytes() { return StatusFieldKb("VmRSS") * 1024; }
+
+std::uint64_t PeakRssBytes() { return StatusFieldKb("VmHWM") * 1024; }
+
+bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  // "5" resets the peak-RSS watermark (Documentation/filesystems/proc.rst).
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace atlas::util

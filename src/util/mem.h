@@ -1,0 +1,26 @@
+// Process memory introspection.
+//
+// Used by the streaming benches and the bounded-memory tests to show that
+// the out-of-core trace pipeline actually holds its memory budget: peak
+// resident set is read from /proc/self/status (VmHWM) and can be reset
+// between measurement phases via /proc/self/clear_refs. On platforms
+// without procfs every call degrades to 0/false so callers can gate on it.
+#pragma once
+
+#include <cstdint>
+
+namespace atlas::util {
+
+// Current resident set size in bytes (VmRSS); 0 if unavailable.
+std::uint64_t CurrentRssBytes();
+
+// Peak resident set size in bytes since process start or the last
+// ResetPeakRss() (VmHWM); 0 if unavailable.
+std::uint64_t PeakRssBytes();
+
+// Resets the peak-RSS watermark to the current RSS. Best-effort: returns
+// false where the kernel interface is missing (non-Linux, restricted
+// procfs), in which case PeakRssBytes() keeps its lifetime semantics.
+bool ResetPeakRss();
+
+}  // namespace atlas::util

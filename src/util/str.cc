@@ -136,6 +136,17 @@ std::uint64_t ParseUint64(std::string_view s) {
   return value;
 }
 
+std::int64_t ParseInt64(std::string_view s) {
+  s = Trim(s);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("ParseInt64: malformed integer: " +
+                                std::string(s));
+  }
+  return value;
+}
+
 double ParseDouble(std::string_view s) {
   s = Trim(s);
   double value = 0.0;

@@ -42,4 +42,10 @@ std::string PadLeft(std::string_view s, std::size_t width);
 std::uint64_t ParseUint64(std::string_view s);
 double ParseDouble(std::string_view s);
 
+// Parses a (possibly negative) integer; throws std::invalid_argument on
+// malformed input. Callers that need a narrower domain (e.g. non-negative
+// timestamps) check the range themselves so they can report which field
+// was out of range.
+std::int64_t ParseInt64(std::string_view s);
+
 }  // namespace atlas::util

@@ -99,6 +99,88 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyTest,
                                       : ToString(info.param);
                          });
 
+// --- Direct Insert hardening --------------------------------------------------
+// Access/Admit screen oversized objects before Insert, but Insert is the
+// policy-layer contract: subclasses and future call sites must get a clean
+// rejection (counted in stats().rejected), never an eviction loop that
+// drains the cache hunting for space that cannot exist and then throws.
+
+template <typename Policy>
+struct OpenInsert : Policy {
+  using Policy::Policy;
+  using Policy::Insert;  // protected -> public for white-box tests
+};
+
+template <typename Policy>
+OpenInsert<Policy> MakeOpen(std::uint64_t capacity) {
+  return OpenInsert<Policy>(capacity);
+}
+template <>
+OpenInsert<TtlLruCache> MakeOpen<TtlLruCache>(std::uint64_t capacity) {
+  return OpenInsert<TtlLruCache>(capacity, /*ttl_ms=*/1000000000LL);
+}
+
+template <typename Policy>
+class DirectInsertTest : public ::testing::Test {};
+
+using AllPolicyTypes = ::testing::Types<LruCache, FifoCache, LfuCache,
+                                        GdsfCache, S4LruCache, TtlLruCache>;
+TYPED_TEST_SUITE(DirectInsertTest, AllPolicyTypes);
+
+TYPED_TEST(DirectInsertTest, OversizedInsertRejectedNotFatal) {
+  auto cache = MakeOpen<TypeParam>(1000);
+  EXPECT_NO_THROW(cache.Insert(1, 5000, 0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TYPED_TEST(DirectInsertTest, OversizedInsertLeavesResidentsAlone) {
+  auto cache = MakeOpen<TypeParam>(1000);
+  cache.Insert(1, 200, 0);
+  cache.Insert(2, 200, 1);
+  const bool had1 = cache.Contains(1);
+  const bool had2 = cache.Contains(2);
+  const std::uint64_t used_before = cache.used_bytes();
+  const std::uint64_t evictions_before = cache.stats().evictions;
+  // Pre-guard, the eviction loop evicted every resident before giving up;
+  // the cache must instead stay exactly as it was.
+  EXPECT_NO_THROW(cache.Insert(99, 4000, 2));
+  EXPECT_EQ(cache.Contains(1), had1);
+  EXPECT_EQ(cache.Contains(2), had2);
+  EXPECT_FALSE(cache.Contains(99));
+  EXPECT_EQ(cache.used_bytes(), used_before);
+  EXPECT_EQ(cache.stats().evictions, evictions_before);
+}
+
+TEST(GdsfCacheTest, LazyHeapStaysBounded) {
+  // Every hit re-pushes the key with its new priority and strands the old
+  // heap item. Without compaction the heap grows with the access count;
+  // with it, it stays within a small multiple of the resident set.
+  GdsfCache cache(1 << 20);
+  constexpr std::uint64_t kKeys = 10;
+  for (std::uint64_t k = 0; k < kKeys; ++k) cache.Access(k, 1000, 0);
+  for (int round = 0; round < 10000; ++round) {
+    cache.Access(static_cast<std::uint64_t>(round) % kKeys, 1000, round + 1);
+  }
+  EXPECT_EQ(cache.stats().hits, 10000u);
+  EXPECT_LE(cache.heap_size(), 2 * kKeys + 16);
+}
+
+TEST(GdsfCacheTest, EvictionStillExactAfterCompaction) {
+  // Compaction must preserve GDSF's victim choice: a small, hot object
+  // outlives a large cold one even after thousands of heap rebuilds.
+  GdsfCache cache(10000);
+  cache.Access(1, 9000, 0);  // large, cold
+  cache.Access(2, 500, 1);   // small...
+  for (int i = 0; i < 5000; ++i) cache.Access(2, 500, 2 + i);  // ...and hot
+  cache.Access(3, 5000, 9999);  // needs space: the large cold one goes
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
 // --- Policy-specific behaviour ------------------------------------------------
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {

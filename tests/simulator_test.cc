@@ -185,6 +185,51 @@ TEST(SimulatorTest, UnsortedEventsRejected) {
   EXPECT_THROW(sim.Run(gen, events), std::invalid_argument);
 }
 
+TEST(SimulatorTest, FinalVideoChunkBilledAtActualSize) {
+  // Regression: the final chunk of a video whose size is not a multiple of
+  // chunk_bytes used to be looked up and origin-filled at the full
+  // chunk_bytes, inflating edge occupancy and origin bytes for every such
+  // video. A cold full watch must pull exactly the object's bytes.
+  synth::WorkloadGenerator gen(synth::SiteProfile::V1(0.01), 3);
+  const synth::Catalog& catalog = gen.catalog();
+  SimulatorConfig config = SmallConfig();
+
+  std::size_t target = catalog.size();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& obj = catalog.object(i);
+    if (obj.content_class == trace::ContentClass::kVideo &&
+        obj.size_bytes > config.chunk_bytes &&
+        obj.size_bytes % config.chunk_bytes != 0) {
+      target = i;
+      break;
+    }
+  }
+  ASSERT_LT(target, catalog.size()) << "no non-multiple video in catalog";
+  const auto& obj = catalog.object(target);
+
+  synth::RequestEvent ev;
+  ev.timestamp_ms = 1000;
+  ev.user_index = 0;
+  ev.object_index = static_cast<std::uint32_t>(target);
+  ev.session_start = true;
+  ev.watch_fraction = 1.0;
+
+  Simulator sim(config, 0);
+  const auto result = sim.Run(gen, {ev});
+  const std::uint64_t expected_chunks =
+      (obj.size_bytes + config.chunk_bytes - 1) / config.chunk_bytes;
+  ASSERT_EQ(result.trace.size(), expected_chunks);
+  // Every chunk is a cold miss; origin traffic and miss-byte accounting
+  // must both equal the object size, not a whole-chunk roundup.
+  EXPECT_EQ(result.origin.bytes, obj.size_bytes);
+  EXPECT_EQ(result.edge_stats.miss_bytes, obj.size_bytes);
+  // The emitted records already carried the true size; they must agree
+  // with what the cache layer was billed.
+  std::uint64_t response_bytes = 0;
+  for (const auto& r : result.trace.records()) response_bytes += r.response_bytes;
+  EXPECT_EQ(response_bytes, obj.size_bytes);
+}
+
 TEST(SimulatorTest, DeterministicAcrossRuns) {
   const auto a = SimulateSite(synth::SiteProfile::V2(0.01), 0, SmallConfig(), 23);
   const auto b = SimulateSite(synth::SiteProfile::V2(0.01), 0, SmallConfig(), 23);

@@ -181,6 +181,44 @@ TEST(RoundTripPropertyTest, BinaryCsvBinaryPreservesRandomizedRecords) {
   EXPECT_EQ(bin1.str(), bin2.str());
 }
 
+TEST(BinaryIoTest, HugeDeclaredCountFailsCleanlyNotOom) {
+  // Regression: a corrupt header declaring ~2^60 records used to drive
+  // Reserve() straight off that number. The count is attacker-controlled
+  // until records actually parse; the prealloc must be clamped and the
+  // (immediate) truncation reported as the ordinary parse error.
+  std::stringstream stream;
+  WriteBinary(MakeSampleTrace(3), stream);
+  std::string data = stream.str();
+  const std::uint64_t huge = 1ULL << 60;
+  for (int i = 0; i < 8; ++i) {
+    data[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  std::stringstream bad(data);
+  EXPECT_THROW(ReadBinary(bad), std::runtime_error);  // not std::bad_alloc
+}
+
+TEST(BinaryIoTest, NegativeTimestampRejected) {
+  // The wire format stores timestamp_ms as two's complement; a negative
+  // value can only come from corruption and every consumer assumes
+  // non-negative clocks.
+  TraceBuffer buf = MakeSampleTrace(2);
+  buf.mutable_records()[1].timestamp_ms = -5;
+  std::stringstream stream;
+  WriteBinary(buf, stream);
+  EXPECT_THROW(ReadBinary(stream), std::runtime_error);
+}
+
+TEST(CsvIoTest, NegativeTimestampRejected) {
+  TraceBuffer buf = MakeSampleTrace(1);
+  std::stringstream stream;
+  WriteCsv(buf, stream);
+  std::string text = stream.str();
+  const auto row = text.find('\n') + 1;
+  text.insert(row, "-");  // timestamp_ms is the first field
+  std::stringstream bad(text);
+  EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
 TEST(CsvIoTest, ClassMismatchRejected) {
   // Build a valid row, then claim an mp4 is an image.
   TraceBuffer buf = MakeSampleTrace(1);

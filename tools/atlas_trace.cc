@@ -1,23 +1,30 @@
 // atlas_trace — command-line trace utility.
 //
-//   atlas_trace info   <trace.bin>                 summary + per-publisher stats
-//   atlas_trace head   <trace.bin> [--n 20]        print the first records
-//   atlas_trace tocsv  <trace.bin> <out.csv>       binary -> CSV
-//   atlas_trace tobin  <trace.csv> <out.bin>       CSV -> binary
-//   atlas_trace filter <in.bin> <out.bin> [--publisher N] [--class video]
-//                      [--from-ms T] [--to-ms T]   subset a trace
-//   atlas_trace gen    <out.bin> [--scale 0.05] [--seed 42] [--threads N]
-//                                                  generate a fresh study trace
+//   atlas_trace info    <trace.bin> [--stream]     summary + per-publisher stats
+//   atlas_trace head    <trace.bin> [--n 20]       print the first records
+//   atlas_trace tocsv   <trace.bin> <out.csv>      binary -> CSV
+//   atlas_trace tobin   <trace.csv> <out.bin>      CSV -> binary
+//   atlas_trace filter  <in.bin> <out.bin> [--publisher N] [--class video]
+//                       [--from-ms T] [--to-ms T]  subset a trace
+//   atlas_trace convert <in.bin> <out.bin> [--to v2] [--block-records N]
+//                                                  rewrite between formats
+//   atlas_trace gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N]
+//                       [--format v1]              generate a fresh study trace
 //
-// The binary format is the library's versioned little-endian layout; CSV
-// files are directly loadable in pandas/DuckDB.
+// Every reading command accepts both the v1 flat format and the v2 block
+// format (trace/stream.h). `info --stream` and v1->v2 `convert` run in
+// bounded memory — one block at a time — so they work on traces larger
+// than RAM. CSV files are directly loadable in pandas/DuckDB.
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <unordered_set>
 
-#include "analysis/composition.h"
 #include "cdn/scenario.h"
 #include "trace/content_class.h"
+#include "trace/stream.h"
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -31,52 +38,113 @@ using namespace atlas;
 
 int Usage(const char* prog) {
   std::cerr << "usage: " << prog
-            << " <info|head|tocsv|tobin|filter|gen> <args...>\n"
-               "  info   <trace.bin>\n"
-               "  head   <trace.bin> [--n 20]\n"
-               "  tocsv  <trace.bin> <out.csv>\n"
-               "  tobin  <trace.csv> <out.bin>\n"
-               "  filter <in.bin> <out.bin> [--publisher N] [--class C] "
+            << " <info|head|tocsv|tobin|filter|convert|gen> <args...>\n"
+               "  info    <trace.bin> [--stream]\n"
+               "  head    <trace.bin> [--n 20]\n"
+               "  tocsv   <trace.bin> <out.csv>\n"
+               "  tobin   <trace.csv> <out.bin>\n"
+               "  filter  <in.bin> <out.bin> [--publisher N] [--class C] "
                "[--from-ms T] [--to-ms T]\n"
-               "  gen    <out.bin> [--scale 0.05] [--seed 42] [--threads N]\n";
+               "  convert <in.bin> <out.bin> [--to v2] [--block-records N]\n"
+               "  gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N] "
+               "[--format v1]\n";
   return 2;
 }
 
-int CmdInfo(const std::string& path) {
-  const auto trace = trace::ReadBinaryFile(path);
-  std::cout << path << ": " << trace.size() << " records, "
-            << trace.UniqueUsers() << " users, " << trace.UniqueObjects()
+// Everything `info` prints, gathered in one pass over a record stream. The
+// per-user/object sets are O(distinct), not O(records), so the streaming
+// path is bounded by the population, never the trace length.
+struct InfoStats {
+  struct PerPublisher {
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t video_requests = 0;
+    std::uint64_t image_requests = 0;
+    std::unordered_set<std::uint32_t> users;
+    std::unordered_set<std::uint64_t> objects;
+  };
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  std::unordered_set<std::uint32_t> users;
+  std::unordered_set<std::uint64_t> objects;
+  std::map<std::uint32_t, PerPublisher> by_publisher;  // ordered for output
+
+  void Add(const trace::LogRecord& r) {
+    if (records == 0) {
+      start_ms = end_ms = r.timestamp_ms;
+    } else {
+      start_ms = std::min(start_ms, r.timestamp_ms);
+      end_ms = std::max(end_ms, r.timestamp_ms);
+    }
+    ++records;
+    bytes += r.response_bytes;
+    users.insert(r.user_id);
+    objects.insert(r.url_hash);
+    auto& pub = by_publisher[r.publisher_id];
+    ++pub.records;
+    pub.bytes += r.response_bytes;
+    pub.users.insert(r.user_id);
+    pub.objects.insert(r.url_hash);
+    const auto cls = trace::ClassOf(r.file_type);
+    if (cls == trace::ContentClass::kVideo) ++pub.video_requests;
+    if (cls == trace::ContentClass::kImage) ++pub.image_requests;
+  }
+};
+
+int CmdInfo(const std::string& path, int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineBool("stream", false,
+                   "single-pass bounded-memory scan (works on traces larger "
+                   "than RAM, v1 or v2)");
+  flags.Parse(argc, argv);
+
+  InfoStats stats;
+  if (flags.GetBool("stream")) {
+    trace::TraceFileReader source(path);
+    for (auto chunk = source.NextChunk(); !chunk.empty();
+         chunk = source.NextChunk()) {
+      for (const auto& r : chunk) stats.Add(r);
+    }
+  } else {
+    const auto trace = trace::ReadAnyBinaryFile(path);
+    for (const auto& r : trace.records()) stats.Add(r);
+  }
+
+  std::cout << path << ": " << stats.records << " records, "
+            << stats.users.size() << " users, " << stats.objects.size()
             << " objects, "
-            << util::FormatBytes(static_cast<double>(trace.TotalBytes()))
+            << util::FormatBytes(static_cast<double>(stats.bytes))
             << " delivered, span "
-            << util::FormatDuration(trace.EndMs() - trace.StartMs()) << "\n\n";
-  // Per-publisher breakdown.
-  std::map<std::uint32_t, trace::TraceBuffer> by_pub;
-  for (const auto& r : trace.records()) by_pub[r.publisher_id].Add(r);
+            << util::FormatDuration(stats.end_ms - stats.start_ms) << "\n\n";
   std::cout << util::PadRight("publisher", 11) << util::PadLeft("records", 10)
             << util::PadLeft("users", 9) << util::PadLeft("objects", 9)
             << util::PadLeft("bytes", 11) << util::PadLeft("video%", 8)
             << util::PadLeft("image%", 8) << '\n';
   std::cout << std::string(66, '-') << '\n';
-  for (const auto& [pub, sub] : by_pub) {
-    const auto comp =
-        analysis::ComputeComposition(sub, std::to_string(pub));
+  for (const auto& [pub, sub] : stats.by_publisher) {
+    const double n = static_cast<double>(sub.records);
     std::cout << util::PadRight(std::to_string(pub), 11)
-              << util::PadLeft(util::FormatCount(static_cast<double>(sub.size())), 10)
+              << util::PadLeft(util::FormatCount(static_cast<double>(sub.records)), 10)
               << util::PadLeft(
-                     util::FormatCount(static_cast<double>(sub.UniqueUsers())), 9)
+                     util::FormatCount(static_cast<double>(sub.users.size())), 9)
               << util::PadLeft(
-                     util::FormatCount(static_cast<double>(sub.UniqueObjects())),
+                     util::FormatCount(static_cast<double>(sub.objects.size())),
                      9)
               << util::PadLeft(
-                     util::FormatBytes(static_cast<double>(sub.TotalBytes())), 11)
+                     util::FormatBytes(static_cast<double>(sub.bytes)), 11)
               << util::PadLeft(
                      util::FormatPercent(
-                         comp.RequestShare(trace::ContentClass::kVideo), 1),
+                         n == 0.0 ? 0.0
+                                  : static_cast<double>(sub.video_requests) / n,
+                         1),
                      8)
               << util::PadLeft(
                      util::FormatPercent(
-                         comp.RequestShare(trace::ContentClass::kImage), 1),
+                         n == 0.0 ? 0.0
+                                  : static_cast<double>(sub.image_requests) / n,
+                         1),
                      8)
               << '\n';
   }
@@ -87,7 +155,7 @@ int CmdHead(const std::string& path, int argc, char** argv) {
   util::Flags flags;
   flags.DefineInt("n", 20, "records to print");
   flags.Parse(argc, argv);
-  const auto trace = trace::ReadBinaryFile(path);
+  const auto trace = trace::ReadAnyBinaryFile(path);
   const auto n = std::min<std::size_t>(
       static_cast<std::size_t>(flags.GetInt("n")), trace.size());
   std::cout << util::PadRight("time", 14) << util::PadRight("pub", 5)
@@ -116,7 +184,7 @@ int CmdHead(const std::string& path, int argc, char** argv) {
 }
 
 int CmdToCsv(const std::string& in, const std::string& out) {
-  const auto trace = trace::ReadBinaryFile(in);
+  const auto trace = trace::ReadAnyBinaryFile(in);
   std::ofstream stream(out);
   if (!stream) {
     std::cerr << "cannot open " << out << '\n';
@@ -147,7 +215,7 @@ int CmdFilter(const std::string& in, const std::string& out, int argc,
   flags.DefineInt("from-ms", -1, "keep records at/after this timestamp");
   flags.DefineInt("to-ms", -1, "keep records before this timestamp");
   flags.Parse(argc, argv);
-  auto trace = trace::ReadBinaryFile(in);
+  auto trace = trace::ReadAnyBinaryFile(in);
   const std::int64_t pub = flags.GetInt("publisher");
   const std::string cls_name = flags.GetString("class");
   const std::int64_t from = flags.GetInt("from-ms");
@@ -171,6 +239,47 @@ int CmdFilter(const std::string& in, const std::string& out, int argc,
   return 0;
 }
 
+int CmdConvert(const std::string& in, const std::string& out, int argc,
+               char** argv) {
+  util::Flags flags;
+  flags.DefineString("to", "v2", "target format: v1 or v2");
+  flags.DefineInt("block-records",
+                  static_cast<std::int64_t>(trace::kDefaultBlockRecords),
+                  "records per v2 block");
+  flags.Parse(argc, argv);
+  const std::string to = flags.GetString("to");
+  const auto block_records =
+      static_cast<std::size_t>(flags.GetInt("block-records"));
+  if (to == "v2") {
+    // Block-to-block streaming: bounded memory regardless of trace size.
+    trace::TraceFileReader source(in, block_records);
+    std::ofstream sink(out, std::ios::binary);
+    if (!sink) {
+      std::cerr << "cannot open " << out << '\n';
+      return 1;
+    }
+    trace::TraceWriter writer(sink, block_records);
+    for (auto chunk = source.NextChunk(); !chunk.empty();
+         chunk = source.NextChunk()) {
+      writer.Append(chunk);
+    }
+    writer.Finish();
+    std::cout << "converted " << writer.written() << " records (v"
+              << source.version() << " -> v2) -> " << out << '\n';
+    return 0;
+  }
+  if (to == "v1") {
+    // v1 needs its record count up front, so the trace is materialized.
+    const auto trace = trace::ReadAnyBinaryFile(in);
+    trace::WriteBinaryFile(trace, out);
+    std::cout << "converted " << trace.size() << " records (-> v1) -> " << out
+              << '\n';
+    return 0;
+  }
+  std::cerr << "unknown --to format '" << to << "' (expected v1 or v2)\n";
+  return 2;
+}
+
 int CmdGen(const std::string& out, int argc, char** argv) {
   util::Flags flags;
   flags.DefineDouble("scale", 0.05, "population scale");
@@ -178,15 +287,25 @@ int CmdGen(const std::string& out, int argc, char** argv) {
   flags.DefineInt("threads", 0,
                   "worker threads (0 = hardware concurrency); the trace is "
                   "identical at any value");
+  flags.DefineString("format", "v1", "output format: v1 (flat) or v2 (block)");
   flags.Parse(argc, argv);
   util::SetLogLevel(util::LogLevel::kWarn);
   util::SetDefaultThreads(static_cast<int>(flags.GetInt("threads")));
+  const std::string format = flags.GetString("format");
+  if (format != "v1" && format != "v2") {
+    std::cerr << "unknown --format '" << format << "' (expected v1 or v2)\n";
+    return 2;
+  }
   cdn::SimulatorConfig config;
   const auto scenario = cdn::Scenario::PaperStudy(
       flags.GetDouble("scale"), config,
       static_cast<std::uint64_t>(flags.GetInt("seed")));
   const auto merged = scenario.MergedTrace();
-  trace::WriteBinaryFile(merged, out);
+  if (format == "v2") {
+    trace::WriteV2File(merged, out);
+  } else {
+    trace::WriteBinaryFile(merged, out);
+  }
   std::cout << "generated " << merged.size() << " records -> " << out << '\n';
   return 0;
 }
@@ -197,12 +316,15 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   const std::string cmd = argv[1];
   try {
-    if (cmd == "info") return CmdInfo(argv[2]);
+    if (cmd == "info") return CmdInfo(argv[2], argc - 2, argv + 2);
     if (cmd == "head") return CmdHead(argv[2], argc - 2, argv + 2);
     if (cmd == "tocsv" && argc >= 4) return CmdToCsv(argv[2], argv[3]);
     if (cmd == "tobin" && argc >= 4) return CmdToBin(argv[2], argv[3]);
     if (cmd == "filter" && argc >= 4) {
       return CmdFilter(argv[2], argv[3], argc - 3, argv + 3);
+    }
+    if (cmd == "convert" && argc >= 4) {
+      return CmdConvert(argv[2], argv[3], argc - 3, argv + 3);
     }
     if (cmd == "gen") return CmdGen(argv[2], argc - 2, argv + 2);
   } catch (const std::exception& e) {
