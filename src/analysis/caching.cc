@@ -4,6 +4,7 @@
 
 #include "stats/correlation.h"
 #include "trace/content_class.h"
+#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -69,8 +70,10 @@ CachingResult CachingAccumulator::Finalize(const std::string& site_name) {
   std::vector<double> popularity, hit_ratio;
   popularity.reserve(per_object_.size());
   hit_ratio.reserve(per_object_.size());
-  for (const auto& [hash, acc] : per_object_) {
-    (void)hash;
+  // Sorted-hash order: the Spearman correlation below sums floating-point
+  // ranks in sample order, so the order must not depend on hash-table layout.
+  for (const auto hash : util::SortedKeys(per_object_)) {
+    const auto& acc = per_object_.at(hash);
     if (acc.cacheable == 0) continue;
     const double ratio = static_cast<double>(acc.hits) /
                          static_cast<double>(acc.cacheable);

@@ -27,6 +27,7 @@ EngagementResult EngagementAccumulator::Finalize(
 
   std::unordered_map<std::uint64_t, ObjectEngagement> per_object;
   per_object.reserve(classes_.size());
+  // atlas-lint: allow(unordered-iter)  per-key integer sums/max commute.
   for (const auto& [key, count] : pair_counts_) {
     auto& obj = per_object[key.first];
     obj.url_hash = key.first;
@@ -39,6 +40,8 @@ EngagementResult EngagementAccumulator::Finalize(
   result.objects.reserve(per_object.size());
   std::uint64_t video_over_10 = 0, video_total = 0;
   std::uint64_t image_over_10 = 0, image_total = 0;
+  // atlas-lint: allow(unordered-iter)  Ecdf adds and integer counters
+  // commute; result.objects is explicitly sorted below.
   for (auto& [hash, obj] : per_object) {
     (void)hash;
     const double rpu = obj.RequestsPerUser();

@@ -1,6 +1,7 @@
 #include "analysis/popularity.h"
 
 #include "trace/content_class.h"
+#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -31,10 +32,12 @@ PopularityResult PopularityAccumulator::Finalize(
   PopularityResult result;
   result.site = site_name;
 
+  // Sorted-hash order: FitPowerLaw accumulates log-sums in sample order, so
+  // the order must not depend on hash-table layout.
   std::vector<double> all;
   all.reserve(counts_.size());
-  for (const auto& [hash, count] : counts_) {
-    const auto c = static_cast<double>(count);
+  for (const auto hash : util::SortedKeys(counts_)) {
+    const auto c = static_cast<double>(counts_.at(hash));
     all.push_back(c);
     switch (classes_.at(hash)) {
       case trace::ContentClass::kVideo:

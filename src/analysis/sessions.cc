@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/sorted.h"
+
 namespace atlas::analysis {
 
 double SessionResult::MedianIatSeconds() const {
@@ -28,8 +30,11 @@ std::vector<Session> Sessionize(const trace::TraceBuffer& trace,
     per_user[r.user_id].push_back(r.timestamp_ms);
   }
 
+  // Sorted-user order: the returned vector's order must not depend on
+  // hash-table layout.
   std::vector<Session> sessions;
-  for (auto& [user, times] : per_user) {
+  for (const auto user : util::SortedKeys(per_user)) {
+    auto& times = per_user.at(user);
     std::sort(times.begin(), times.end());
     Session current;
     current.user_id = user;

@@ -50,6 +50,8 @@ std::vector<std::pair<std::uint64_t, std::vector<double>>>
 TrendSeriesAccumulator::Finalize() {
   // Qualify and rank by request count.
   std::vector<std::pair<std::uint64_t, Acc*>> qualified;
+  // atlas-lint: allow(unordered-iter)  qualified is fully sorted below with a
+  // deterministic tie-break, so collection order is irrelevant.
   for (auto& [hash, acc] : accs_) {
     if (acc.count >= config_.min_requests) qualified.emplace_back(hash, &acc);
   }

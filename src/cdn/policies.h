@@ -128,8 +128,12 @@ class GdsfCache : public Cache {
   struct HeapItem {
     double priority;
     std::uint64_t key;
+    // Total order (priority, then key): with no distinct ties, the pop
+    // sequence is a pure function of the heap's contents, so equal-priority
+    // evictions never depend on heap layout or hash-table iteration order.
     bool operator>(const HeapItem& other) const {
-      return priority > other.priority;
+      if (priority != other.priority) return priority > other.priority;
+      return key > other.key;
     }
   };
   double PriorityOf(const Entry& e) const;

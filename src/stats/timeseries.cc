@@ -58,7 +58,7 @@ TimeSeries TimeSeries::ZNormalized() const {
   const double mean = Mean();
   double var = 0.0;
   for (double v : values_) var += (v - mean) * (v - mean);
-  var /= std::max<std::size_t>(values_.size(), 1);
+  var /= static_cast<double>(std::max<std::size_t>(values_.size(), 1));
   const double sd = std::sqrt(var);
   for (double& v : out.values_) {
     v = sd > 0.0 ? (v - mean) / sd : 0.0;

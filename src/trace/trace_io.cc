@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -48,6 +49,19 @@ LogRecord ReadRecord(std::istream& in) {
   in.read(reinterpret_cast<char*>(buf), sizeof(buf));
   if (!in) throw std::runtime_error("trace_io: truncated input");
   return wire::DecodeRecord(buf);
+}
+
+// Parses a CSV field into a narrow record column, rejecting out-of-range
+// values instead of silently wrapping (a publisher_id of 2^32 + 1 must not
+// be attributed to publisher 1).
+template <typename T>
+T ParseNarrowField(const std::string& field, const char* name) {
+  const std::uint64_t value = util::ParseUint64(field);
+  if (value > std::numeric_limits<T>::max()) {
+    throw std::runtime_error("trace_io: " + std::string(name) +
+                             " out of range: " + field);
+  }
+  return static_cast<T>(value);
 }
 
 }  // namespace
@@ -137,17 +151,24 @@ TraceBuffer ReadCsv(std::istream& in) {
     r.user_id = util::ParseUint64(fields[2]);
     r.object_size = util::ParseUint64(fields[3]);
     r.response_bytes = util::ParseUint64(fields[4]);
-    r.publisher_id = static_cast<std::uint32_t>(util::ParseUint64(fields[5]));
-    r.user_agent_id = static_cast<std::uint16_t>(util::ParseUint64(fields[6]));
-    r.response_code = static_cast<std::uint16_t>(util::ParseUint64(fields[7]));
+    r.publisher_id = ParseNarrowField<std::uint32_t>(fields[5], "publisher_id");
+    r.user_agent_id =
+        ParseNarrowField<std::uint16_t>(fields[6], "user_agent_id");
+    r.response_code =
+        ParseNarrowField<std::uint16_t>(fields[7], "response_code");
     r.file_type = FileTypeFromString(fields[8]);
     // fields[9] (content_class) is derived; validated but not stored.
     if (ContentClassFromString(fields[9]) != ClassOf(r.file_type)) {
       throw std::runtime_error("trace_io: content_class/file_type mismatch");
     }
     r.cache_status = CacheStatusFromString(fields[10]);
-    r.tz_offset_quarter_hours = static_cast<std::int8_t>(
-        std::stoi(fields[11]));
+    const std::int64_t tz = util::ParseInt64(fields[11]);
+    if (tz < std::numeric_limits<std::int8_t>::min() ||
+        tz > std::numeric_limits<std::int8_t>::max()) {
+      throw std::runtime_error(
+          "trace_io: tz_offset_quarter_hours out of range: " + fields[11]);
+    }
+    r.tz_offset_quarter_hours = static_cast<std::int8_t>(tz);
     trace.Add(r);
   }
   return trace;

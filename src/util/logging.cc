@@ -2,14 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace atlas::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::ostream* g_sink = nullptr;
-std::mutex g_mutex;
+// g_mutex serializes sink writes (interleaving-free lines from worker
+// threads) and guards the sink pointer itself.
+Mutex g_mutex;
+std::ostream* g_sink ATLAS_GUARDED_BY(g_mutex) = nullptr;
 
 }  // namespace
 
@@ -33,7 +37,7 @@ void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
 void SetLogSink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_sink = sink;
 }
 
@@ -41,7 +45,7 @@ namespace internal {
 
 void LogLine(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
   out << "[atlas " << LogLevelName(level) << "] " << message << '\n';
 }

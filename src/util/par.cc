@@ -49,44 +49,49 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t shards = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        job_cv_.Wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
+      fn = job_fn_;
+      shards = job_shards_;
     }
-    RunShards();
+    RunShards(*fn, shards);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_workers_ == 0) done_cv_.notify_all();
+      MutexLock lock(mutex_);
+      if (--pending_workers_ == 0) done_cv_.NotifyAll();
     }
   }
 }
 
-void ThreadPool::RunShards() {
+void ThreadPool::RunShards(const std::function<void(std::size_t)>& fn,
+                           std::size_t shards) {
   ParallelRegionGuard guard;
   for (;;) {
     if (abort_job_.load(std::memory_order_relaxed)) return;
     const std::size_t shard =
         next_shard_.fetch_add(1, std::memory_order_relaxed);
-    if (shard >= job_shards_) return;
+    if (shard >= shards) return;
     try {
-      (*job_fn_)(shard);
+      fn(shard);
     } catch (...) {
       abort_job_.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -101,7 +106,7 @@ void ThreadPool::Run(std::size_t shards,
   }
   if (shards == 0) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_fn_ = &fn;
     job_shards_ = shards;
     next_shard_.store(0, std::memory_order_relaxed);
@@ -110,12 +115,12 @@ void ThreadPool::Run(std::size_t shards,
     pending_workers_ = workers_.size();
     ++generation_;
   }
-  job_cv_.notify_all();
-  RunShards();  // the caller is the pool's final executor
+  job_cv_.NotifyAll();
+  RunShards(fn, shards);  // the caller is the pool's final executor
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_workers_ != 0) done_cv_.Wait(mutex_);
     job_fn_ = nullptr;
     job_shards_ = 0;
     error = first_error_;

@@ -13,14 +13,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace atlas::util {
 
@@ -68,20 +68,25 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void RunShards();
+  // Executes shards of `fn` until the counter runs dry or the job aborts.
+  // Workers snapshot (fn, shards) under mutex_ before calling; the job
+  // outlives the call because Run() blocks until pending_workers_ hits zero.
+  void RunShards(const std::function<void(std::size_t)>& fn,
+                 std::size_t shards);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  // Current job (guarded by mutex_ for publication; read by workers while
-  // the generation matches).
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_shards_ = 0;
-  std::uint64_t generation_ = 0;
-  std::size_t pending_workers_ = 0;
-  std::exception_ptr first_error_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar job_cv_;
+  CondVar done_cv_;
+  // Current job: published under mutex_, snapshot by each worker when it
+  // observes a new generation.
+  const std::function<void(std::size_t)>* job_fn_ ATLAS_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_shards_ ATLAS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ ATLAS_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_workers_ ATLAS_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ ATLAS_GUARDED_BY(mutex_);
+  bool shutdown_ ATLAS_GUARDED_BY(mutex_) = false;
   std::atomic<std::size_t> next_shard_{0};
   std::atomic<bool> abort_job_{false};
 };

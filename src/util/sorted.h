@@ -1,0 +1,27 @@
+// Deterministic iteration over unordered containers.
+//
+// Hash-table iteration order is implementation-defined; any floating-point
+// accumulation or output ordering derived from it is not reproducible across
+// standard libraries. Where the consumer is order-sensitive, iterate via
+// SortedKeys() instead of range-for over the container (the atlas-lint
+// `unordered-iter` rule flags the latter).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace atlas::util {
+
+// Keys of an (unordered) associative container in ascending order. O(n log n),
+// intended for Finalize()-style paths where determinism matters more than the
+// extra sort.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace atlas::util

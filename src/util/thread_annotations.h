@@ -1,0 +1,55 @@
+// Clang thread-safety-analysis annotations, ATLAS-prefixed.
+//
+// Under Clang with -Wthread-safety (CMake option ATLAS_WERROR_THREAD_SAFETY)
+// these expand to the `thread_safety` attributes and the analysis proves, at
+// compile time, that every access to an ATLAS_GUARDED_BY(mu) field happens
+// with `mu` held. Under GCC (which has no such analysis) every macro expands
+// to nothing, so annotated headers stay portable.
+//
+// Conventions (enforced by atlas_lint rule `mutex-unannotated`):
+//  - Every std::mutex member or global must guard something: at least one
+//    ATLAS_GUARDED_BY(<that mutex>) must reference it in the same file.
+//  - Fields written by one thread and read by others without a lock must be
+//    std::atomic, never bare + ATLAS_GUARDED_BY.
+//  - Functions that take or require a lock internally document it with
+//    ATLAS_ACQUIRE/ATLAS_REQUIRES/ATLAS_EXCLUDES so callers inherit the
+//    contract.
+#pragma once
+
+#if defined(__clang__)
+#define ATLAS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ATLAS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// Marks a type as lockable (std::mutex already is; custom wrappers need it).
+#define ATLAS_CAPABILITY(x) ATLAS_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII type whose constructor acquires and destructor releases.
+#define ATLAS_SCOPED_CAPABILITY ATLAS_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable is protected by the given mutex.
+#define ATLAS_GUARDED_BY(x) ATLAS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointee (not the pointer itself) is protected by the given mutex.
+#define ATLAS_PT_GUARDED_BY(x) ATLAS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function must be called with the given mutex(es) held.
+#define ATLAS_REQUIRES(...) \
+  ATLAS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function acquires the mutex(es) and returns with them held.
+#define ATLAS_ACQUIRE(...) \
+  ATLAS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the mutex(es).
+#define ATLAS_RELEASE(...) \
+  ATLAS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function must NOT be called with the given mutex(es) held (deadlock guard).
+#define ATLAS_EXCLUDES(...) ATLAS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot model (e.g. locking through an
+// alias). Use sparingly and leave a comment explaining why.
+#define ATLAS_NO_THREAD_SAFETY_ANALYSIS \
+  ATLAS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -181,6 +181,20 @@ TEST(GdsfCacheTest, EvictionStillExactAfterCompaction) {
   EXPECT_TRUE(cache.Contains(3));
 }
 
+TEST(GdsfCacheTest, EqualPriorityEvictionIsDeterministic) {
+  // Two residents with identical (size, freq) have bit-identical priorities.
+  // HeapItem's total order breaks the tie on key, so the victim is the same
+  // whatever the hash-table iteration or heap-rebuild order was: the lowest
+  // key goes first.
+  GdsfCache cache(2048);
+  cache.Access(42, 1024, 0);
+  cache.Access(7, 1024, 1);
+  cache.Access(99, 1024, 2);  // needs space: evicts exactly one of the ties
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_TRUE(cache.Contains(42));
+  EXPECT_TRUE(cache.Contains(99));
+}
+
 // --- Policy-specific behaviour ------------------------------------------------
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {

@@ -1,0 +1,12 @@
+// Fixture: every finding here is suppressed; LintFile must return nothing.
+#include <cstdlib>
+
+int SameLine() {
+  return rand();  // atlas-lint: allow(nondet-rand)  same-line suppression
+}
+
+int BlockAbove() {
+  // atlas-lint: allow(nondet-rand)  suppression from the first line of the
+  // comment block sitting directly above the finding.
+  return rand();
+}

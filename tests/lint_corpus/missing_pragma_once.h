@@ -1,0 +1,3 @@
+// Fixture: missing-pragma-once fires on line 1 (no #pragma once anywhere).
+
+inline int FortyTwo() { return 42; }

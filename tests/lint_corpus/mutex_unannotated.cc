@@ -1,0 +1,19 @@
+// Fixture: mutex-unannotated fires on line 15 (mu_ is locked but no state
+// is ATLAS_GUARDED_BY it, so the analysis protects nothing).
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    util::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  util::Mutex mu_;
+  long count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: narrow-byte-counter fires on lines 5 and 6 (only in src/cdn/ or
+// src/analysis/ scope). Line 7's std::uint64_t and line 8's unsigned long
+// must NOT fire.
+#include <cstdint>
+int total_bytes = 0;
+unsigned int object_size = 0;
+std::uint64_t good_bytes = 0;
+unsigned long also_fine_bytes = 0;

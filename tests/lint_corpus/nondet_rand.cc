@@ -1,0 +1,6 @@
+// Fixture: nondet-rand fires on line 5.
+#include <cstdlib>
+
+int Roll() {
+  return rand() % 6;
+}

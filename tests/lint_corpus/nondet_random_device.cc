@@ -1,0 +1,7 @@
+// Fixture: nondet-random-device fires on line 5.
+#include <random>
+
+unsigned Entropy() {
+  std::random_device rd;
+  return rd();
+}

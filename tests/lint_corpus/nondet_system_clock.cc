@@ -1,0 +1,9 @@
+// Fixture: nondet-system-clock fires on line 5.
+#include <chrono>
+
+long NowMs() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}

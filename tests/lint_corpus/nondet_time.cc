@@ -1,0 +1,6 @@
+// Fixture: nondet-time fires on line 5.
+#include <ctime>
+
+long Now() {
+  return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,11 @@
+// Fixture: raw-new-delete fires on lines 4 and 6. Line 10's `= delete`
+// (a deleted special member) must NOT fire.
+int Leaky() {
+  int* p = new int(7);
+  const int v = *p;
+  delete p;
+  return v;
+}
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};

@@ -1,0 +1,10 @@
+// Fixture: raw-std-mutex fires on lines 5 and 8 (std::mutex and
+// std::lock_guard are invisible to Clang -Wthread-safety).
+#include <mutex>
+
+std::mutex g_fixture_mutex;
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_fixture_mutex);
+  return 1;
+}

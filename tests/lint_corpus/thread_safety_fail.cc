@@ -1,0 +1,27 @@
+// Compile-fail fixture for the Clang-only `thread_safety_compile_fail`
+// ctest (WILL_FAIL): reading `count_` without holding `mu_` must be a hard
+// error under -Wthread-safety -Werror=thread-safety. If this file ever
+// compiles cleanly there, the annotations in util/mutex.h have stopped
+// working and the test fails.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Unsafe {
+ public:
+  void Increment() {
+    atlas::util::MutexLock lock(mu_);
+    ++count_;
+  }
+  // BUG (deliberate): no lock held while reading guarded state.
+  long Read() const { return count_; }
+
+ private:
+  mutable atlas::util::Mutex mu_;
+  long count_ ATLAS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Unsafe u;
+  u.Increment();
+  return static_cast<int>(u.Read());
+}

@@ -1,0 +1,17 @@
+// Fixture: unordered-iter fires on line 11 (+= accumulation while ranging
+// over a member declared std::unordered_map). Line 14's loop must NOT fire:
+// its range is a call expression, assumed to impose its own order.
+#include <unordered_map>
+#include <vector>
+
+struct Histogram {
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  void Sum() {
+    for (const auto& [bucket, n] : counts) total += n;
+  }
+  void SumSorted() {
+    for (const int k : SortedKeys(counts)) total += k;
+  }
+  static std::vector<int> SortedKeys(const std::unordered_map<int, long>& m);
+};

@@ -1,0 +1,179 @@
+// atlas-lint rule engine tests.
+//
+// Three properties gate the `lint` label:
+//   1. every rule fires on its tests/lint_corpus/ fixture at the expected
+//      (line, rule) — and nowhere else in that fixture;
+//   2. the `// atlas-lint: allow(<rule>)` escape hatch suppresses in both
+//      supported positions (same line, comment block directly above);
+//   3. the live tree (LintTree over src/ and tools/) is finding-free.
+#include "atlas_lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace atlas::lint {
+namespace {
+
+std::string ReadCorpus(const std::string& name) {
+  const std::string path =
+      std::string(ATLAS_SOURCE_DIR) + "/tests/lint_corpus/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing corpus file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string Dump(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) out += "  " + FormatFinding(f) + "\n";
+  return out.empty() ? "  (none)\n" : out;
+}
+
+struct Expected {
+  std::size_t line;
+  std::string rule;
+};
+
+// Lints `corpus_file` under `synthetic_path` (the path places the content in
+// the rule's scope) and asserts the findings are exactly `expected`.
+void ExpectFindings(const std::string& corpus_file,
+                    const std::string& synthetic_path,
+                    const std::vector<Expected>& expected) {
+  const auto findings = LintFile(synthetic_path, ReadCorpus(corpus_file));
+  ASSERT_EQ(findings.size(), expected.size())
+      << corpus_file << " as " << synthetic_path << " produced:\n"
+      << Dump(findings);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(findings[i].line, expected[i].line) << FormatFinding(findings[i]);
+    EXPECT_EQ(findings[i].rule, expected[i].rule) << FormatFinding(findings[i]);
+    EXPECT_EQ(findings[i].file, synthetic_path);
+    EXPECT_FALSE(findings[i].message.empty());
+  }
+}
+
+TEST(LintCorpusTest, NondetRandomDevice) {
+  ExpectFindings("nondet_random_device.cc", "src/synth/fixture.cc",
+                 {{5, "nondet-random-device"}});
+}
+
+TEST(LintCorpusTest, NondetRand) {
+  ExpectFindings("nondet_rand.cc", "src/synth/fixture.cc",
+                 {{5, "nondet-rand"}});
+}
+
+TEST(LintCorpusTest, NondetTime) {
+  ExpectFindings("nondet_time.cc", "src/util/fixture.cc",
+                 {{5, "nondet-time"}});
+}
+
+TEST(LintCorpusTest, NondetSystemClock) {
+  ExpectFindings("nondet_system_clock.cc", "src/util/fixture.cc",
+                 {{5, "nondet-system-clock"}});
+}
+
+TEST(LintCorpusTest, SystemClockPermittedInUtilTime) {
+  // util/time.{h,cc} is the one sanctioned wall-clock read site.
+  ExpectFindings("nondet_system_clock.cc", "src/util/time.cc", {});
+}
+
+TEST(LintCorpusTest, RawNewDelete) {
+  // `= delete` on line 10 is a deleted special member, not a deallocation.
+  ExpectFindings("raw_new_delete.cc", "src/cdn/fixture.cc",
+                 {{4, "raw-new-delete"}, {6, "raw-new-delete"}});
+}
+
+TEST(LintCorpusTest, NarrowByteCounter) {
+  ExpectFindings("narrow_byte_counter.cc", "src/cdn/fixture.cc",
+                 {{5, "narrow-byte-counter"}, {6, "narrow-byte-counter"}});
+}
+
+TEST(LintCorpusTest, NarrowByteCounterScopedToAccountingDirs) {
+  // The same content outside src/cdn/ and src/analysis/ is not flagged.
+  ExpectFindings("narrow_byte_counter.cc", "src/stats/fixture.cc", {});
+}
+
+TEST(LintCorpusTest, RawStdMutex) {
+  ExpectFindings("raw_std_mutex.cc", "src/util/fixture.cc",
+                 {{5, "raw-std-mutex"}, {8, "raw-std-mutex"}});
+}
+
+TEST(LintCorpusTest, MutexUnannotated) {
+  ExpectFindings("mutex_unannotated.cc", "src/util/fixture.cc",
+                 {{15, "mutex-unannotated"}});
+}
+
+TEST(LintCorpusTest, MissingPragmaOnce) {
+  ExpectFindings("missing_pragma_once.h", "src/util/fixture.h",
+                 {{1, "missing-pragma-once"}});
+}
+
+TEST(LintCorpusTest, UnorderedIter) {
+  // Line 14 ranges over a call expression (sorted view) and must pass.
+  ExpectFindings("unordered_iter.cc", "src/stats/fixture.cc",
+                 {{11, "unordered-iter"}});
+}
+
+TEST(LintCorpusTest, AllowPragmaSuppresses) {
+  ExpectFindings("allow_suppression.cc", "src/synth/fixture.cc", {});
+}
+
+TEST(LintFileTest, SiblingHeaderDeclarationsResolve) {
+  // A member declared only in the header must still be recognized as an
+  // unordered container when the .cc ranges over it.
+  const std::string header =
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "struct S {\n"
+      "  std::unordered_map<int, int> m_;\n"
+      "  long t = 0;\n"
+      "  void F();\n"
+      "};\n";
+  const std::string source =
+      "#include \"fixture.h\"\n"
+      "void S::F() {\n"
+      "  for (const auto& kv : m_) t += kv.second;\n"
+      "}\n";
+  const auto findings = LintFile("src/stats/fixture.cc", source, header);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+}
+
+TEST(LintFileTest, CommentedAndQuotedTokensDoNotFire) {
+  const std::string source =
+      "// rand() and new in a comment\n"
+      "/* std::random_device too */\n"
+      "const char* kDoc = \"time(nullptr) new delete std::mutex\";\n";
+  EXPECT_TRUE(LintFile("src/util/fixture.cc", source).empty());
+}
+
+TEST(LintRegistryTest, RuleNamesAreCompleteAndCovered) {
+  const std::set<std::string> expected = {
+      "nondet-random-device", "nondet-rand",        "nondet-time",
+      "nondet-system-clock",  "raw-new-delete",     "narrow-byte-counter",
+      "raw-std-mutex",        "mutex-unannotated",  "missing-pragma-once",
+      "unordered-iter",
+  };
+  const auto names = RuleNames();
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(LintFormatTest, FormatFindingIsClickable) {
+  const Finding f{"src/cdn/cache.cc", 12, "raw-new-delete", "raw new"};
+  EXPECT_EQ(FormatFinding(f), "src/cdn/cache.cc:12: [raw-new-delete] raw new");
+}
+
+TEST(LintTreeTest, LiveTreeIsClean) {
+  const auto findings = LintTree(ATLAS_SOURCE_DIR);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+}  // namespace
+}  // namespace atlas::lint

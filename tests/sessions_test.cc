@@ -56,6 +56,23 @@ TEST(SessionizeTest, UnsortedInputHandled) {
   EXPECT_EQ(sessions[0].LengthMs(), 2 * kMillisPerMinute);
 }
 
+TEST(SessionizeTest, OutputOrderIsUserSortedNotHashOrdered) {
+  // The returned vector's order must be a function of the input, not of
+  // hash-table layout: ascending user id, chronological within a user.
+  trace::TraceBuffer buf;
+  for (const std::uint64_t user : {9u, 3u, 7u, 1u, 5u}) {
+    buf.Add(MakeRecord({.t = 0, .user = user}));
+    buf.Add(MakeRecord({.t = 40 * kMillisPerMinute, .user = user}));
+  }
+  const auto sessions = Sessionize(buf);
+  ASSERT_EQ(sessions.size(), 10u);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(sessions[i].user_id, 2 * (i / 2) + 1) << "index " << i;
+    EXPECT_EQ(sessions[i].start_ms,
+              i % 2 == 0 ? 0 : 40 * kMillisPerMinute);
+  }
+}
+
 TEST(SessionizeTest, BadTimeoutThrows) {
   EXPECT_THROW(Sessionize(trace::TraceBuffer{}, 0), std::invalid_argument);
 }

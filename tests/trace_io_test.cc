@@ -4,6 +4,8 @@
 
 #include <iterator>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -231,6 +233,62 @@ TEST(CsvIoTest, ClassMismatchRejected) {
   text.replace(pos, 7, ",image,");
   std::stringstream bad(text);
   EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
+// Serializes one sample record to CSV, then replaces the data row's
+// `field_index`-th column with `value`. No field contains an embedded comma,
+// so a plain split is exact.
+std::string CsvWithField(std::size_t field_index, const std::string& value) {
+  std::stringstream stream;
+  WriteCsv(MakeSampleTrace(1), stream);
+  const std::string text = stream.str();
+  const auto row_begin = text.find('\n') + 1;
+  std::string row = text.substr(row_begin);
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  std::vector<std::string> fields;
+  std::stringstream ss(row);
+  std::string field;
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  fields.at(field_index) = value;
+  std::string out = text.substr(0, row_begin);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += fields[i];
+    out += i + 1 < fields.size() ? "," : "\n";
+  }
+  return out;
+}
+
+// Regression: narrow record columns used to be filled with a bare
+// static_cast, so a publisher_id of 2^32 silently became publisher 0 and
+// all its traffic was misattributed. Out-of-range values must be rejected.
+TEST(CsvIoTest, PublisherIdOverflowRejected) {
+  std::stringstream bad(CsvWithField(5, "4294967296"));  // 2^32
+  EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
+TEST(CsvIoTest, UserAgentIdOverflowRejected) {
+  std::stringstream bad(CsvWithField(6, "65536"));  // 2^16
+  EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
+TEST(CsvIoTest, ResponseCodeOverflowRejected) {
+  std::stringstream bad(CsvWithField(7, "70000"));
+  EXPECT_THROW(ReadCsv(bad), std::runtime_error);
+}
+
+TEST(CsvIoTest, TzOffsetOverflowRejected) {
+  std::stringstream high(CsvWithField(11, "128"));
+  EXPECT_THROW(ReadCsv(high), std::runtime_error);
+  std::stringstream low(CsvWithField(11, "-129"));
+  EXPECT_THROW(ReadCsv(low), std::runtime_error);
+}
+
+TEST(CsvIoTest, NarrowFieldBoundaryValuesAccepted) {
+  // The validation must not over-reject: the exact type maxima are legal.
+  std::stringstream max_pub(CsvWithField(5, "4294967295"));
+  EXPECT_EQ(ReadCsv(max_pub)[0].publisher_id, 4294967295u);
+  std::stringstream min_tz(CsvWithField(11, "-128"));
+  EXPECT_EQ(ReadCsv(min_tz)[0].tz_offset_quarter_hours, -128);
 }
 
 }  // namespace

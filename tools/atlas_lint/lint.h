@@ -1,0 +1,75 @@
+// atlas-lint: project-invariant static analysis for the ATLAS tree.
+//
+// A lightweight lexer (comment/string-aware, no libclang) plus a catalog of
+// ATLAS-specific rules. The rules defend the two properties the project
+// depends on: byte-exact determinism of the analysis pipeline at any thread
+// count, and correct 64-bit byte accounting in the CDN simulator.
+//
+// Rule catalog (scopes are repo-relative path prefixes):
+//
+//   nondet-random-device  src/            std::random_device is banned;
+//                                         seed Rng/ShardedRng explicitly.
+//   nondet-rand           src/            rand()/srand() are banned.
+//   nondet-time           src/            time(nullptr/NULL/0) is banned.
+//   nondet-system-clock   src/ except     wall-clock reads are banned in
+//                         util/time.*     library code.
+//   raw-new-delete        src/, tools/    no raw new/delete; use containers
+//                                         or std::unique_ptr.
+//   narrow-byte-counter   src/cdn/,       byte/size counters must be 64-bit
+//                         src/analysis/   unsigned (no int/long/u32 fields
+//                                         or locals named *bytes*/*size*).
+//   raw-std-mutex         src/, tools/    use util::Mutex / util::MutexLock /
+//                         except          util::CondVar so Clang
+//                         util/mutex.h    -Wthread-safety sees the locking.
+//   mutex-unannotated     src/, tools/    every Mutex must be referenced by
+//                                         at least one ATLAS_GUARDED_BY /
+//                                         ATLAS_REQUIRES / ... in its file.
+//   missing-pragma-once   all headers     every header starts with
+//                                         #pragma once.
+//   unordered-iter        src/            range-for over an unordered
+//                                         container that accumulates
+//                                         (+=, push_back) in the loop body:
+//                                         iteration order is
+//                                         implementation-defined, so the
+//                                         accumulation must be proven
+//                                         order-insensitive and annotated.
+//
+// Suppression: append `// atlas-lint: allow(<rule>[, <rule>...])  <reason>`
+// on the offending line or in the comment block directly above it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace atlas::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, '/'-separated
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+// Lints a single file. `path` is the repo-relative path ('/'-separated); it
+// selects which rules apply. `content` is the file's full text.
+// `decl_context` is optional extra source whose declarations count when
+// resolving names (LintTree passes the sibling header of each .cc, so
+// `for (auto& kv : member_)` sees members declared in the header).
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content,
+                              const std::string& decl_context = "");
+
+// Walks src/ and tools/ under `root` (sorted, deterministic) and lints every
+// .h/.cc file. Returns findings sorted by (file, line, rule).
+std::vector<Finding> LintTree(const std::string& root);
+
+// All rule identifiers, for --list-rules and test coverage checks.
+std::vector<std::string> RuleNames();
+
+// "path:line: [rule] message" — the clickable single-line form.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace atlas::lint

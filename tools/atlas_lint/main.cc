@@ -1,0 +1,39 @@
+// atlas-lint CLI.
+//
+//   atlas-lint --root <repo>     lint src/ and tools/ under <repo>
+//   atlas-lint --list-rules      print the rule catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage error. Wired into ctest as the
+// `lint` label: `ctest -L lint`.
+#include <iostream>
+#include <string>
+
+#include "atlas_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : atlas::lint::RuleNames()) {
+        std::cout << rule << '\n';
+      }
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    std::cerr << "usage: atlas-lint [--root <repo>] [--list-rules]\n";
+    return 2;
+  }
+  const auto findings = atlas::lint::LintTree(root);
+  for (const auto& f : findings) {
+    std::cerr << atlas::lint::FormatFinding(f) << '\n';
+  }
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " atlas-lint finding(s)\n";
+    return 1;
+  }
+  return 0;
+}
