@@ -12,10 +12,9 @@
 #include <iostream>
 
 #include "analysis/forecast.h"
+#include "bench_common.h"
 #include "cdn/scenario.h"
 #include "cdn/simulator.h"
-#include "util/flags.h"
-#include "util/logging.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -33,24 +32,16 @@ stats::TimeSeries HourlySeries(const trace::TraceBuffer& trace) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
-  flags.DefineInt("seed", 42, "RNG seed");
-  flags.DefineInt("train-days", 5, "training window in days");
-  try {
-    flags.Parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.Usage(argv[0]);
+  bench::AblationEnv env;
+  env.flags.DefineInt("train-days", 5, "training window in days");
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Adult-aware vs. pooled traffic forecasting")) {
     return 0;
   }
-  util::SetLogLevel(util::LogLevel::kWarn);
-  const double scale = flags.GetDouble("scale");
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
-  const auto train = static_cast<std::size_t>(flags.GetInt("train-days")) * 24;
+  const double scale = env.scale;
+  const auto seed = env.seed;
+  const auto train =
+      static_cast<std::size_t>(env.flags.GetInt("train-days")) * 24;
 
   cdn::SimulatorConfig config;
   cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, seed);
@@ -76,8 +67,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "=== Ablation: forecasting adult traffic (scale=" << scale
-            << ", train " << flags.GetInt("train-days") << "d, test "
-            << 7 - flags.GetInt("train-days") << "d) ===\n\n";
+            << ", train " << env.flags.GetInt("train-days") << "d, test "
+            << 7 - env.flags.GetInt("train-days") << "d) ===\n\n";
   std::cout << util::PadRight("model", 38) << util::PadLeft("MAE", 10)
             << util::PadLeft("RMSE", 10) << util::PadLeft("MAPE", 9) << '\n';
   std::cout << std::string(67, '-') << '\n';

@@ -7,30 +7,20 @@
 // absorbs, how many 304s appear, and what load reaches the CDN.
 #include <iostream>
 
+#include "bench_common.h"
 #include "cdn/simulator.h"
 #include "synth/site_profile.h"
-#include "util/flags.h"
-#include "util/logging.h"
 #include "util/str.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
-  util::Flags flags;
-  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
-  flags.DefineInt("seed", 42, "RNG seed");
-  try {
-    flags.Parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.Usage(argv[0]);
+  bench::AblationEnv env;
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Incognito rate vs. browser-cache utility (P-1)")) {
     return 0;
   }
-  util::SetLogLevel(util::LogLevel::kWarn);
-  const double scale = flags.GetDouble("scale");
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const double scale = env.scale;
+  const auto seed = env.seed;
 
   std::cout << "=== Ablation: incognito rate vs. browser-cache utility "
                "(P-1, scale=" << scale << ") ===\n";

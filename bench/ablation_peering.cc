@@ -7,29 +7,19 @@
 // most valuable exactly when edges are small and the long tail churns.
 #include <iostream>
 
+#include "bench_common.h"
 #include "cdn/scenario.h"
-#include "util/flags.h"
-#include "util/logging.h"
 #include "util/str.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
-  util::Flags flags;
-  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
-  flags.DefineInt("seed", 42, "RNG seed");
-  try {
-    flags.Parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.Usage(argv[0]);
+  bench::AblationEnv env;
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Cooperative peer-fill sweep (five sites)")) {
     return 0;
   }
-  util::SetLogLevel(util::LogLevel::kWarn);
-  const double scale = flags.GetDouble("scale");
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const double scale = env.scale;
+  const auto seed = env.seed;
 
   std::cout << "=== Ablation: cooperative peer fill (five sites, scale="
             << scale << ") ===\n";

@@ -11,12 +11,11 @@
 #include <memory>
 
 #include "analysis/trend_cluster.h"
+#include "bench_common.h"
 #include "cdn/policies.h"
 #include "cdn/revalidation.h"
 #include "cdn/scenario.h"
 #include "cluster/shape.h"
-#include "util/flags.h"
-#include "util/logging.h"
 #include "util/str.h"
 
 namespace {
@@ -28,13 +27,19 @@ struct ReplayStats {
   std::uint64_t expired = 0;
 };
 
-ReplayStats Replay(cdn::Cache& cache, const trace::TraceBuffer& trace) {
-  for (const auto& r : trace.records()) {
-    if (r.response_code != trace::kHttpOk &&
-        r.response_code != trace::kHttpPartialContent) {
-      continue;
+// Replays the scenario's merged trace through `cache`, streamed chunk by
+// chunk (no materialized combined copy).
+ReplayStats Replay(cdn::Cache& cache, const cdn::Scenario& scenario) {
+  cdn::MergedTraceSource source(scenario);
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& r : chunk) {
+      if (r.response_code != trace::kHttpOk &&
+          r.response_code != trace::kHttpPartialContent) {
+        continue;
+      }
+      cache.Access(r.url_hash, r.object_size, r.timestamp_ms);
     }
-    cache.Access(r.url_hash, r.object_size, r.timestamp_ms);
   }
   ReplayStats out;
   out.cache = cache.stats();
@@ -47,27 +52,16 @@ ReplayStats Replay(cdn::Cache& cache, const trace::TraceBuffer& trace) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
-  flags.DefineInt("seed", 42, "RNG seed");
-  flags.DefineDouble("capacity-gb", 2.0, "replay cache capacity (GB)");
-  try {
-    flags.Parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.Usage(argv[0]);
+  bench::AblationEnv env;
+  env.flags.DefineDouble("capacity-gb", 2.0, "replay cache capacity (GB)");
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Pattern-aware revalidation schedules")) {
     return 0;
   }
-  util::SetLogLevel(util::LogLevel::kWarn);
-  const double scale = flags.GetDouble("scale");
+  const double scale = env.scale;
 
   cdn::SimulatorConfig config;
-  cdn::Scenario scenario = cdn::Scenario::PaperStudy(
-      scale, config, static_cast<std::uint64_t>(flags.GetInt("seed")));
-  const trace::TraceBuffer merged = scenario.MergedTrace();
+  cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, env.seed);
 
   // Classify object shapes from the trace (per site, both classes) and feed
   // the oracle — the analysis->delivery closed loop.
@@ -88,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   const auto capacity = static_cast<std::uint64_t>(
-      flags.GetDouble("capacity-gb") * 1e9 * scale * 20);
+      env.flags.GetDouble("capacity-gb") * 1e9 * scale * 20);
   std::cout << "=== Ablation: revalidation schedules (scale=" << scale
             << ", capacity "
             << util::FormatBytes(static_cast<double>(capacity))
@@ -115,16 +109,16 @@ int main(int argc, char** argv) {
 
   {
     cdn::TtlLruCache uniform_short(capacity, 3600 * 1000LL);
-    report("uniform TTL = 1 h", Replay(uniform_short, merged));
+    report("uniform TTL = 1 h", Replay(uniform_short, scenario));
   }
   {
     cdn::TtlLruCache uniform_long(capacity, 24 * 3600 * 1000LL);
-    report("uniform TTL = 24 h", Replay(uniform_long, merged));
+    report("uniform TTL = 24 h", Replay(uniform_long, scenario));
   }
   {
     cdn::OracleTtlCache oracle_cache(
         capacity, [&](std::uint64_t key) { return oracle.TtlFor(key); });
-    report("pattern-aware oracle", Replay(oracle_cache, merged));
+    report("pattern-aware oracle", Replay(oracle_cache, scenario));
   }
 
   std::cout << "\npaper's claim under test: long expiry for diurnal/"

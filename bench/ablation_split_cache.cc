@@ -11,10 +11,9 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.h"
 #include "cdn/cache.h"
 #include "cdn/scenario.h"
-#include "util/flags.h"
-#include "util/logging.h"
 #include "util/str.h"
 
 namespace {
@@ -31,8 +30,9 @@ struct ReplayResult {
   }
 };
 
-// Replays object-level accesses (content-bearing responses only).
-ReplayResult Replay(const trace::TraceBuffer& trace,
+// Replays object-level accesses (content-bearing responses only), streamed
+// from the scenario's merged trace chunk by chunk — no combined copy.
+ReplayResult Replay(const cdn::Scenario& scenario,
                     std::uint64_t small_capacity,
                     std::uint64_t large_capacity,
                     std::uint64_t split_bytes) {
@@ -41,15 +41,19 @@ ReplayResult Replay(const trace::TraceBuffer& trace,
                          ? cdn::CreateCache(cdn::PolicyKind::kLru, large_capacity)
                          : nullptr;
   ReplayResult result;
-  for (const auto& r : trace.records()) {
-    if (r.response_code != trace::kHttpOk &&
-        r.response_code != trace::kHttpPartialContent) {
-      continue;
-    }
-    if (large_cache != nullptr && r.object_size > split_bytes) {
-      large_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
-    } else {
-      small_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
+  cdn::MergedTraceSource source(scenario);
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& r : chunk) {
+      if (r.response_code != trace::kHttpOk &&
+          r.response_code != trace::kHttpPartialContent) {
+        continue;
+      }
+      if (large_cache != nullptr && r.object_size > split_bytes) {
+        large_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
+      } else {
+        small_cache->Access(r.url_hash, r.object_size, r.timestamp_ms);
+      }
     }
   }
   result.small = small_cache->stats();
@@ -60,29 +64,18 @@ ReplayResult Replay(const trace::TraceBuffer& trace,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
-  flags.DefineInt("seed", 42, "RNG seed");
-  flags.DefineDouble("capacity-gb", 0.0, "total capacity (0 = auto)");
-  try {
-    flags.Parse(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n" << flags.Usage(argv[0]);
-    return 1;
-  }
-  if (flags.help_requested()) {
-    std::cout << flags.Usage(argv[0]);
+  bench::AblationEnv env;
+  env.flags.DefineDouble("capacity-gb", 0.0, "total capacity (0 = auto)");
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Unified vs. split small/large cache platforms")) {
     return 0;
   }
-  util::SetLogLevel(util::LogLevel::kWarn);
-  const double scale = flags.GetDouble("scale");
+  const double scale = env.scale;
 
   cdn::SimulatorConfig config;
-  cdn::Scenario scenario = cdn::Scenario::PaperStudy(
-      scale, config, static_cast<std::uint64_t>(flags.GetInt("seed")));
-  const trace::TraceBuffer merged = scenario.MergedTrace();
+  cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, env.seed);
 
-  const double cap_flag = flags.GetDouble("capacity-gb");
+  const double cap_flag = env.flags.GetDouble("capacity-gb");
   const auto total_capacity = static_cast<std::uint64_t>(
       cap_flag > 0.0 ? cap_flag * 1e9 : 40e9 * scale);
 
@@ -96,7 +89,7 @@ int main(int argc, char** argv) {
   std::cout << std::string(62, '-') << '\n';
 
   // Baseline: one unified cache.
-  const auto unified = Replay(merged, total_capacity, 0, 0);
+  const auto unified = Replay(scenario, total_capacity, 0, 0);
   std::cout << util::PadRight("unified LRU", 30)
             << util::PadLeft(util::FormatPercent(unified.Total().HitRatio(), 1), 8)
             << util::PadLeft("-", 12) << util::PadLeft("-", 12) << '\n';
@@ -107,7 +100,7 @@ int main(int argc, char** argv) {
     const auto small_cap =
         static_cast<std::uint64_t>(small_frac * static_cast<double>(total_capacity));
     const auto split =
-        Replay(merged, small_cap, total_capacity - small_cap, 1 << 20);
+        Replay(scenario, small_cap, total_capacity - small_cap, 1 << 20);
     char label[64];
     std::snprintf(label, sizeof(label), "split@1MB, %2.0f%% small",
                   small_frac * 100);

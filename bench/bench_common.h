@@ -79,6 +79,41 @@ inline bool SetUpStudy(BenchEnv& env, int argc, char** argv,
   return true;
 }
 
+// Shared flag scaffolding for the ablation benches: --scale / --seed /
+// --threads parsing, log level, and the worker-thread default in one place.
+// Unlike SetUpStudy this does not run a scenario — each ablation builds its
+// own sweep of configs. Extra flags can be defined on env.flags before the
+// call. Returns false (after printing usage) if --help was requested.
+struct AblationEnv {
+  util::Flags flags;
+  double scale = 0.05;
+  std::uint64_t seed = 42;
+};
+
+inline bool SetUpAblation(AblationEnv& env, int argc, char** argv,
+                          const char* description) {
+  env.flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  env.flags.DefineInt("seed", 42, "RNG seed");
+  env.flags.DefineInt("threads", 0,
+                      "worker threads (0 = hardware concurrency); results "
+                      "are identical at any value");
+  try {
+    env.flags.Parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << env.flags.Usage(argv[0]);
+    std::exit(1);
+  }
+  if (env.flags.help_requested()) {
+    std::cout << description << "\n\n" << env.flags.Usage(argv[0]);
+    return false;
+  }
+  util::SetLogLevel(util::LogLevel::kWarn);
+  util::SetDefaultThreads(static_cast<int>(env.flags.GetInt("threads")));
+  env.scale = env.flags.GetDouble("scale");
+  env.seed = static_cast<std::uint64_t>(env.flags.GetInt("seed"));
+  return true;
+}
+
 // Collects one analysis result per site, in paper order.
 template <typename Result, typename Fn>
 std::vector<Result> PerSite(const BenchEnv& env, Fn&& compute) {

@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   }
   analysis::SuiteConfig suite_config;
   suite_config.run_trend_clusters = false;  // Figs. 8-10 have their own bench
-  analysis::AnalysisSuite suite(env.scenario->MergedTrace(), env.registry(),
-                                suite_config);
+  cdn::MergedTraceSource source(*env.scenario);
+  analysis::AnalysisSuite suite(source, env.registry(), suite_config);
   std::cout << "=== Paper-claim verification, scale=" << env.scale
             << ", seed=" << env.seed << " ===\n\n";
   const auto claims = analysis::VerifyPaperClaims(suite);

@@ -1,0 +1,172 @@
+// Sharded simulation engine: throughput and peak memory vs. thread count.
+//
+// Generates the five-site study workload once, then runs the sharded
+// engine (cdn::StreamScenario-equivalent core via RunSharded) over the same
+// pre-generated events at 1, 2, and 8 worker threads, plus a sequential
+// baseline that simulates the sites one after another — the pre-sharding
+// architecture. Records are discarded through a CountingSink so the numbers
+// measure the engine, not a sink. Every configuration emits byte-identical
+// traces (see tests/engine_test.cc); only the wall clock moves.
+//
+// Results land in BENCH_sim.json (override the path with
+// ATLAS_BENCH_SIM_JSON; set it empty to skip). Peak RSS is reset between
+// phases via /proc/self/clear_refs where the kernel allows it.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "cdn/engine.h"
+#include "synth/site_profile.h"
+#include "trace/sink.h"
+#include "util/mem.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace atlas;
+
+struct PhaseSample {
+  double records_per_s = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t records = 0;
+};
+
+PhaseSample MeasurePhase(const std::function<std::uint64_t()>& fn,
+                         bool& rss_reset_ok) {
+  rss_reset_ok = util::ResetPeakRss() && rss_reset_ok;
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t records = fn();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  PhaseSample s;
+  s.records = records;
+  s.records_per_s =
+      seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+  s.peak_rss_bytes = util::PeakRssBytes();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::AblationEnv env;
+  if (!bench::SetUpAblation(
+          env, argc, argv,
+          "Sharded simulation engine throughput vs. thread count")) {
+    return 0;
+  }
+
+  cdn::SimulatorConfig config;
+  config.topology.edge_capacity_bytes =
+      static_cast<std::uint64_t>(64e9 * env.scale) + (1ULL << 30);
+
+  // Generate the workload once, outside every timed region: the bench
+  // measures the simulation engine, not the generator.
+  auto profiles = synth::SiteProfile::PaperAdultSites(env.scale);
+  util::Rng seeder(env.seed);
+  std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;
+  std::vector<std::vector<synth::RequestEvent>> events;
+  std::vector<cdn::SiteJob> jobs;
+  generators.reserve(profiles.size());
+  events.reserve(profiles.size());
+  jobs.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& profile = profiles[i];
+    const std::uint64_t site_seed = seeder.Next();
+    generators.push_back(
+        std::make_unique<synth::WorkloadGenerator>(profile, site_seed));
+    const double inflation =
+        generators.back()->EstimateRecordsPerRequest(config.chunk_bytes);
+    const auto budget = static_cast<std::uint64_t>(std::max(
+        1.0, static_cast<double>(profile.total_requests) / inflation));
+    events.push_back(generators.back()->Generate(budget));
+    jobs.push_back({generators.back().get(), &events.back(),
+                    static_cast<std::uint32_t>(i)});
+  }
+
+  bool rss_reset_ok = true;
+
+  // Sequential baseline: each site simulated on its own, one thread — the
+  // pre-sharding architecture (per-site work was already concurrent before,
+  // so the honest baseline is the single-threaded engine per site).
+  const PhaseSample sequential = MeasurePhase(
+      [&] {
+        std::uint64_t total = 0;
+        for (const auto& job : jobs) {
+          trace::CountingSink sink;
+          cdn::RunSharded({&job, 1}, config, sink, /*threads=*/1);
+          total += sink.records();
+        }
+        return total;
+      },
+      rss_reset_ok);
+
+  std::vector<std::pair<int, PhaseSample>> threaded;
+  for (int threads : {1, 2, 8}) {
+    threaded.emplace_back(
+        threads, MeasurePhase(
+                     [&] {
+                       trace::CountingSink sink;
+                       cdn::RunSharded(jobs, config, sink, threads);
+                       return sink.records();
+                     },
+                     rss_reset_ok));
+  }
+
+  std::cout << "records: " << sequential.records << "\n"
+            << "sequential:  "
+            << static_cast<std::uint64_t>(sequential.records_per_s)
+            << " rec/s, peak RSS " << sequential.peak_rss_bytes / 1024 / 1024
+            << " MB\n";
+  for (const auto& [threads, s] : threaded) {
+    std::cout << "threads=" << threads << (threads < 10 ? ":   " : ":  ")
+              << static_cast<std::uint64_t>(s.records_per_s)
+              << " rec/s, peak RSS " << s.peak_rss_bytes / 1024 / 1024
+              << " MB (" << util::FormatDouble(
+                     sequential.records_per_s > 0.0
+                         ? s.records_per_s / sequential.records_per_s
+                         : 0.0,
+                     2)
+              << "x sequential)\n";
+  }
+  if (!rss_reset_ok) {
+    std::cout << "note: peak-RSS reset unavailable; RSS columns are "
+                 "process-lifetime watermarks\n";
+  }
+
+  std::string json_path = "BENCH_sim.json";
+  if (const char* override_path = std::getenv("ATLAS_BENCH_SIM_JSON")) {
+    json_path = override_path;
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"sim\",\n  \"records\": " << sequential.records
+      << ",\n  \"scale\": " << env.scale
+      << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
+      << ",\n  \"results\": {\n";
+  const auto append = [&](const std::string& name, const PhaseSample& s,
+                          bool last) {
+    out << "    \"" << name << "\": {\"records_per_s\": "
+        << static_cast<std::uint64_t>(s.records_per_s)
+        << ", \"peak_rss_bytes\": " << s.peak_rss_bytes << "}"
+        << (last ? "\n" : ",\n");
+  };
+  append("sequential", sequential, false);
+  for (std::size_t i = 0; i < threaded.size(); ++i) {
+    append("threads_" + std::to_string(threaded[i].first), threaded[i].second,
+           i + 1 == threaded.size());
+  }
+  out << "  }\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "analysis/suite.h"
 #include "bench_common.h"
+#include "trace/sink.h"
 #include "trace/stream.h"
 #include "util/mem.h"
 
@@ -77,11 +78,14 @@ int main(int argc, char** argv) {
   trace::PublisherRegistry registry;
   {
     registry = env.scenario->registry();
-    const auto merged = env.scenario->MergedTrace();
-    records = merged.size();
-    trace::WriteV2File(merged, v2_path, block_records);
-    // The generation scenario (and the merged buffer) die here so the
-    // streaming phase's peak RSS reflects the pipeline, not the generator.
+    std::ofstream stream(v2_path, std::ios::binary);
+    trace::TraceWriter writer(stream, block_records);
+    trace::WriterSink sink(writer);
+    env.scenario->StreamMerged(sink);
+    writer.Finish();
+    records = writer.written();
+    // The generation scenario dies here so the streaming phase's peak RSS
+    // reflects the pipeline, not the generator (no merged copy was built).
     env.scenario.reset();
   }
 

@@ -46,10 +46,12 @@ int main(int argc, char** argv) {
   config.topology.edge_capacity_bytes =
       static_cast<std::uint64_t>(48e9 * scale) + (512ULL << 20);
   cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, seed);
-  const trace::TraceBuffer merged = scenario.MergedTrace();
 
   // --- Per-continent load (analysis::geo) ---------------------------------
-  const auto geo = analysis::ComputeGeo(merged, "all-sites");
+  // The merged trace is consumed as a stream (k-way merge over the per-site
+  // traces) — no combined copy is ever materialized.
+  cdn::MergedTraceSource merged_source(scenario);
+  const auto geo = analysis::ComputeGeo(merged_source, "all-sites");
   std::cout << "=== Per-continent demand (week, scale=" << scale << ") ===\n";
   std::cout << util::PadRight("continent", 15) << util::PadLeft("requests", 11)
             << util::PadLeft("users", 9) << util::PadLeft("bytes", 11)

@@ -4,11 +4,13 @@
 //   ./quickstart --scale 0.02 --seed 42
 //
 // `--scale 1.0` reproduces the paper-sized study (~5M log records).
+#include <fstream>
 #include <iostream>
 
 #include "analysis/suite.h"
 #include "cdn/scenario.h"
-#include "trace/trace_io.h"
+#include "trace/sink.h"
+#include "trace/stream.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/par.h"
@@ -22,7 +24,8 @@ int main(int argc, char** argv) {
                   "worker threads (0 = hardware concurrency); output is "
                   "identical at any value");
   flags.DefineBool("clusters", true, "run DTW trend clustering (Figs. 8-10)");
-  flags.DefineString("save-trace", "", "optional path to dump the binary trace");
+  flags.DefineString("save-trace", "",
+                     "optional path to dump the trace (v2 block format)");
   try {
     flags.Parse(argc, argv);
   } catch (const std::exception& e) {
@@ -44,17 +47,27 @@ int main(int argc, char** argv) {
   cdn::Scenario scenario = cdn::Scenario::PaperStudy(
       flags.GetDouble("scale"), config,
       static_cast<std::uint64_t>(flags.GetInt("seed")));
-  const trace::TraceBuffer merged = scenario.MergedTrace();
 
+  // The merged trace is consumed as a stream — the per-site traces are
+  // k-way merged on the fly, never copied into one combined buffer.
   if (const std::string path = flags.GetString("save-trace"); !path.empty()) {
-    trace::WriteBinaryFile(merged, path);
-    std::cout << "trace written to " << path << " (" << merged.size()
-              << " records)\n";
+    std::ofstream stream(path, std::ios::binary);
+    if (!stream) {
+      std::cerr << "cannot open " << path << '\n';
+      return 1;
+    }
+    trace::TraceWriter writer(stream);
+    trace::WriterSink sink(writer);
+    scenario.StreamMerged(sink);
+    writer.Finish();
+    std::cout << "trace written to " << path << " (" << writer.written()
+              << " records, v2)\n";
   }
 
   analysis::SuiteConfig suite_config;
   suite_config.run_trend_clusters = flags.GetBool("clusters");
-  analysis::AnalysisSuite suite(merged, scenario.registry(), suite_config);
+  cdn::MergedTraceSource source(scenario);
+  analysis::AnalysisSuite suite(source, scenario.registry(), suite_config);
   suite.Render(std::cout);
   return 0;
 }

@@ -34,29 +34,48 @@ double GeoResult::RequestShare(synth::Continent c) const {
                           static_cast<double>(total);
 }
 
-GeoResult ComputeGeo(const trace::TraceBuffer& trace,
+GeoResult ComputeGeo(trace::RecordSource& source,
                      const std::string& site_name) {
   GeoResult result;
   result.site = site_name;
-  result.span_ms = trace.EndMs() - trace.StartMs();
 
   std::array<std::unordered_set<std::uint64_t>, synth::kNumContinents> users;
-  for (const auto& r : trace.records()) {
-    const auto c = static_cast<std::size_t>(
-        synth::ContinentFromTzQuarterHours(r.tz_offset_quarter_hours));
-    auto& stats = result.continents[c];
-    ++stats.requests;
-    stats.bytes += r.response_bytes;
-    users[c].insert(r.user_id);
-    const auto hour = static_cast<std::size_t>(
-        ((r.timestamp_ms / util::kMillisPerHour) % 24 + 24) % 24);
-    stats.utc_hourly_requests[hour] += 1.0;
-    stats.utc_hourly_bytes[hour] += static_cast<double>(r.response_bytes);
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  bool any = false;
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& r : chunk) {
+      if (!any) {
+        start_ms = end_ms = r.timestamp_ms;
+        any = true;
+      } else {
+        start_ms = std::min(start_ms, r.timestamp_ms);
+        end_ms = std::max(end_ms, r.timestamp_ms);
+      }
+      const auto c = static_cast<std::size_t>(
+          synth::ContinentFromTzQuarterHours(r.tz_offset_quarter_hours));
+      auto& stats = result.continents[c];
+      ++stats.requests;
+      stats.bytes += r.response_bytes;
+      users[c].insert(r.user_id);
+      const auto hour = static_cast<std::size_t>(
+          ((r.timestamp_ms / util::kMillisPerHour) % 24 + 24) % 24);
+      stats.utc_hourly_requests[hour] += 1.0;
+      stats.utc_hourly_bytes[hour] += static_cast<double>(r.response_bytes);
+    }
   }
+  result.span_ms = end_ms - start_ms;
   for (std::size_t c = 0; c < users.size(); ++c) {
     result.continents[c].unique_users = users[c].size();
   }
   return result;
+}
+
+GeoResult ComputeGeo(const trace::TraceBuffer& trace,
+                     const std::string& site_name) {
+  trace::BufferSource source(trace);
+  return ComputeGeo(source, site_name);
 }
 
 }  // namespace atlas::analysis

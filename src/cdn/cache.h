@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/record.h"
 
@@ -67,6 +68,13 @@ class Cache {
   bool Admit(std::uint64_t key, std::uint64_t size_bytes, std::int64_t now_ms);
 
   virtual bool Contains(std::uint64_t key) const = 0;
+
+  // Appends every resident key to `out` (freshness is ignored, matching
+  // Contains()). Enumeration order is unspecified — callers must sort or
+  // otherwise order-normalize the result before it can influence any
+  // output. The sharded simulation engine uses this to build the sorted
+  // peer-holdings snapshots exchanged at epoch boundaries.
+  virtual void CollectKeys(std::vector<std::uint64_t>& out) const = 0;
 
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
   std::uint64_t used_bytes() const { return used_bytes_; }

@@ -1,0 +1,538 @@
+#include "cdn/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "cdn/browser_cache.h"
+#include "cdn/chunking.h"
+#include "cdn/push.h"
+#include "trace/content_class.h"
+#include "util/logging.h"
+#include "util/par.h"
+#include "util/time.h"
+
+namespace atlas::cdn {
+namespace {
+
+constexpr std::size_t kMergeBatchRecords = 8192;
+
+// A record plus its provenance. The sequential simulator appended records
+// in (event order, chunk order) and then ran a *stable* sort on timestamp,
+// so its output order is exactly (timestamp, event_seq, sub_seq); the
+// merged scenario trace concatenated sites in registration order before
+// the stable sort, i.e. (timestamp, site, event_seq, sub_seq). Tagging
+// every record with that provenance lets shards emit in any decomposition
+// and still merge back to the identical byte stream.
+struct TaggedRecord {
+  trace::LogRecord rec;
+  std::uint64_t event_seq = 0;  // index into the site's event vector
+  std::uint32_t sub_seq = 0;    // chunk index within the event
+};
+
+bool TagLess(const TaggedRecord& a, const TaggedRecord& b) {
+  if (a.rec.timestamp_ms != b.rec.timestamp_ms) {
+    return a.rec.timestamp_ms < b.rec.timestamp_ms;
+  }
+  if (a.event_seq != b.event_seq) return a.event_seq < b.event_seq;
+  return a.sub_seq < b.sub_seq;
+}
+
+trace::LogRecord BaseRecord(const synth::RequestEvent& ev,
+                            const synth::UserInfo& user,
+                            const synth::ObjectMeta& obj,
+                            std::uint32_t publisher_id) {
+  trace::LogRecord rec;
+  rec.timestamp_ms = ev.timestamp_ms;
+  rec.url_hash = obj.url_hash;
+  rec.user_id = user.user_id;
+  rec.object_size = obj.size_bytes;
+  rec.publisher_id = publisher_id;
+  rec.user_agent_id = user.user_agent_id;
+  rec.file_type = obj.file_type;
+  rec.tz_offset_quarter_hours = user.tz_offset_quarter_hours;
+  return rec;
+}
+
+// One (site, DC) shard. Everything mutable here is touched by exactly one
+// worker at a time; the only cross-shard reads during an epoch are the
+// immutable `snapshot` vectors of sibling shards, rebuilt at barriers.
+struct Shard {
+  std::size_t site = 0;
+  std::size_t dc = 0;
+  std::unique_ptr<Cache> cache;
+  std::unordered_map<std::uint32_t, BrowserCache> browsers;
+  // Indices (ascending) into the site's event vector of the events whose
+  // user routes to this DC.
+  std::vector<std::uint64_t> event_indices;
+  std::size_t next_event = 0;
+  // Private cursor into the site's shared push plan: push writes to every
+  // DC independently, so each shard applies the plan to its own cache.
+  std::size_t push_cursor = 0;
+  std::vector<TaggedRecord> pending;    // records not yet past a barrier
+  std::vector<TaggedRecord> finalized;  // this epoch's merge input, sorted
+  // Keys resident in `cache` at the last epoch boundary, sorted.
+  std::vector<std::uint64_t> snapshot;
+  // Per-shard counters, folded into the site's SimulatorResult at the end.
+  OriginStats origin;
+  std::uint64_t records = 0;
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t peer_bytes = 0;
+  std::uint64_t browser_fresh_hits = 0;
+  std::uint64_t revalidations = 0;
+  std::uint64_t pushed_bytes = 0;
+};
+
+class Engine {
+ public:
+  Engine(std::span<const SiteJob> jobs, const SimulatorConfig& config,
+         trace::RecordSink& sink, int threads)
+      : jobs_(jobs), config_(config), sink_(sink) {
+    if (config.playback_bytes_per_s <= 0.0) {
+      throw std::invalid_argument("Simulator: playback rate must be > 0");
+    }
+    if (config.epoch_ms <= 0) {
+      throw std::invalid_argument("Simulator: epoch_ms must be > 0");
+    }
+    if (config.topology.dcs_per_continent <= 0) {
+      throw std::invalid_argument("Topology: dcs_per_continent must be > 0");
+    }
+    threads_ = util::ResolveThreads(threads);
+    dcs_per_site_ = Topology::DcCount(config.topology);
+    Validate();
+    BuildShards();
+  }
+
+  std::vector<SimulatorResult> Run();
+
+ private:
+  Shard& shard(std::size_t site, std::size_t dc) {
+    return shards_[site * dcs_per_site_ + dc];
+  }
+
+  void Validate() const;
+  void BuildShards();
+  void ForEachShard(const std::function<void(std::size_t)>& fn);
+  void ProcessEpoch(Shard& shard, std::int64_t epoch_end_ms, bool last);
+  void ProcessEvent(Shard& shard, std::uint64_t event_seq);
+  void ApplyPushUpTo(Shard& shard, std::int64_t now_ms);
+  void Fill(Shard& shard, std::uint64_t key, std::uint64_t bytes);
+  BrowserCache& BrowserFor(Shard& shard, std::uint32_t user_index);
+  void MergeFinalized();
+  void RebuildSnapshots();
+  std::vector<SimulatorResult> Assemble() const;
+
+  std::span<const SiteJob> jobs_;
+  const SimulatorConfig& config_;
+  trace::RecordSink& sink_;
+  int threads_ = 1;
+  std::size_t dcs_per_site_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<std::vector<PushItem>> push_plans_;  // per site
+  std::vector<trace::LogRecord> batch_;            // merge output staging
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+std::vector<SimulatorResult> Engine::Run() {
+  if (threads_ > 1 && shards_.size() > 1 && !util::InParallelRegion()) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threads_), shards_.size())));
+  }
+  std::int64_t min_ts = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ts = std::numeric_limits<std::int64_t>::min();
+  for (const auto& job : jobs_) {
+    if (!job.events->empty()) {
+      min_ts = std::min(min_ts, job.events->front().timestamp_ms);
+      max_ts = std::max(max_ts, job.events->back().timestamp_ms);
+    }
+  }
+  // Epoch boundaries are fixed multiples of epoch_ms — a pure function of
+  // the workload and config, never of thread count. Leading empty epochs
+  // are skipped (caches are empty, so their snapshots would be too).
+  std::int64_t epoch_end =
+      max_ts == std::numeric_limits<std::int64_t>::min()
+          ? std::numeric_limits<std::int64_t>::max()
+          : (min_ts / config_.epoch_ms + 1) * config_.epoch_ms;
+  for (;;) {
+    const bool last = epoch_end > max_ts;
+    const std::int64_t bound =
+        last ? std::numeric_limits<std::int64_t>::max() : epoch_end;
+    ForEachShard(
+        [&](std::size_t i) { ProcessEpoch(shards_[i], bound, last); });
+    MergeFinalized();
+    if (last) break;
+    if (config_.peer_fill) RebuildSnapshots();
+    epoch_end += config_.epoch_ms;
+  }
+  pool_.reset();
+  return Assemble();
+}
+
+void Engine::Validate() const {
+  for (const auto& job : jobs_) {
+    if (job.generator == nullptr || job.events == nullptr) {
+      throw std::invalid_argument("RunSharded: job missing generator/events");
+    }
+    std::int64_t last_ts = std::numeric_limits<std::int64_t>::min();
+    for (const auto& ev : *job.events) {
+      if (ev.timestamp_ms < last_ts) {
+        throw std::invalid_argument("Simulator: events must be time-sorted");
+      }
+      last_ts = ev.timestamp_ms;
+    }
+  }
+}
+
+void Engine::BuildShards() {
+  shards_.resize(jobs_.size() * dcs_per_site_);
+  push_plans_.reserve(jobs_.size());
+  for (std::size_t s = 0; s < jobs_.size(); ++s) {
+    push_plans_.push_back(
+        BuildPushPlan(jobs_[s].generator->catalog(), config_.push));
+    for (std::size_t d = 0; d < dcs_per_site_; ++d) {
+      Shard& sh = shard(s, d);
+      sh.site = s;
+      sh.dc = d;
+      sh.cache = CreateCache(config_.topology.edge_policy,
+                             config_.topology.edge_capacity_bytes,
+                             config_.topology.edge_ttl_ms);
+    }
+    // Pin every event to its user's home DC. The pinning is a pure
+    // function of the user, so the per-shard event slices — and therefore
+    // every cache's operation sequence — never depend on thread count.
+    const synth::UserPopulation& users = jobs_[s].generator->users();
+    const auto& events = *jobs_[s].events;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const synth::UserInfo& user = users.user(events[i].user_index);
+      const std::size_t d =
+          Topology::RouteIndex(config_.topology, user.continent, user.user_id);
+      shard(s, d).event_indices.push_back(i);
+    }
+  }
+}
+
+void Engine::ForEachShard(const std::function<void(std::size_t)>& fn) {
+  // One persistent pool for the whole run (rebuilding it every epoch would
+  // pay thread spawns per barrier); inline when serial or already nested.
+  if (pool_ != nullptr) {
+    pool_->Run(shards_.size(), fn);
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) fn(i);
+  }
+}
+
+BrowserCache& Engine::BrowserFor(Shard& sh, std::uint32_t user_index) {
+  auto it = sh.browsers.find(user_index);
+  if (it == sh.browsers.end()) {
+    it = sh.browsers
+             .emplace(user_index,
+                      BrowserCache(config_.browser_capacity_bytes,
+                                   config_.browser_freshness_ms))
+             .first;
+  }
+  return it->second;
+}
+
+void Engine::Fill(Shard& sh, std::uint64_t key, std::uint64_t bytes) {
+  if (config_.peer_fill) {
+    // Peer holdings are the epoch-snapshotted ones: what sibling DCs held
+    // at the last barrier, not what they hold "now" — live peeks would
+    // race and make the answer depend on cross-shard timing.
+    for (std::size_t d = 0; d < dcs_per_site_; ++d) {
+      if (d == sh.dc) continue;
+      const auto& snap = shard(sh.site, d).snapshot;
+      if (std::binary_search(snap.begin(), snap.end(), key)) {
+        ++sh.peer_fetches;
+        sh.peer_bytes += bytes;
+        return;
+      }
+    }
+  }
+  ++sh.origin.fetches;
+  sh.origin.bytes += bytes;
+}
+
+void Engine::ApplyPushUpTo(Shard& sh, std::int64_t now_ms) {
+  const std::vector<PushItem>& plan = push_plans_[sh.site];
+  const synth::Catalog& catalog = jobs_[sh.site].generator->catalog();
+  while (sh.push_cursor < plan.size() &&
+         plan[sh.push_cursor].push_at_ms <= now_ms) {
+    const auto& item = plan[sh.push_cursor];
+    const auto& obj = catalog.object(item.object_index);
+    // Push the object (or its leading chunks) into this shard's edge DC.
+    // When the prefix reaches the end of the file the final chunk is
+    // pushed at its actual (possibly short) size, matching what a viewer
+    // fetch would insert — otherwise pushed and fetched copies of the same
+    // chunk key disagree on occupancy.
+    std::uint64_t chunks = 1;
+    std::uint64_t chunk_size = obj.size_bytes;
+    std::uint64_t last_size = obj.size_bytes;
+    if (obj.content_class == trace::ContentClass::kVideo &&
+        config_.chunk_bytes > 0 && obj.size_bytes > config_.chunk_bytes) {
+      const std::uint64_t total_chunks =
+          (obj.size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes;
+      chunks = std::min<std::uint64_t>(config_.push.video_prefix_chunks,
+                                       total_chunks);
+      chunk_size = config_.chunk_bytes;
+      last_size = chunks == total_chunks
+                      ? obj.size_bytes - (total_chunks - 1) * config_.chunk_bytes
+                      : config_.chunk_bytes;
+    }
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t push_bytes = c + 1 == chunks ? last_size : chunk_size;
+      if (sh.cache->Admit(ChunkKey(obj.url_hash, c), push_bytes,
+                          item.push_at_ms)) {
+        sh.pushed_bytes += push_bytes;
+      }
+    }
+    ++sh.push_cursor;
+  }
+}
+
+void Engine::ProcessEvent(Shard& sh, std::uint64_t event_seq) {
+  const SiteJob& job = jobs_[sh.site];
+  const synth::RequestEvent& ev = (*job.events)[event_seq];
+  const synth::UserInfo& user = job.generator->users().user(ev.user_index);
+  const synth::ObjectMeta& obj = job.generator->catalog().object(ev.object_index);
+  const std::uint32_t publisher_id = job.publisher_id;
+  BrowserCache& browser = BrowserFor(sh, ev.user_index);
+
+  // Incognito: the private window from the previous session was closed;
+  // its cache is gone when a new session starts.
+  if (ev.session_start && user.incognito) browser.Clear();
+
+  // --- anomalies -----------------------------------------------------
+  if (ev.anomaly != synth::Anomaly::kNone) {
+    trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id);
+    rec.cache_status = trace::CacheStatus::kMiss;
+    rec.response_bytes = 0;
+    switch (ev.anomaly) {
+      case synth::Anomaly::kHotlink:
+        rec.response_code = trace::kHttpForbidden;  // 403
+        break;
+      case synth::Anomaly::kBadRange:
+        rec.response_code = trace::kHttpRangeNotSatisfiable;  // 416
+        break;
+      case synth::Anomaly::kBeacon:
+        rec.response_code = trace::kHttpNoContent;  // 204
+        break;
+      case synth::Anomaly::kNone:
+        break;
+    }
+    sh.pending.push_back({rec, event_seq, 0});
+    return;
+  }
+
+  // --- video: chunked transfer ------------------------------------------
+  if (obj.content_class == trace::ContentClass::kVideo &&
+      config_.chunk_bytes > 0) {
+    const ChunkPlan plan =
+        PlanChunks(obj.size_bytes, ev.watch_fraction, config_.chunk_bytes);
+    std::int64_t t = ev.timestamp_ms;
+    const auto gap_ms = static_cast<std::int64_t>(
+        static_cast<double>(plan.chunk_bytes) /
+        config_.playback_bytes_per_s * 1000.0);
+    for (std::uint64_t c = 0; c < plan.num_chunks; ++c) {
+      const std::uint64_t bytes =
+          c + 1 == plan.num_chunks ? plan.last_chunk_bytes : plan.chunk_bytes;
+      const std::uint64_t key = ChunkKey(obj.url_hash, c);
+      // The final chunk is usually short; cache and origin accounting must
+      // use its actual size or every non-multiple video inflates edge
+      // occupancy and origin bytes by up to chunk_bytes - 1.
+      const trace::CacheStatus status = sh.cache->Access(key, bytes, t);
+      if (status == trace::CacheStatus::kMiss) {
+        Fill(sh, key, bytes);
+      }
+      trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id);
+      rec.timestamp_ms = t;
+      rec.response_bytes = bytes;
+      rec.cache_status = status;
+      rec.response_code =
+          plan.partial ? trace::kHttpPartialContent : trace::kHttpOk;
+      sh.pending.push_back({rec, event_seq, static_cast<std::uint32_t>(c)});
+      t += std::max<std::int64_t>(gap_ms, 1);
+    }
+    return;
+  }
+
+  // --- image / other / unchunked video ----------------------------------
+  const bool cacheable = obj.size_bytes <= config_.browser_max_object_bytes &&
+                         obj.content_class != trace::ContentClass::kVideo;
+  if (cacheable) {
+    const BrowserLookup lookup = browser.Lookup(obj.url_hash, ev.timestamp_ms);
+    if (lookup == BrowserLookup::kFresh) {
+      // Served entirely from the local cache: the CDN never sees this
+      // request, so no record is emitted.
+      ++sh.browser_fresh_hits;
+      return;
+    }
+    if (lookup == BrowserLookup::kStale) {
+      // Conditional GET. Content is immutable in this model, so the edge
+      // always answers 304 (headers only). The edge still consults its
+      // cache; validators for uncached objects pull the object in.
+      const trace::CacheStatus status =
+          sh.cache->Access(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
+      if (status == trace::CacheStatus::kMiss) {
+        Fill(sh, obj.url_hash, obj.size_bytes);
+      }
+      browser.Renew(obj.url_hash, ev.timestamp_ms);
+      trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id);
+      rec.response_bytes = 0;
+      rec.cache_status = status;
+      rec.response_code = trace::kHttpNotModified;  // 304
+      sh.pending.push_back({rec, event_seq, 0});
+      ++sh.revalidations;
+      return;
+    }
+  }
+
+  const trace::CacheStatus status =
+      sh.cache->Access(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
+  if (status == trace::CacheStatus::kMiss) {
+    Fill(sh, obj.url_hash, obj.size_bytes);
+  }
+  if (cacheable) {
+    browser.Store(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
+  }
+  trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id);
+  rec.response_bytes = obj.size_bytes;
+  rec.cache_status = status;
+  rec.response_code = trace::kHttpOk;
+  sh.pending.push_back({rec, event_seq, 0});
+}
+
+void Engine::ProcessEpoch(Shard& sh, std::int64_t epoch_end_ms, bool last) {
+  const auto& events = *jobs_[sh.site].events;
+  while (sh.next_event < sh.event_indices.size()) {
+    const std::uint64_t ei = sh.event_indices[sh.next_event];
+    const synth::RequestEvent& ev = events[ei];
+    if (ev.timestamp_ms >= epoch_end_ms) break;
+    // Scheduled pushes land between a DC's own requests in exactly the
+    // order the sequential simulator applied them (plan order, before the
+    // first request at or after push_at), so cache state evolution per DC
+    // is identical.
+    ApplyPushUpTo(sh, ev.timestamp_ms);
+    ProcessEvent(sh, ei);
+    ++sh.next_event;
+  }
+  if (last) ApplyPushUpTo(sh, util::kMillisPerWeek);
+
+  // Finalize records with timestamps before the boundary: every event in a
+  // later epoch starts at ts >= epoch_end, and chunk pacing only moves
+  // timestamps forward, so no future record can sort before these.
+  sh.finalized.clear();
+  auto keep_end = std::partition(
+      sh.pending.begin(), sh.pending.end(), [&](const TaggedRecord& r) {
+        return !last && r.rec.timestamp_ms >= epoch_end_ms;
+      });
+  sh.finalized.assign(std::make_move_iterator(keep_end),
+                      std::make_move_iterator(sh.pending.end()));
+  sh.pending.erase(keep_end, sh.pending.end());
+  // (timestamp, event, chunk) is a strict total order within a shard, so a
+  // plain sort is deterministic.
+  std::sort(sh.finalized.begin(), sh.finalized.end(), TagLess);
+  sh.records += sh.finalized.size();
+}
+
+void Engine::MergeFinalized() {
+  // Serial k-way merge of the shards' finalized runs into the sink by
+  // (timestamp, site, event, chunk). Ties are impossible: event_seq is
+  // unique within a site and sites are disambiguated explicitly.
+  struct Cursor {
+    const std::vector<TaggedRecord>* run;
+    std::size_t pos;
+    std::size_t site;
+  };
+  const auto greater = [](const Cursor& a, const Cursor& b) {
+    const TaggedRecord& x = (*a.run)[a.pos];
+    const TaggedRecord& y = (*b.run)[b.pos];
+    if (x.rec.timestamp_ms != y.rec.timestamp_ms) {
+      return x.rec.timestamp_ms > y.rec.timestamp_ms;
+    }
+    if (a.site != b.site) return a.site > b.site;
+    if (x.event_seq != y.event_seq) return x.event_seq > y.event_seq;
+    return x.sub_seq > y.sub_seq;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    if (!sh.finalized.empty()) heap.push_back({&sh.finalized, 0, sh.site});
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+  batch_.clear();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    Cursor& top = heap.back();
+    batch_.push_back((*top.run)[top.pos].rec);
+    if (batch_.size() >= kMergeBatchRecords) {
+      sink_.Write(batch_);
+      batch_.clear();
+    }
+    if (++top.pos < top.run->size()) {
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+  if (!batch_.empty()) {
+    sink_.Write(batch_);
+    batch_.clear();
+  }
+}
+
+void Engine::RebuildSnapshots() {
+  ForEachShard([&](std::size_t i) {
+    Shard& sh = shards_[i];
+    sh.snapshot.clear();
+    sh.cache->CollectKeys(sh.snapshot);
+    // Sorted: makes sibling lookups O(log n) and order-normalizes the
+    // cache's unordered enumeration.
+    std::sort(sh.snapshot.begin(), sh.snapshot.end());
+  });
+}
+
+std::vector<SimulatorResult> Engine::Assemble() const {
+  std::vector<SimulatorResult> results(jobs_.size());
+  for (std::size_t s = 0; s < jobs_.size(); ++s) {
+    SimulatorResult& r = results[s];
+    r.per_dc_stats.reserve(dcs_per_site_);
+    for (std::size_t d = 0; d < dcs_per_site_; ++d) {
+      const Shard& sh = shards_[s * dcs_per_site_ + d];
+      const CacheStats& stats = sh.cache->stats();
+      r.per_dc_stats.push_back(stats);
+      r.edge_stats.Merge(stats);
+      r.origin.fetches += sh.origin.fetches;
+      r.origin.bytes += sh.origin.bytes;
+      r.records += sh.records;
+      r.peer_fetches += sh.peer_fetches;
+      r.peer_bytes += sh.peer_bytes;
+      r.browser_fresh_hits += sh.browser_fresh_hits;
+      r.revalidations += sh.revalidations;
+      r.pushed_bytes += sh.pushed_bytes;
+    }
+    // Every shard walks the whole plan, but a pushed object is one object
+    // regardless of how many DCs received it.
+    for (const PushItem& item : push_plans_[s]) {
+      if (item.push_at_ms <= util::kMillisPerWeek) ++r.pushed_objects;
+    }
+    ATLAS_LOG(kInfo) << "simulated " << r.records << " records, edge "
+                     << "hit ratio " << r.edge_stats.HitRatio();
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::RecordSink& sink, int threads) {
+  Engine engine(jobs, config, sink, threads);
+  return engine.Run();
+}
+
+}  // namespace atlas::cdn

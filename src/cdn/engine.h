@@ -1,0 +1,54 @@
+// The sharded, streaming, deterministic simulation engine.
+//
+// One engine run drives any number of sites through the delivery
+// simulation concurrently. Work is sharded **by edge data center**: the
+// geo mapping pins every user to one home DC (Topology::RouteIndex), so a
+// shard = (site, DC) owns its edge cache, the browser caches of the users
+// routed there, its slice of the site's time-sorted events, and a private
+// cursor into the site's push plan. Shards never share mutable state, so
+// they run freely on util::par's pool — and because the decomposition is a
+// pure function of the workload (never of the thread count), the output is
+// byte-identical at any `threads` value.
+//
+// Time advances in fixed epochs (SimulatorConfig::epoch_ms). Within an
+// epoch every shard processes its events independently; at the epoch
+// barrier each shard (a) finalizes the records whose timestamps fall
+// before the boundary — no future event can emit an earlier record — and
+// (b) when peer_fill is on, publishes an immutable, sorted snapshot of its
+// cache holdings for sibling DCs to consult during the next epoch. The
+// finalized shard streams are then k-way merged by
+// (timestamp, site, event, chunk) into the RecordSink, which reproduces
+// the legacy sequential simulator's stable time-sort byte for byte while
+// holding only one epoch of records in memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cdn/simulator.h"
+#include "synth/workload.h"
+#include "trace/sink.h"
+
+namespace atlas::cdn {
+
+// One site's input to the engine. The generator supplies the object
+// catalog and user population; `events` must be time-sorted (the engine
+// throws std::invalid_argument otherwise). Records are tagged with
+// `publisher_id`. Sites are merged in job order on timestamp ties.
+struct SiteJob {
+  const synth::WorkloadGenerator* generator = nullptr;
+  const std::vector<synth::RequestEvent>* events = nullptr;
+  std::uint32_t publisher_id = 0;
+};
+
+// Runs every job through the sharded engine, streaming the merged,
+// time-sorted record stream of all sites into `sink`, and returns one
+// counter accumulator per job (in job order). `threads <= 0` means
+// util::DefaultThreads().
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::RecordSink& sink,
+                                        int threads = 0);
+
+}  // namespace atlas::cdn

@@ -34,6 +34,10 @@ class LruCache : public Cache {
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
   }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
+  }
   std::string name() const override { return "LRU"; }
 
  protected:
@@ -59,6 +63,10 @@ class FifoCache : public Cache {
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
   }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
+  }
   std::string name() const override { return "FIFO"; }
 
  protected:
@@ -79,6 +87,10 @@ class LfuCache : public Cache {
 
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
+  }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
   }
   std::string name() const override { return "LFU"; }
 
@@ -107,6 +119,10 @@ class GdsfCache : public Cache {
 
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
+  }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
   }
   std::string name() const override { return "GDSF"; }
   // Lazy-invalidation heap size, stale entries included. Compaction keeps
@@ -157,6 +173,10 @@ class S4LruCache : public Cache {
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
   }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
+  }
   std::string name() const override { return "S4LRU"; }
 
  protected:
@@ -186,6 +206,10 @@ class TtlLruCache : public Cache {
 
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
+  }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
   }
   std::string name() const override { return "TTL-LRU"; }
   std::int64_t ttl_ms() const { return ttl_ms_; }

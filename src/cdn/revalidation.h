@@ -67,6 +67,10 @@ class OracleTtlCache : public Cache {
   bool Contains(std::uint64_t key) const override {
     return entries_.count(key) > 0;
   }
+  void CollectKeys(std::vector<std::uint64_t>& out) const override {
+    // atlas-lint: allow(unordered-iter) snapshot is sorted by the caller
+    for (const auto& kv : entries_) out.push_back(kv.first);
+  }
   std::string name() const override { return "Oracle-TTL"; }
 
   // Expired lookups observed so far (misses caused by staleness rather than

@@ -1,14 +1,53 @@
 #include "cdn/scenario.h"
 
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
+#include "cdn/engine.h"
 #include "util/rng.h"
 
 namespace atlas::cdn {
+namespace {
+
+// Routes each merged record back to its site's buffer. Records arrive in
+// merged order, and the merged order restricted to one site is that site's
+// own time-sorted order, so the per-site buffers come out exactly as the
+// legacy per-site simulations produced them.
+class DemuxSink final : public trace::RecordSink {
+ public:
+  explicit DemuxSink(std::vector<SiteRun>& runs) {
+    for (auto& run : runs) {
+      by_publisher_.emplace(run.publisher_id, &run.result.trace);
+    }
+  }
+
+  void Write(std::span<const trace::LogRecord> records) override {
+    for (const auto& rec : records) {
+      by_publisher_.at(rec.publisher_id)->Add(rec);
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, trace::TraceBuffer*> by_publisher_;
+};
+
+std::uint64_t LogicalBudget(const synth::WorkloadGenerator& gen,
+                            const synth::SiteProfile& profile,
+                            const SimulatorConfig& config) {
+  const double inflation = gen.EstimateRecordsPerRequest(config.chunk_bytes);
+  return static_cast<std::uint64_t>(std::max(
+      1.0, static_cast<double>(profile.total_requests) / inflation));
+}
+
+}  // namespace
 
 Scenario::Scenario(std::vector<synth::SiteProfile> profiles,
-                   const SimulatorConfig& config, std::uint64_t seed) {
+                   const SimulatorConfig& config, std::uint64_t seed,
+                   int threads) {
   util::Rng seeder(seed);
+  std::vector<std::vector<synth::RequestEvent>> events;
+  events.reserve(profiles.size());
   for (auto& profile : profiles) {
     const std::uint32_t id = registry_.Register(profile.name, profile.kind);
     SiteRun run;
@@ -17,30 +56,111 @@ Scenario::Scenario(std::vector<synth::SiteProfile> profiles,
     const std::uint64_t site_seed = seeder.Next();
     run.generator =
         std::make_unique<synth::WorkloadGenerator>(profile, site_seed);
-    const double inflation =
-        run.generator->EstimateRecordsPerRequest(config.chunk_bytes);
-    const auto logical = static_cast<std::uint64_t>(std::max(
-        1.0, static_cast<double>(profile.total_requests) / inflation));
-    const auto events = run.generator->Generate(logical);
-    Simulator sim(config, id);
-    run.result = sim.Run(*run.generator, events);
+    events.push_back(
+        run.generator->Generate(LogicalBudget(*run.generator, profile, config)));
+    run.result.trace.Reserve(events.back().size() + events.back().size() / 2);
     runs_.push_back(std::move(run));
+  }
+
+  std::vector<SiteJob> jobs;
+  jobs.reserve(runs_.size());
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    jobs.push_back(
+        {runs_[i].generator.get(), &events[i], runs_[i].publisher_id});
+  }
+  DemuxSink sink(runs_);
+  auto results = RunSharded(jobs, config, sink, threads);
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    static_cast<SimulatorResult&>(runs_[i].result) = std::move(results[i]);
   }
 }
 
 Scenario Scenario::PaperStudy(double scale, const SimulatorConfig& config,
-                              std::uint64_t seed) {
-  return Scenario(synth::SiteProfile::PaperAdultSites(scale), config, seed);
+                              std::uint64_t seed, int threads) {
+  return Scenario(synth::SiteProfile::PaperAdultSites(scale), config, seed,
+                  threads);
 }
 
+void Scenario::StreamMerged(trace::RecordSink& sink) const {
+  MergedTraceSource source(*this);
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    sink.Write(chunk);
+  }
+}
+
+SimulatorResult Scenario::Totals() const {
+  SimulatorResult totals;
+  for (const auto& run : runs_) totals.Merge(run.result);
+  return totals;
+}
+
+// atlas-lint: allow(tracebuffer-in-cdn) legacy in-memory convenience
 trace::TraceBuffer Scenario::MergedTrace() const {
-  trace::TraceBuffer merged;
+  trace::TraceBuffer merged;  // atlas-lint: allow(tracebuffer-in-cdn) (above)
   std::size_t total = 0;
   for (const auto& run : runs_) total += run.result.trace.size();
   merged.Reserve(total);
-  for (const auto& run : runs_) merged.Append(run.result.trace);
-  merged.SortByTime();
+  trace::BufferSink sink(merged);
+  StreamMerged(sink);
   return merged;
+}
+
+MergedTraceSource::MergedTraceSource(const Scenario& scenario) {
+  cursors_.reserve(scenario.site_count());
+  for (const auto& run : scenario.runs()) {
+    cursors_.push_back({&run.result.trace, 0});
+  }
+  chunk_.reserve(trace::kDefaultBlockRecords);
+}
+
+std::span<const trace::LogRecord> MergedTraceSource::NextChunk() {
+  chunk_.clear();
+  while (chunk_.size() < trace::kDefaultBlockRecords) {
+    // Pick the earliest record; ties go to the lowest site index, matching
+    // the stable concatenate-then-sort order of the legacy merge.
+    const trace::LogRecord* best = nullptr;
+    std::size_t best_site = 0;
+    for (std::size_t s = 0; s < cursors_.size(); ++s) {
+      const Cursor& cur = cursors_[s];
+      if (cur.pos >= cur.buf->size()) continue;
+      const trace::LogRecord& rec = cur.buf->records()[cur.pos];
+      if (best == nullptr || rec.timestamp_ms < best->timestamp_ms) {
+        best = &rec;
+        best_site = s;
+      }
+    }
+    if (best == nullptr) break;
+    chunk_.push_back(*best);
+    ++cursors_[best_site].pos;
+  }
+  return chunk_;
+}
+
+ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
+                                    const SimulatorConfig& config,
+                                    std::uint64_t seed,
+                                    trace::RecordSink& sink, int threads) {
+  ScenarioStreamResult out;
+  util::Rng seeder(seed);
+  std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;
+  std::vector<std::vector<synth::RequestEvent>> events;
+  std::vector<SiteJob> jobs;
+  generators.reserve(profiles.size());
+  events.reserve(profiles.size());
+  jobs.reserve(profiles.size());
+  for (auto& profile : profiles) {
+    const std::uint32_t id = out.registry.Register(profile.name, profile.kind);
+    const std::uint64_t site_seed = seeder.Next();
+    generators.push_back(
+        std::make_unique<synth::WorkloadGenerator>(profile, site_seed));
+    events.push_back(generators.back()->Generate(
+        LogicalBudget(*generators.back(), profile, config)));
+    jobs.push_back({generators.back().get(), &events.back(), id});
+  }
+  out.site_results = RunSharded(jobs, config, sink, threads);
+  for (const auto& r : out.site_results) out.totals.Merge(r);
+  return out;
 }
 
 }  // namespace atlas::cdn

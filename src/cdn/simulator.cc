@@ -2,33 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <span>
 #include <stdexcept>
+#include <utility>
 
-#include "trace/content_class.h"
-#include "util/logging.h"
-#include "util/time.h"
+#include "cdn/engine.h"
 
 namespace atlas::cdn {
-namespace {
 
-trace::LogRecord BaseRecord(const synth::RequestEvent& ev,
-                            const synth::UserInfo& user,
-                            const synth::ObjectMeta& obj,
-                            std::uint32_t publisher_id) {
-  trace::LogRecord rec;
-  rec.timestamp_ms = ev.timestamp_ms;
-  rec.url_hash = obj.url_hash;
-  rec.user_id = user.user_id;
-  rec.object_size = obj.size_bytes;
-  rec.publisher_id = publisher_id;
-  rec.user_agent_id = user.user_agent_id;
-  rec.file_type = obj.file_type;
-  rec.tz_offset_quarter_hours = user.tz_offset_quarter_hours;
-  return rec;
+void SimulatorResult::Merge(const SimulatorResult& other) {
+  edge_stats.Merge(other.edge_stats);
+  if (per_dc_stats.size() < other.per_dc_stats.size()) {
+    per_dc_stats.resize(other.per_dc_stats.size());
+  }
+  for (std::size_t i = 0; i < other.per_dc_stats.size(); ++i) {
+    per_dc_stats[i].Merge(other.per_dc_stats[i]);
+  }
+  origin.fetches += other.origin.fetches;
+  origin.bytes += other.origin.bytes;
+  records += other.records;
+  peer_fetches += other.peer_fetches;
+  peer_bytes += other.peer_bytes;
+  browser_fresh_hits += other.browser_fresh_hits;
+  revalidations += other.revalidations;
+  pushed_objects += other.pushed_objects;
+  pushed_bytes += other.pushed_bytes;
 }
-
-}  // namespace
 
 Simulator::Simulator(const SimulatorConfig& config, std::uint32_t publisher_id)
     : config_(config), publisher_id_(publisher_id) {
@@ -37,226 +36,27 @@ Simulator::Simulator(const SimulatorConfig& config, std::uint32_t publisher_id)
   }
 }
 
-void Simulator::ApplyPushUpTo(std::int64_t now_ms,
-                              const synth::Catalog& catalog,
-                              Topology& topology,
-                              const std::vector<PushItem>& plan,
-                              std::size_t& cursor, SimulatorResult& result) {
-  while (cursor < plan.size() && plan[cursor].push_at_ms <= now_ms) {
-    const auto& item = plan[cursor];
-    const auto& obj = catalog.object(item.object_index);
-    // Push the object (or its leading chunks) into every edge DC. When the
-    // prefix reaches the end of the file the final chunk is pushed at its
-    // actual (possibly short) size, matching what a viewer fetch would
-    // insert — otherwise pushed and fetched copies of the same chunk key
-    // disagree on occupancy.
-    std::uint64_t chunks = 1;
-    std::uint64_t chunk_size = obj.size_bytes;
-    std::uint64_t last_size = obj.size_bytes;
-    if (obj.content_class == trace::ContentClass::kVideo &&
-        config_.chunk_bytes > 0 && obj.size_bytes > config_.chunk_bytes) {
-      const std::uint64_t total_chunks =
-          (obj.size_bytes + config_.chunk_bytes - 1) / config_.chunk_bytes;
-      chunks = std::min<std::uint64_t>(config_.push.video_prefix_chunks,
-                                       total_chunks);
-      chunk_size = config_.chunk_bytes;
-      last_size = chunks == total_chunks
-                      ? obj.size_bytes - (total_chunks - 1) * config_.chunk_bytes
-                      : config_.chunk_bytes;
-    }
-    for (std::size_t d = 0; d < topology.dc_count(); ++d) {
-      for (std::uint64_t c = 0; c < chunks; ++c) {
-        const std::uint64_t push_bytes = c + 1 == chunks ? last_size
-                                                         : chunk_size;
-        if (topology.mutable_dc(d).cache->Admit(ChunkKey(obj.url_hash, c),
-                                                push_bytes, item.push_at_ms)) {
-          result.pushed_bytes += push_bytes;
-        }
-      }
-    }
-    ++result.pushed_objects;
-    ++cursor;
-  }
-}
-
 SimulatorResult Simulator::Run(const synth::WorkloadGenerator& gen,
-                               const std::vector<synth::RequestEvent>& events) {
-  const synth::Catalog& catalog = gen.catalog();
-  const synth::UserPopulation& users = gen.users();
-
-  SimulatorResult result;
-  result.trace.Reserve(events.size() + events.size() / 2);
-
-  Topology topology(config_.topology);
-  const std::vector<PushItem> push_plan =
-      BuildPushPlan(catalog, config_.push);
-  std::size_t push_cursor = 0;
-
-  // Browser caches materialize lazily per user.
-  std::unordered_map<std::uint32_t, BrowserCache> browsers;
-  const auto browser_for = [&](std::uint32_t user_index) -> BrowserCache& {
-    auto it = browsers.find(user_index);
-    if (it == browsers.end()) {
-      it = browsers
-               .emplace(user_index,
-                        BrowserCache(config_.browser_capacity_bytes,
-                                     config_.browser_freshness_ms))
-               .first;
-    }
-    return it->second;
-  };
-
-  // Miss fill: from a sibling DC holding the object when peer_fill is on,
-  // otherwise from the origin.
-  const auto fill = [&](const DataCenter& dc, std::uint64_t key,
-                        std::uint64_t bytes) {
-    if (config_.peer_fill && topology.AnyPeerContains(dc, key)) {
-      ++result.peer_fetches;
-      result.peer_bytes += bytes;
-      return;
-    }
-    topology.FetchFromOrigin(bytes);
-  };
-
-  std::int64_t last_ts = std::numeric_limits<std::int64_t>::min();
-  for (const auto& ev : events) {
-    if (ev.timestamp_ms < last_ts) {
-      throw std::invalid_argument("Simulator: events must be time-sorted");
-    }
-    last_ts = ev.timestamp_ms;
-
-    const synth::UserInfo& user = users.user(ev.user_index);
-    const synth::ObjectMeta& obj = catalog.object(ev.object_index);
-    ApplyPushUpTo(ev.timestamp_ms, catalog, topology, push_plan, push_cursor,
-                  result);
-    DataCenter& dc = topology.Route(user.continent, user.user_id);
-    BrowserCache& browser = browser_for(ev.user_index);
-
-    // Incognito: the private window from the previous session was closed;
-    // its cache is gone when a new session starts.
-    if (ev.session_start && user.incognito) browser.Clear();
-
-    // --- anomalies -----------------------------------------------------
-    if (ev.anomaly != synth::Anomaly::kNone) {
-      trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id_);
-      rec.cache_status = trace::CacheStatus::kMiss;
-      rec.response_bytes = 0;
-      switch (ev.anomaly) {
-        case synth::Anomaly::kHotlink:
-          rec.response_code = trace::kHttpForbidden;  // 403
-          break;
-        case synth::Anomaly::kBadRange:
-          rec.response_code = trace::kHttpRangeNotSatisfiable;  // 416
-          break;
-        case synth::Anomaly::kBeacon:
-          rec.response_code = trace::kHttpNoContent;  // 204
-          break;
-        case synth::Anomaly::kNone:
-          break;
-      }
-      result.trace.Add(rec);
-      continue;
-    }
-
-    // --- video: chunked transfer ------------------------------------------
-    if (obj.content_class == trace::ContentClass::kVideo &&
-        config_.chunk_bytes > 0) {
-      const ChunkPlan plan =
-          PlanChunks(obj.size_bytes, ev.watch_fraction, config_.chunk_bytes);
-      std::int64_t t = ev.timestamp_ms;
-      const auto gap_ms = static_cast<std::int64_t>(
-          static_cast<double>(plan.chunk_bytes) /
-          config_.playback_bytes_per_s * 1000.0);
-      for (std::uint64_t c = 0; c < plan.num_chunks; ++c) {
-        const std::uint64_t bytes =
-            c + 1 == plan.num_chunks ? plan.last_chunk_bytes : plan.chunk_bytes;
-        const std::uint64_t key = ChunkKey(obj.url_hash, c);
-        // The final chunk is usually short; cache and origin accounting must
-        // use its actual size or every non-multiple video inflates edge
-        // occupancy and origin bytes by up to chunk_bytes - 1.
-        const trace::CacheStatus status = dc.cache->Access(key, bytes, t);
-        if (status == trace::CacheStatus::kMiss) {
-          fill(dc, key, bytes);
-        }
-        trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id_);
-        rec.timestamp_ms = t;
-        rec.response_bytes = bytes;
-        rec.cache_status = status;
-        rec.response_code =
-            plan.partial ? trace::kHttpPartialContent : trace::kHttpOk;
-        result.trace.Add(rec);
-        t += std::max<std::int64_t>(gap_ms, 1);
-      }
-      continue;
-    }
-
-    // --- image / other / unchunked video ----------------------------------
-    const bool cacheable = obj.size_bytes <= config_.browser_max_object_bytes &&
-                           obj.content_class != trace::ContentClass::kVideo;
-    if (cacheable) {
-      const BrowserLookup lookup =
-          browser.Lookup(obj.url_hash, ev.timestamp_ms);
-      if (lookup == BrowserLookup::kFresh) {
-        // Served entirely from the local cache: the CDN never sees this
-        // request, so no record is emitted.
-        ++result.browser_fresh_hits;
-        continue;
-      }
-      if (lookup == BrowserLookup::kStale) {
-        // Conditional GET. Content is immutable in this model, so the edge
-        // always answers 304 (headers only). The edge still consults its
-        // cache; validators for uncached objects pull the object in.
-        const trace::CacheStatus status =
-            dc.cache->Access(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
-        if (status == trace::CacheStatus::kMiss) {
-          fill(dc, obj.url_hash, obj.size_bytes);
-        }
-        browser.Renew(obj.url_hash, ev.timestamp_ms);
-        trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id_);
-        rec.response_bytes = 0;
-        rec.cache_status = status;
-        rec.response_code = trace::kHttpNotModified;  // 304
-        result.trace.Add(rec);
-        ++result.revalidations;
-        continue;
-      }
-    }
-
-    const trace::CacheStatus status =
-        dc.cache->Access(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
-    if (status == trace::CacheStatus::kMiss) {
-      fill(dc, obj.url_hash, obj.size_bytes);
-    }
-    if (cacheable) {
-      browser.Store(obj.url_hash, obj.size_bytes, ev.timestamp_ms);
-    }
-    trace::LogRecord rec = BaseRecord(ev, user, obj, publisher_id_);
-    rec.response_bytes = obj.size_bytes;
-    rec.cache_status = status;
-    rec.response_code = trace::kHttpOk;
-    result.trace.Add(rec);
-  }
-
-  // Flush any pushes scheduled after the last request.
-  ApplyPushUpTo(util::kMillisPerWeek, catalog, topology, push_plan,
-                push_cursor, result);
-
-  result.trace.SortByTime();  // chunk pacing can interleave across events
-  result.edge_stats = topology.TotalEdgeStats();
-  result.per_dc_stats.reserve(topology.dc_count());
-  for (std::size_t d = 0; d < topology.dc_count(); ++d) {
-    result.per_dc_stats.push_back(topology.dc(d).cache->stats());
-  }
-  result.origin = topology.origin();
-  ATLAS_LOG(kInfo) << "simulated " << result.trace.size() << " records, edge "
-                   << "hit ratio " << result.edge_stats.HitRatio();
-  return result;
+                               const std::vector<synth::RequestEvent>& events,
+                               trace::RecordSink& sink, int threads) {
+  const SiteJob job{&gen, &events, publisher_id_};
+  auto results = RunSharded(std::span<const SiteJob>(&job, 1), config_, sink,
+                            threads);
+  return std::move(results.front());
 }
 
-SimulatorResult SimulateSite(const synth::SiteProfile& profile,
-                             std::uint32_t publisher_id,
-                             const SimulatorConfig& config,
-                             std::uint64_t seed) {
+SiteSimulation Simulator::Run(const synth::WorkloadGenerator& gen,
+                              const std::vector<synth::RequestEvent>& events) {
+  SiteSimulation out;
+  out.trace.Reserve(events.size() + events.size() / 2);
+  trace::BufferSink sink(out.trace);
+  static_cast<SimulatorResult&>(out) = Run(gen, events, sink);
+  return out;
+}
+
+SiteSimulation SimulateSite(const synth::SiteProfile& profile,
+                            std::uint32_t publisher_id,
+                            const SimulatorConfig& config, std::uint64_t seed) {
   synth::WorkloadGenerator gen(profile, seed);
   const double inflation = gen.EstimateRecordsPerRequest(config.chunk_bytes);
   const auto logical = static_cast<std::uint64_t>(std::max(
@@ -264,6 +64,20 @@ SimulatorResult SimulateSite(const synth::SiteProfile& profile,
   const auto events = gen.Generate(logical);
   Simulator sim(config, publisher_id);
   return sim.Run(gen, events);
+}
+
+SimulatorResult SimulateSiteTo(const synth::SiteProfile& profile,
+                               std::uint32_t publisher_id,
+                               const SimulatorConfig& config,
+                               std::uint64_t seed, trace::RecordSink& sink,
+                               int threads) {
+  synth::WorkloadGenerator gen(profile, seed);
+  const double inflation = gen.EstimateRecordsPerRequest(config.chunk_bytes);
+  const auto logical = static_cast<std::uint64_t>(std::max(
+      1.0, static_cast<double>(profile.total_requests) / inflation));
+  const auto events = gen.Generate(logical);
+  Simulator sim(config, publisher_id);
+  return sim.Run(gen, events, sink, threads);
 }
 
 }  // namespace atlas::cdn

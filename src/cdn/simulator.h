@@ -12,19 +12,27 @@
 //   chunking      -> video views expand into 206 chunk transactions paced
 //                    at playback speed
 //
-// The output is a TraceBuffer in exactly the paper's log schema, plus
-// delivery-side statistics the logs alone cannot show (origin load,
-// browser-cache absorption) used by the ablation benches.
+// The output is a time-sorted record stream in exactly the paper's log
+// schema, emitted into a trace::RecordSink (in-memory buffer or v2 file —
+// the simulation never needs the whole trace resident), plus delivery-side
+// statistics the logs alone cannot show (origin load, browser-cache
+// absorption) used by the ablation benches.
+//
+// Execution is sharded by edge data center (see engine.h): each user is
+// pinned to one DC, so each shard owns its edge cache, its users' browser
+// caches, and its slice of events. Thread count never changes a single
+// output byte.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "cdn/browser_cache.h"
 #include "cdn/chunking.h"
 #include "cdn/push.h"
 #include "cdn/topology.h"
 #include "synth/workload.h"
+#include "trace/sink.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::cdn {
@@ -45,14 +53,27 @@ struct SimulatorConfig {
   // that holds the object instead of the origin (cheaper transit; the
   // "copies closer to users" idea extended across the footprint).
   bool peer_fill = false;
+  // Epoch length of the sharded engine. Shards synchronize at fixed
+  // multiples of this interval to flush finalized records downstream and —
+  // when peer_fill is on — exchange immutable snapshots of their cache
+  // holdings, which is what sibling-DC lookups consult during the next
+  // epoch (a miss can only be served by a peer copy that existed at the
+  // last boundary). The trace is a pure function of config + seed and is
+  // identical for any epoch length and any thread count; only the
+  // peer-fill/origin split of miss traffic depends on this knob.
+  std::int64_t epoch_ms = 3600 * 1000LL;
   PushConfig push;
 };
 
+// Delivery-side counters for one simulation (or one shard of one): a
+// mergeable accumulator, all 64-bit, so per-shard results fold
+// associatively into site and scenario totals.
 struct SimulatorResult {
-  trace::TraceBuffer trace;
-  CacheStats edge_stats;                  // aggregated over DCs
-  std::vector<CacheStats> per_dc_stats;   // indexed like Topology
+  CacheStats edge_stats;                 // aggregated over DCs
+  std::vector<CacheStats> per_dc_stats;  // indexed like Topology
   OriginStats origin;
+  // Log records emitted into the sink.
+  std::uint64_t records = 0;
   // Cooperative fills served by sibling DCs instead of the origin.
   std::uint64_t peer_fetches = 0;
   std::uint64_t peer_bytes = 0;
@@ -62,24 +83,40 @@ struct SimulatorResult {
   std::uint64_t revalidations = 0;
   std::uint64_t pushed_objects = 0;
   std::uint64_t pushed_bytes = 0;
+
+  // Folds `other` into this accumulator (counters add, cache stats merge,
+  // per-DC slots merge index-wise).
+  void Merge(const SimulatorResult& other);
+};
+
+// Legacy in-memory convenience: the counters plus the fully materialized,
+// time-sorted trace. Only for traces known to fit in RAM — the streaming
+// sink API is the primary interface.
+struct SiteSimulation : SimulatorResult {
+  // atlas-lint: allow(tracebuffer-in-cdn) legacy in-memory API; new code
+  // streams through trace::RecordSink instead of materializing.
+  trace::TraceBuffer trace;
 };
 
 class Simulator {
  public:
   Simulator(const SimulatorConfig& config, std::uint32_t publisher_id);
 
-  // Consumes the generator's events (must be time-sorted) and produces the
-  // log trace. The generator provides object/user lookup tables.
+  // Consumes the generator's events (must be time-sorted) and streams the
+  // log records into `sink` in final time-sorted order. `threads <= 0`
+  // means util::DefaultThreads(); the emitted bytes are identical at any
+  // thread count. The generator provides object/user lookup tables.
   SimulatorResult Run(const synth::WorkloadGenerator& gen,
-                      const std::vector<synth::RequestEvent>& events);
+                      const std::vector<synth::RequestEvent>& events,
+                      trace::RecordSink& sink, int threads = 0);
+
+  // Legacy in-memory path: same simulation, trace buffered and returned.
+  SiteSimulation Run(const synth::WorkloadGenerator& gen,
+                     const std::vector<synth::RequestEvent>& events);
 
   const SimulatorConfig& config() const { return config_; }
 
  private:
-  void ApplyPushUpTo(std::int64_t now_ms, const synth::Catalog& catalog,
-                     Topology& topology, const std::vector<PushItem>& plan,
-                     std::size_t& cursor, SimulatorResult& result);
-
   SimulatorConfig config_;
   std::uint32_t publisher_id_;
 };
@@ -87,8 +124,15 @@ class Simulator {
 // Convenience: generate + simulate one site profile in one call, with the
 // logical budget calibrated so the final record count approximates
 // profile.total_requests despite video chunk expansion.
-SimulatorResult SimulateSite(const synth::SiteProfile& profile,
-                             std::uint32_t publisher_id,
-                             const SimulatorConfig& config, std::uint64_t seed);
+SiteSimulation SimulateSite(const synth::SiteProfile& profile,
+                            std::uint32_t publisher_id,
+                            const SimulatorConfig& config, std::uint64_t seed);
+
+// Streaming variant: records go to `sink`, only counters are returned.
+SimulatorResult SimulateSiteTo(const synth::SiteProfile& profile,
+                               std::uint32_t publisher_id,
+                               const SimulatorConfig& config,
+                               std::uint64_t seed, trace::RecordSink& sink,
+                               int threads = 0);
 
 }  // namespace atlas::cdn

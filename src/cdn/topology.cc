@@ -42,12 +42,23 @@ Topology::Topology(const TopologyConfig& config) : config_(config) {
 
 DataCenter& Topology::Route(synth::Continent continent,
                             std::uint64_t user_id) {
+  return dcs_.at(RouteIndex(config_, continent, user_id));
+}
+
+std::size_t Topology::RouteIndex(const TopologyConfig& config,
+                                 synth::Continent continent,
+                                 std::uint64_t user_id) {
   const auto base = static_cast<std::size_t>(continent) *
-                    static_cast<std::size_t>(config_.dcs_per_continent);
+                    static_cast<std::size_t>(config.dcs_per_continent);
   const auto shard = static_cast<std::size_t>(util::HashToBucket(
       util::Mix64(user_id),
-      static_cast<std::uint64_t>(config_.dcs_per_continent)));
-  return dcs_.at(base + shard);
+      static_cast<std::uint64_t>(config.dcs_per_continent)));
+  return base + shard;
+}
+
+std::size_t Topology::DcCount(const TopologyConfig& config) {
+  return static_cast<std::size_t>(synth::kNumContinents) *
+         static_cast<std::size_t>(config.dcs_per_continent);
 }
 
 void Topology::FetchFromOrigin(std::uint64_t bytes) {

@@ -44,6 +44,16 @@ class Topology {
   // when the continent has multiple DCs.
   DataCenter& Route(synth::Continent continent, std::uint64_t user_id);
 
+  // Index (into DC order) of the DC serving a user: Route(c, u) is
+  // dc(RouteIndex(config, c, u)) for the same config. Static so the sharded
+  // simulation engine can pin users to shards without building a Topology.
+  static std::size_t RouteIndex(const TopologyConfig& config,
+                                synth::Continent continent,
+                                std::uint64_t user_id);
+
+  // Number of edge DCs a config produces (continents x dcs_per_continent).
+  static std::size_t DcCount(const TopologyConfig& config);
+
   // Records an origin fetch of `bytes` (every edge miss).
   void FetchFromOrigin(std::uint64_t bytes);
 

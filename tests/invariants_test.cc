@@ -20,7 +20,7 @@ struct Case {
 
 class TraceInvariantsTest : public ::testing::TestWithParam<Case> {
  protected:
-  static cdn::SimulatorResult Simulate(const Case& c) {
+  static cdn::SiteSimulation Simulate(const Case& c) {
     cdn::SimulatorConfig config;
     config.topology.edge_capacity_bytes = 256ULL << 20;
     return cdn::SimulateSite(c.profile(0.01), 7, config, c.seed);

@@ -1,0 +1,13 @@
+// Fixture: tracebuffer-in-cdn fires on the buffered member (line 7) and on
+// the by-value return type (line 11). The pointer member (line 8) and the
+// const-reference parameters are read-only views and must NOT fire.
+#include "trace/trace_buffer.h"
+
+struct LegacyResult {
+  trace::TraceBuffer trace;
+  const trace::TraceBuffer* view = nullptr;
+};
+
+trace::TraceBuffer Merge(const trace::TraceBuffer& a);
+
+void Consume(const trace::TraceBuffer& buffer);

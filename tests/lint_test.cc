@@ -124,6 +124,17 @@ TEST(LintCorpusTest, AllowPragmaSuppresses) {
   ExpectFindings("allow_suppression.cc", "src/synth/fixture.cc", {});
 }
 
+TEST(LintCorpusTest, TraceBufferInCdn) {
+  // Pointer member and const-reference parameters are views, not buffers.
+  ExpectFindings("tracebuffer_in_cdn.cc", "src/cdn/fixture.cc",
+                 {{7, "tracebuffer-in-cdn"}, {11, "tracebuffer-in-cdn"}});
+}
+
+TEST(LintCorpusTest, TraceBufferScopedToCdn) {
+  // The analysis layer legitimately materializes buffers (in-memory path).
+  ExpectFindings("tracebuffer_in_cdn.cc", "src/analysis/fixture.cc", {});
+}
+
 TEST(LintFileTest, SiblingHeaderDeclarationsResolve) {
   // A member declared only in the header must still be recognized as an
   // unordered container when the .cc ranges over it.
@@ -159,7 +170,7 @@ TEST(LintRegistryTest, RuleNamesAreCompleteAndCovered) {
       "nondet-random-device", "nondet-rand",        "nondet-time",
       "nondet-system-clock",  "raw-new-delete",     "narrow-byte-counter",
       "raw-std-mutex",        "mutex-unannotated",  "missing-pragma-once",
-      "unordered-iter",
+      "unordered-iter",       "tracebuffer-in-cdn",
   };
   const auto names = RuleNames();
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);

@@ -245,6 +245,7 @@ class FileLinter {
   void CheckMutexAnnotations();
   void CheckPragmaOnce();
   void CheckUnorderedIteration();
+  void CheckTraceBufferInCdn();
 
   std::string path_;
   ScrubbedFile scrubbed_;
@@ -388,6 +389,21 @@ void FileLinter::CheckPragmaOnce() {
   Report(1, "missing-pragma-once", "header is missing #pragma once");
 }
 
+void FileLinter::CheckTraceBufferInCdn() {
+  if (!StartsWith(path_, "src/cdn/")) return;
+  // A TraceBuffer declaration (member, local, global) or by-value return
+  // type in the simulator materializes a whole trace in RAM — the sharded
+  // engine's contract is that records stream through trace::RecordSink.
+  // References and pointers (read-only views of caller-owned buffers) are
+  // fine and do not match.
+  static const std::regex kDeclOrReturn(
+      R"(\bTraceBuffer\s+[A-Za-z_][A-Za-z0-9_:]*\s*[;={(])");
+  ForbidPattern(kDeclOrReturn, "tracebuffer-in-cdn",
+                "trace::TraceBuffer members/returns are banned in src/cdn/; "
+                "emit records through trace::RecordSink (trace/sink.h) "
+                "instead of materializing a buffer");
+}
+
 void FileLinter::CheckUnorderedIteration() {
   if (!InLibrary(path_)) return;
   // Pass 1: names declared with an unordered container type anywhere in
@@ -515,6 +531,7 @@ std::vector<Finding> FileLinter::Run() {
   CheckMutexAnnotations();
   CheckPragmaOnce();
   CheckUnorderedIteration();
+  CheckTraceBufferInCdn();
   std::sort(findings_.begin(), findings_.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
@@ -573,7 +590,7 @@ std::vector<std::string> RuleNames() {
   return {"nondet-random-device", "nondet-rand", "nondet-time",
           "nondet-system-clock", "raw-new-delete", "narrow-byte-counter",
           "raw-std-mutex", "mutex-unannotated", "missing-pragma-once",
-          "unordered-iter"};
+          "unordered-iter", "tracebuffer-in-cdn"};
 }
 
 std::string FormatFinding(const Finding& f) {

@@ -33,6 +33,12 @@
 //                                         implementation-defined, so the
 //                                         accumulation must be proven
 //                                         order-insensitive and annotated.
+//   tracebuffer-in-cdn    src/cdn/        trace::TraceBuffer declarations
+//                                         and by-value returns are banned
+//                                         in the simulator: records stream
+//                                         through trace::RecordSink, never
+//                                         through a materialized buffer
+//                                         (references/pointers are fine).
 //
 // Suppression: append `// atlas-lint: allow(<rule>[, <rule>...])  <reason>`
 // on the offending line or in the comment block directly above it.

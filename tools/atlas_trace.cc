@@ -10,11 +10,19 @@
 //                                                  rewrite between formats
 //   atlas_trace gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N]
 //                       [--format v1]              generate a fresh study trace
+//   atlas_trace simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N]
+//                       [--peer-fill] [--epoch-min 60]
+//                                                  run the paper study fully
+//                                                  out-of-core: the sharded
+//                                                  engine streams the merged
+//                                                  trace straight to a v2
+//                                                  file, so peak memory is
+//                                                  independent of trace length
 //
 // Every reading command accepts both the v1 flat format and the v2 block
-// format (trace/stream.h). `info --stream` and v1->v2 `convert` run in
-// bounded memory — one block at a time — so they work on traces larger
-// than RAM. CSV files are directly loadable in pandas/DuckDB.
+// format (trace/stream.h). `info --stream`, v1->v2 `convert`, and
+// `simulate` run in bounded memory — one block at a time — so they work on
+// traces larger than RAM. CSV files are directly loadable in pandas/DuckDB.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -38,7 +46,8 @@ using namespace atlas;
 
 int Usage(const char* prog) {
   std::cerr << "usage: " << prog
-            << " <info|head|tocsv|tobin|filter|convert|gen> <args...>\n"
+            << " <info|head|tocsv|tobin|filter|convert|gen|simulate> "
+               "<args...>\n"
                "  info    <trace.bin> [--stream]\n"
                "  head    <trace.bin> [--n 20]\n"
                "  tocsv   <trace.bin> <out.csv>\n"
@@ -47,7 +56,9 @@ int Usage(const char* prog) {
                "[--from-ms T] [--to-ms T]\n"
                "  convert <in.bin> <out.bin> [--to v2] [--block-records N]\n"
                "  gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N] "
-               "[--format v1]\n";
+               "[--format v1]\n"
+               "  simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N] "
+               "[--peer-fill] [--epoch-min 60]\n";
   return 2;
 }
 
@@ -297,16 +308,100 @@ int CmdGen(const std::string& out, int argc, char** argv) {
     return 2;
   }
   cdn::SimulatorConfig config;
-  const auto scenario = cdn::Scenario::PaperStudy(
-      flags.GetDouble("scale"), config,
-      static_cast<std::uint64_t>(flags.GetInt("seed")));
-  const auto merged = scenario.MergedTrace();
+  auto profiles =
+      synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale"));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
   if (format == "v2") {
-    trace::WriteV2File(merged, out);
-  } else {
-    trace::WriteBinaryFile(merged, out);
+    // Fully out-of-core: the engine's merged stream goes straight to disk.
+    std::ofstream stream(out, std::ios::binary);
+    if (!stream) {
+      std::cerr << "cannot open " << out << '\n';
+      return 1;
+    }
+    trace::TraceWriter writer(stream);
+    trace::WriterSink sink(writer);
+    cdn::StreamScenario(std::move(profiles), config, seed, sink);
+    writer.Finish();
+    std::cout << "generated " << writer.written() << " records -> " << out
+              << '\n';
+    return 0;
   }
+  // v1 needs its record count up front, so the merged trace is collected in
+  // one buffer (still no second copy: the stream merges per-shard slices
+  // directly into it).
+  trace::TraceBuffer merged;
+  trace::BufferSink sink(merged);
+  cdn::StreamScenario(std::move(profiles), config, seed, sink);
+  trace::WriteBinaryFile(merged, out);
   std::cout << "generated " << merged.size() << " records -> " << out << '\n';
+  return 0;
+}
+
+int CmdSimulate(const std::string& out, int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineDouble("scale", 0.05, "population scale");
+  flags.DefineInt("seed", 42, "RNG seed");
+  flags.DefineInt("threads", 0,
+                  "worker threads (0 = hardware concurrency); the trace is "
+                  "identical at any value");
+  flags.DefineBool("peer-fill", false,
+                   "serve edge misses from sibling data centers that hold "
+                   "the object (epoch-snapshot lookups; see engine.h)");
+  flags.DefineInt("epoch-min", 60,
+                  "engine epoch length in minutes; trace-invariant, only "
+                  "the peer-fill/origin split depends on it");
+  flags.Parse(argc, argv);
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const std::int64_t epoch_min = flags.GetInt("epoch-min");
+  if (epoch_min <= 0) {
+    std::cerr << "--epoch-min must be > 0\n";
+    return 2;
+  }
+  cdn::SimulatorConfig config;
+  config.peer_fill = flags.GetBool("peer-fill");
+  config.epoch_ms = epoch_min * 60'000;
+
+  std::ofstream stream(out, std::ios::binary);
+  if (!stream) {
+    std::cerr << "cannot open " << out << '\n';
+    return 1;
+  }
+  trace::TraceWriter writer(stream);
+  trace::WriterSink sink(writer);
+  const auto result = cdn::StreamScenario(
+      synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale")), config,
+      static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
+      static_cast<int>(flags.GetInt("threads")));
+  writer.Finish();
+
+  std::cout << "simulated " << writer.written() << " records -> " << out
+            << " (v2)\n\n";
+  std::cout << util::PadRight("site", 8) << util::PadLeft("records", 10)
+            << util::PadLeft("edge-hit", 10) << util::PadLeft("origin", 11)
+            << util::PadLeft("peer", 10) << '\n';
+  std::cout << std::string(49, '-') << '\n';
+  for (std::size_t i = 0; i < result.site_results.size(); ++i) {
+    const auto& r = result.site_results[i];
+    std::cout << util::PadRight(
+                     result.registry.Get(static_cast<std::uint32_t>(i)).name,
+                     8)
+              << util::PadLeft(util::FormatCount(static_cast<double>(r.records)),
+                               10)
+              << util::PadLeft(util::FormatPercent(r.edge_stats.HitRatio(), 1),
+                               10)
+              << util::PadLeft(
+                     util::FormatBytes(static_cast<double>(r.origin.bytes)), 11)
+              << util::PadLeft(
+                     util::FormatBytes(static_cast<double>(r.peer_bytes)), 10)
+              << '\n';
+  }
+  const auto& t = result.totals;
+  std::cout << "\ntotals: edge hit ratio "
+            << util::FormatPercent(t.edge_stats.HitRatio(), 1)
+            << ", origin "
+            << util::FormatBytes(static_cast<double>(t.origin.bytes))
+            << ", browser-absorbed " << t.browser_fresh_hits
+            << " requests, " << t.revalidations << " revalidations\n";
   return 0;
 }
 
@@ -327,6 +422,7 @@ int main(int argc, char** argv) {
       return CmdConvert(argv[2], argv[3], argc - 3, argv + 3);
     }
     if (cmd == "gen") return CmdGen(argv[2], argc - 2, argv + 2);
+    if (cmd == "simulate") return CmdSimulate(argv[2], argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
