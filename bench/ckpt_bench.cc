@@ -1,0 +1,171 @@
+// Cost of crash consistency: what does checkpointing the simulation add?
+//
+// Runs the paper study three ways — uninterrupted, snapshotting every
+// --every epochs, and killed-then-resumed — and reports the checkpoint
+// file size, the average per-snapshot cost (derived from the run-time
+// delta), the restore-open latency (snapshot CRC scan + torn-trace
+// recovery), and the total overhead versus the no-checkpoint run. Lands
+// in BENCH_ckpt.json (override the path with ATLAS_BENCH_CKPT_JSON; set
+// it empty to skip).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "cdn/engine.h"
+#include "cdn/scenario.h"
+#include "ckpt/checkpoint.h"
+#include "synth/site_profile.h"
+#include "trace/sink.h"
+#include "trace/stream.h"
+
+namespace {
+
+using namespace atlas;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::uint64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  return static_cast<std::uint64_t>(in.tellg());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::AblationEnv env;
+  env.flags.DefineInt("every", 1, "epochs between snapshots");
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Checkpoint/restore cost: snapshot size, save "
+                            "and restore latency, run-time overhead")) {
+    return 0;
+  }
+  const auto every = static_cast<std::uint64_t>(env.flags.GetInt("every"));
+  const int threads = static_cast<int>(env.flags.GetInt("threads"));
+
+  const auto profiles = synth::SiteProfile::PaperAdultSites(env.scale);
+  cdn::SimulatorConfig config;
+  config.peer_fill = true;
+  config.push.enabled = true;
+  config.push.top_n = 100;
+
+  const std::string trace_path = "ckpt_bench_trace.v2.bin";
+  const std::string ckpt_path = "ckpt_bench.ckpt";
+
+  // Phase 1: uninterrupted run, no checkpointing.
+  std::uint64_t records = 0;
+  double baseline_ms = 0.0;
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    trace::TraceWriter writer(out);
+    trace::WriterSink sink(writer);
+    const auto start = std::chrono::steady_clock::now();
+    cdn::StreamScenario(profiles, config, env.seed, sink, threads);
+    writer.Finish();
+    baseline_ms = MsSince(start);
+    records = writer.written();
+  }
+
+  // Phase 2: the same run snapshotting every `every` epochs.
+  std::uint64_t saves = 0;
+  double checkpointed_ms = 0.0;
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    trace::TraceWriter writer(out);
+    trace::WriterSink sink(writer);
+    cdn::CheckpointOptions opts;
+    opts.every_epochs = every;
+    opts.path = ckpt_path;
+    opts.save_extra = [&](ckpt::Writer& w) { writer.SaveState(w); };
+    opts.after_save = [&saves](std::uint64_t) {
+      ++saves;
+      return true;
+    };
+    const auto start = std::chrono::steady_clock::now();
+    cdn::StreamScenario(profiles, config, env.seed, sink, threads, opts);
+    writer.Finish();
+    checkpointed_ms = MsSince(start);
+  }
+  const std::uint64_t checkpoint_bytes = FileBytes(ckpt_path);
+  const double overhead_ms = checkpointed_ms - baseline_ms;
+  const double save_ms_avg =
+      saves > 0 ? overhead_ms / static_cast<double>(saves) : 0.0;
+  const double overhead_percent =
+      baseline_ms > 0.0 ? 100.0 * overhead_ms / baseline_ms : 0.0;
+
+  // Phase 3: die halfway through, then time the restore path — snapshot
+  // CRC scan plus torn-trace recovery — and finish the resumed run.
+  const std::uint64_t kill_barrier = saves > 1 ? saves / 2 : 1;
+  {
+    std::ofstream out(trace_path, std::ios::binary);
+    trace::TraceWriter writer(out);
+    trace::WriterSink sink(writer);
+    cdn::CheckpointOptions opts;
+    opts.every_epochs = every;
+    opts.path = ckpt_path;
+    opts.save_extra = [&](ckpt::Writer& w) { writer.SaveState(w); };
+    opts.after_save = [kill_barrier](std::uint64_t done) {
+      return done < kill_barrier;
+    };
+    cdn::StreamScenario(profiles, config, env.seed, sink, threads, opts);
+    // No Finish(): the run "crashed" here.
+  }
+  double restore_open_ms = 0.0;
+  double resumed_ms = 0.0;
+  {
+    const auto open_start = std::chrono::steady_clock::now();
+    auto snapshot = ckpt::ReadCheckpointFile(ckpt_path);
+    trace::ResumedTraceFile resumed(trace_path, snapshot);
+    restore_open_ms = MsSince(open_start);
+    trace::WriterSink sink(resumed.writer());
+    cdn::CheckpointOptions opts;
+    opts.resume = &snapshot;
+    const auto run_start = std::chrono::steady_clock::now();
+    cdn::StreamScenario(profiles, config, env.seed, sink, threads, opts);
+    resumed.writer().Finish();
+    resumed_ms = MsSince(run_start);
+    if (resumed.writer().written() != records) std::abort();  // not resumed
+  }
+  std::remove(trace_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+  std::cout << "records: " << records << ", snapshots: " << saves
+            << " (every " << every << " epochs)\n"
+            << "checkpoint size:   " << checkpoint_bytes << " bytes\n"
+            << "baseline run:      " << baseline_ms << " ms\n"
+            << "checkpointed run:  " << checkpointed_ms << " ms ("
+            << overhead_percent << "% overhead, " << save_ms_avg
+            << " ms/snapshot)\n"
+            << "restore open:      " << restore_open_ms << " ms\n"
+            << "resumed half-run:  " << resumed_ms << " ms\n";
+
+  std::string json_path = "BENCH_ckpt.json";
+  if (const char* override_path = std::getenv("ATLAS_BENCH_CKPT_JSON")) {
+    json_path = override_path;
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"ckpt\",\n  \"records\": " << records
+      << ",\n  \"snapshots\": " << saves << ",\n  \"every_epochs\": " << every
+      << ",\n  \"checkpoint_bytes\": " << checkpoint_bytes
+      << ",\n  \"baseline_ms\": " << baseline_ms
+      << ",\n  \"checkpointed_ms\": " << checkpointed_ms
+      << ",\n  \"overhead_percent\": " << overhead_percent
+      << ",\n  \"save_ms_avg\": " << save_ms_avg
+      << ",\n  \"restore_open_ms\": " << restore_open_ms
+      << ",\n  \"resumed_half_run_ms\": " << resumed_ms << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/checkpoint.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::analysis {
@@ -52,6 +53,9 @@ class AgingAccumulator {
   explicit AgingAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   AgingResult Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct ObjectLife {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
@@ -48,6 +49,9 @@ class CachingAccumulator {
   explicit CachingAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   CachingResult Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct ObjAcc {

@@ -1,8 +1,10 @@
 #include "analysis/composition.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "trace/content_class.h"
+#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -112,6 +114,72 @@ DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,
   DatasetSummaryAccumulator acc(trace.size());
   for (const auto& r : trace.records()) acc.Add(r);
   return acc.Finalize(label);
+}
+
+namespace {
+
+constexpr std::uint32_t kCompositionStateVersion = 1;
+constexpr std::uint32_t kDatasetSummaryStateVersion = 1;
+
+std::vector<std::uint64_t> SortedElements(
+    const std::unordered_set<std::uint64_t>& s) {
+  std::vector<std::uint64_t> v(s.begin(), s.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+void CompositionAccumulator::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kCompositionStateVersion);
+  for (std::size_t c = 0; c < trace::kNumContentClasses; ++c) {
+    w.WriteU64(result_.objects[c]);
+    w.WriteU64(result_.requests[c]);
+    w.WriteU64(result_.bytes[c]);
+  }
+  w.WriteU64(seen_.size());
+  for (const std::uint64_t hash : util::SortedKeys(seen_)) {
+    w.WriteU64(hash);
+    w.WriteU8(static_cast<std::uint8_t>(seen_.at(hash)));
+  }
+}
+
+void CompositionAccumulator::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("composition accumulator", kCompositionStateVersion);
+  for (std::size_t c = 0; c < trace::kNumContentClasses; ++c) {
+    result_.objects[c] = r.ReadU64();
+    result_.requests[c] = r.ReadU64();
+    result_.bytes[c] = r.ReadU64();
+  }
+  seen_.clear();
+  const std::uint64_t n = r.ReadU64();
+  seen_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t hash = r.ReadU64();
+    seen_[hash] = static_cast<trace::ContentClass>(r.ReadU8());
+  }
+}
+
+void DatasetSummaryAccumulator::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kDatasetSummaryStateVersion);
+  w.WriteU64(records_);
+  w.WriteU64(bytes_);
+  w.WriteI64(start_ms_);
+  w.WriteI64(end_ms_);
+  w.WriteVecU64(SortedElements(users_));
+  w.WriteVecU64(SortedElements(objects_));
+}
+
+void DatasetSummaryAccumulator::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("dataset summary accumulator", kDatasetSummaryStateVersion);
+  records_ = r.ReadU64();
+  bytes_ = r.ReadU64();
+  start_ms_ = r.ReadI64();
+  end_ms_ = r.ReadI64();
+  const std::vector<std::uint64_t> users = r.ReadVecU64();
+  const std::vector<std::uint64_t> objects = r.ReadVecU64();
+  users_ = std::unordered_set<std::uint64_t>(users.begin(), users.end());
+  objects_ = std::unordered_set<std::uint64_t>(objects.begin(), objects.end());
 }
 
 }  // namespace atlas::analysis

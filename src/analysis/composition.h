@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ckpt/checkpoint.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::analysis {
@@ -39,6 +40,9 @@ class CompositionAccumulator {
   void Add(const trace::LogRecord& r);
   CompositionResult Finalize(const std::string& site_name);
 
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
+
  private:
   CompositionResult result_;
   std::unordered_map<std::uint64_t, trace::ContentClass> seen_;
@@ -65,6 +69,9 @@ class DatasetSummaryAccumulator {
   explicit DatasetSummaryAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   DatasetSummary Finalize(const std::string& label);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   std::uint64_t records_ = 0;

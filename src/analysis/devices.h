@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ckpt/checkpoint.h"
 #include "trace/trace_buffer.h"
 #include "trace/useragent.h"
 
@@ -41,6 +42,11 @@ class DeviceCompositionAccumulator {
   explicit DeviceCompositionAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   DeviceComposition Finalize(const std::string& site_name);
+
+  // The parsed-UA cache is not serialized: it is a pure function of the
+  // ua ids and repopulates lazily after restore.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   const trace::UaInfo& InfoFor(std::uint16_t ua_id);

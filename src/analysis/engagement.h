@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
@@ -60,6 +61,9 @@ class EngagementAccumulator {
                                  std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   EngagementResult Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct PairHash {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "stats/powerlaw.h"
 #include "trace/trace_buffer.h"
@@ -40,6 +41,9 @@ class PopularityAccumulator {
   explicit PopularityAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   PopularityResult Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> counts_;

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "trace/trace_buffer.h"
 
@@ -54,6 +55,11 @@ class SessionAccumulator {
                               std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   SessionResult Finalize(const std::string& site_name);
+
+  // Restore requires the same sessionization timeout the state was saved
+  // with (changing it mid-stream would produce neither run's sessions).
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   void CloseSession(const Session& s);

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "trace/trace_buffer.h"
 
@@ -37,6 +38,9 @@ class SizeDistributionsAccumulator {
   explicit SizeDistributionsAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
   SizeDistributions Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct FirstSeen {

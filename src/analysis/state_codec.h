@@ -1,0 +1,36 @@
+// Shared checkpoint encoders for the stats value types the analysis
+// accumulators carry mid-stream.
+//
+// stats:: stays independent of ckpt:: (it is a leaf math library), so the
+// serialization lives here with its only consumers. Ecdf samples are saved
+// in their current (insertion) order and re-Add()ed on restore; a restored
+// Ecdf is un-finalized, exactly like one rebuilt by replaying the stream.
+#pragma once
+
+#include "ckpt/checkpoint.h"
+#include "stats/ecdf.h"
+#include "stats/timeseries.h"
+
+namespace atlas::analysis {
+
+inline void SaveEcdf(ckpt::Writer& w, const stats::Ecdf& e) {
+  w.WriteVecDouble(e.sorted_samples());
+}
+
+inline stats::Ecdf LoadEcdf(ckpt::Reader& r) {
+  stats::Ecdf e;
+  for (const double x : r.ReadVecDouble()) e.Add(x);
+  return e;
+}
+
+inline void SaveTimeSeries(ckpt::Writer& w, const stats::TimeSeries& ts) {
+  w.WriteI64(ts.bucket_ms());
+  w.WriteVecDouble(ts.values());
+}
+
+inline stats::TimeSeries LoadTimeSeries(ckpt::Reader& r) {
+  const std::int64_t bucket_ms = r.ReadI64();
+  return stats::TimeSeries(bucket_ms, r.ReadVecDouble());
+}
+
+}  // namespace atlas::analysis

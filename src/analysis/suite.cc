@@ -69,6 +69,140 @@ SiteAnalysis SiteAccumulator::Finalize() {
   return a;
 }
 
+namespace {
+constexpr std::uint32_t kSiteAccumulatorStateVersion = 1;
+constexpr std::uint32_t kStreamingAnalysisStateVersion = 1;
+}  // namespace
+
+void SiteAccumulator::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kSiteAccumulatorStateVersion);
+  w.WriteString(publisher_.name);
+  w.WriteBool(run_trend_clusters_);
+  w.WriteU64(records_);
+  summary_.SaveState(w);
+  composition_.SaveState(w);
+  hourly_.SaveState(w);
+  devices_.SaveState(w);
+  sizes_.SaveState(w);
+  popularity_.SaveState(w);
+  aging_.SaveState(w);
+  sessions_.SaveState(w);
+  engagement_.SaveState(w);
+  caching_.SaveState(w);
+  if (run_trend_clusters_) {
+    video_series_->SaveState(w);
+    image_series_->SaveState(w);
+  }
+}
+
+void SiteAccumulator::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("site accumulator", kSiteAccumulatorStateVersion);
+  const std::string saved_name = r.ReadString();
+  if (saved_name != publisher_.name) {
+    throw std::runtime_error("ckpt: site accumulator publisher mismatch "
+                             "(checkpoint has '" +
+                             saved_name + "', this run built '" +
+                             publisher_.name + "')");
+  }
+  const bool saved_trends = r.ReadBool();
+  if (saved_trends != run_trend_clusters_) {
+    throw std::runtime_error(
+        "ckpt: trend-cluster configuration mismatch (checkpoint was taken "
+        "with run_trend_clusters " +
+        std::string(saved_trends ? "on" : "off") + ")");
+  }
+  records_ = r.ReadU64();
+  summary_.RestoreState(r);
+  composition_.RestoreState(r);
+  hourly_.RestoreState(r);
+  devices_.RestoreState(r);
+  sizes_.RestoreState(r);
+  popularity_.RestoreState(r);
+  aging_.RestoreState(r);
+  sessions_.RestoreState(r);
+  engagement_.RestoreState(r);
+  caching_.RestoreState(r);
+  if (run_trend_clusters_) {
+    video_series_->RestoreState(r);
+    image_series_->RestoreState(r);
+  }
+}
+
+StreamingAnalysis::StreamingAnalysis(const trace::PublisherRegistry& registry,
+                                     const SuiteConfig& config)
+    : config_(config), publishers_(registry.all()) {
+  pub_index_.reserve(publishers_.size());
+  for (std::size_t i = 0; i < publishers_.size(); ++i) {
+    pub_index_.emplace(publishers_[i].id, i);
+  }
+  accumulators_.resize(publishers_.size());
+}
+
+void StreamingAnalysis::Add(const trace::LogRecord& r) {
+  ++records_consumed_;
+  const auto it = pub_index_.find(r.publisher_id);
+  if (it == pub_index_.end()) return;  // unregistered publisher
+  auto& acc = accumulators_[it->second];
+  if (!acc) {
+    acc = std::make_unique<SiteAccumulator>(publishers_[it->second], config_);
+  }
+  acc->Add(r);
+}
+
+void StreamingAnalysis::AddChunk(std::span<const trace::LogRecord> records) {
+  for (const auto& r : records) Add(r);
+}
+
+std::vector<SiteAnalysis> StreamingAnalysis::Finalize() {
+  // Finalization — where the expensive work (Ecdf sorts, DTW clustering)
+  // lives — runs one site per worker into a dedicated slot, preserving
+  // registry order. The per-site DTW clustering nested inside runs inline
+  // on the site's worker (ParallelFor detects the enclosing region).
+  std::vector<std::optional<SiteAnalysis>> slots(publishers_.size());
+  util::ParallelFor(
+      publishers_.size(),
+      [&](std::size_t i) {
+        if (accumulators_[i]) slots[i] = accumulators_[i]->Finalize();
+      },
+      config_.threads);
+  std::vector<SiteAnalysis> sites;
+  for (auto& slot : slots) {
+    if (slot) sites.push_back(std::move(*slot));
+  }
+  return sites;
+}
+
+void StreamingAnalysis::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kStreamingAnalysisStateVersion);
+  w.WriteU64(records_consumed_);
+  w.WriteU64(static_cast<std::uint64_t>(publishers_.size()));
+  for (std::size_t i = 0; i < publishers_.size(); ++i) {
+    w.WriteBool(accumulators_[i] != nullptr);
+    if (accumulators_[i]) accumulators_[i]->SaveState(w);
+  }
+}
+
+void StreamingAnalysis::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("streaming analysis", kStreamingAnalysisStateVersion);
+  records_consumed_ = r.ReadU64();
+  const std::uint64_t n = r.ReadU64();
+  if (n != publishers_.size()) {
+    throw std::runtime_error(
+        "ckpt: publisher count mismatch (checkpoint has " +
+        std::to_string(n) + " publishers, registry has " +
+        std::to_string(publishers_.size()) + ")");
+  }
+  for (std::size_t i = 0; i < publishers_.size(); ++i) {
+    if (!r.ReadBool()) {
+      accumulators_[i].reset();
+      continue;
+    }
+    accumulators_[i] =
+        std::make_unique<SiteAccumulator>(publishers_[i], config_);
+    accumulators_[i]->RestoreState(r);
+  }
+}
+
 AnalysisSuite::AnalysisSuite(const trace::TraceBuffer& full_trace,
                              const trace::PublisherRegistry& registry,
                              const SuiteConfig& config) {
@@ -94,42 +228,13 @@ void AnalysisSuite::Run(trace::RecordSource& source,
                         const SuiteConfig& config) {
   // One sequential demultiplexing pass feeds a per-publisher accumulator
   // set; accumulation order is the stream order regardless of thread
-  // count, so the suite is deterministic by construction. Finalization —
-  // where the expensive work (Ecdf sorts, DTW clustering) lives — then
-  // runs one site per worker into a dedicated slot, preserving registry
-  // order. The per-site DTW clustering nested inside runs inline on the
-  // site's worker (ParallelFor detects the enclosing parallel region).
-  const std::vector<trace::Publisher>& pubs = registry.all();
-  std::unordered_map<std::uint32_t, std::size_t> pub_index;
-  pub_index.reserve(pubs.size());
-  for (std::size_t i = 0; i < pubs.size(); ++i) {
-    pub_index.emplace(pubs[i].id, i);
-  }
-
-  std::vector<std::unique_ptr<SiteAccumulator>> accumulators(pubs.size());
+  // count, so the suite is deterministic by construction.
+  StreamingAnalysis stream(registry, config);
   for (auto chunk = source.NextChunk(); !chunk.empty();
        chunk = source.NextChunk()) {
-    for (const auto& r : chunk) {
-      const auto it = pub_index.find(r.publisher_id);
-      if (it == pub_index.end()) continue;  // unregistered publisher
-      auto& acc = accumulators[it->second];
-      if (!acc) {
-        acc = std::make_unique<SiteAccumulator>(pubs[it->second], config);
-      }
-      acc->Add(r);
-    }
+    stream.AddChunk(chunk);
   }
-
-  std::vector<std::optional<SiteAnalysis>> slots(pubs.size());
-  util::ParallelFor(
-      pubs.size(),
-      [&](std::size_t i) {
-        if (accumulators[i]) slots[i] = accumulators[i]->Finalize();
-      },
-      config.threads);
-  for (auto& slot : slots) {
-    if (slot) sites_.push_back(std::move(*slot));
-  }
+  sites_ = stream.Finalize();
 }
 
 const SiteAnalysis& AnalysisSuite::site(const std::string& name) const {

@@ -5,9 +5,13 @@
 // need; Render() prints the full report in paper order.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/aging.h"
@@ -69,6 +73,11 @@ class SiteAccumulator {
 
   std::uint64_t records() const { return records_; }
 
+  // Checkpoints every sub-accumulator's mid-stream state. Restore requires
+  // an accumulator built with the same publisher and suite config.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
+
  private:
   trace::Publisher publisher_;
   bool run_trend_clusters_;
@@ -90,6 +99,44 @@ class SiteAccumulator {
   std::optional<TrendSeriesAccumulator> image_series_;
 };
 
+// The checkpointable core of the streaming suite: demultiplexes a record
+// stream into one SiteAccumulator per registered publisher and tracks how
+// many records it has consumed. AnalysisSuite is a thin drive-to-completion
+// wrapper; tools that checkpoint an analysis pass feed chunks here and
+// save/restore between them. The record cursor is the contract with the
+// producer: a resumed analysis must skip exactly records_consumed() records
+// before feeding the rest.
+class StreamingAnalysis {
+ public:
+  // The registry reference must outlive the analysis.
+  StreamingAnalysis(const trace::PublisherRegistry& registry,
+                    const SuiteConfig& config = {});
+
+  void Add(const trace::LogRecord& r);
+  void AddChunk(std::span<const trace::LogRecord> records);
+
+  // Records consumed so far (including ones from unregistered publishers,
+  // which are counted but not analyzed — the cursor tracks stream position,
+  // not analysis membership).
+  std::uint64_t records_consumed() const { return records_consumed_; }
+
+  // Finalizes sites in parallel (per SuiteConfig::threads), registry order.
+  // Call at most once; the accumulators are consumed.
+  std::vector<SiteAnalysis> Finalize();
+
+  // Blob layout: cursor + one presence-flagged SiteAccumulator blob per
+  // registered publisher, in registry order.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
+
+ private:
+  SuiteConfig config_;
+  std::vector<trace::Publisher> publishers_;
+  std::unordered_map<std::uint32_t, std::size_t> pub_index_;
+  std::vector<std::unique_ptr<SiteAccumulator>> accumulators_;
+  std::uint64_t records_consumed_ = 0;
+};
+
 class AnalysisSuite {
  public:
   // Analyzes each registered publisher found in `full_trace`. Implemented
@@ -108,6 +155,12 @@ class AnalysisSuite {
   AnalysisSuite(trace::RecordSource& source,
                 const trace::PublisherRegistry& registry,
                 const SuiteConfig& config = {});
+
+  // Wraps already-finalized per-site results — the hand-off from an
+  // externally driven StreamingAnalysis (e.g. the checkpointed
+  // `atlas-trace analyze` pass) to the report renderer.
+  explicit AnalysisSuite(std::vector<SiteAnalysis> sites)
+      : sites_(std::move(sites)) {}
 
   const std::vector<SiteAnalysis>& sites() const { return sites_; }
   const SiteAnalysis& site(const std::string& name) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "analysis/state_codec.h"
 #include "util/time.h"
 
 namespace atlas::analysis {
@@ -64,6 +65,28 @@ HourlyVolume ComputeHourlyVolume(const trace::TraceBuffer& site_trace,
   HourlyVolumeAccumulator acc;
   for (const auto& r : site_trace.records()) acc.Add(r);
   return acc.Finalize(site_name);
+}
+
+namespace {
+constexpr std::uint32_t kHourlyVolumeStateVersion = 1;
+}  // namespace
+
+void HourlyVolumeAccumulator::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kHourlyVolumeStateVersion);
+  for (const double c : counts_) w.WriteDouble(c);
+  for (const double b : bytes_) w.WriteDouble(b);
+  w.WriteDouble(total_count_);
+  w.WriteDouble(total_bytes_);
+  SaveTimeSeries(w, result_.week_series);
+}
+
+void HourlyVolumeAccumulator::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("hourly volume accumulator", kHourlyVolumeStateVersion);
+  for (double& c : counts_) c = r.ReadDouble();
+  for (double& b : bytes_) b = r.ReadDouble();
+  total_count_ = r.ReadDouble();
+  total_bytes_ = r.ReadDouble();
+  result_.week_series = LoadTimeSeries(r);
 }
 
 int PeakHourDistance(const HourlyVolume& a, const HourlyVolume& b) {

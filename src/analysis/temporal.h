@@ -10,6 +10,7 @@
 #include <array>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "stats/timeseries.h"
 #include "trace/trace_buffer.h"
 
@@ -38,6 +39,9 @@ class HourlyVolumeAccumulator {
   HourlyVolumeAccumulator();
   void Add(const trace::LogRecord& r);
   HourlyVolume Finalize(const std::string& site_name);
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   HourlyVolume result_;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "cluster/dtw.h"
 #include "cluster/linkage.h"
 #include "cluster/medoid.h"
@@ -91,6 +92,9 @@ class TrendSeriesAccumulator {
   explicit TrendSeriesAccumulator(const TrendClusterConfig& config);
   void Add(const trace::LogRecord& r);
   std::vector<std::pair<std::uint64_t, std::vector<double>>> Finalize();
+
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct Acc {

@@ -1,5 +1,6 @@
 #include "cdn/browser_cache.h"
 
+#include <iterator>
 #include <stdexcept>
 
 namespace atlas::cdn {
@@ -49,6 +50,47 @@ void BrowserCache::Clear() {
   lru_.clear();
   entries_.clear();
   used_bytes_ = 0;
+}
+
+namespace {
+constexpr std::uint32_t kBrowserStateVersion = 1;
+}  // namespace
+
+void BrowserCache::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kBrowserStateVersion);
+  w.WriteU64(capacity_bytes_);
+  w.WriteI64(freshness_ms_);
+  w.WriteU64(static_cast<std::uint64_t>(lru_.size()));
+  for (std::uint64_t key : lru_) {  // front = most recent
+    const Entry& e = entries_.at(key);
+    w.WriteU64(key);
+    w.WriteU64(e.size);
+    w.WriteI64(e.fresh_until_ms);
+  }
+}
+
+void BrowserCache::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("browser cache", kBrowserStateVersion);
+  const std::uint64_t saved_capacity = r.ReadU64();
+  const std::int64_t saved_freshness = r.ReadI64();
+  if (saved_capacity != capacity_bytes_ || saved_freshness != freshness_ms_) {
+    throw std::runtime_error(
+        "ckpt: browser cache configuration mismatch (checkpoint has " +
+        std::to_string(saved_capacity) + " bytes / " +
+        std::to_string(saved_freshness) + " ms)");
+  }
+  Clear();
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    Entry e;
+    e.size = r.ReadU64();
+    e.fresh_until_ms = r.ReadI64();
+    lru_.push_back(key);
+    e.lru_it = std::prev(lru_.end());
+    entries_[key] = e;
+    used_bytes_ += e.size;
+  }
 }
 
 void BrowserCache::EvictOne() {

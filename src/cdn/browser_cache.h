@@ -15,6 +15,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "ckpt/checkpoint.h"
 #include "trace/record.h"
 
 namespace atlas::cdn {
@@ -40,6 +41,12 @@ class BrowserCache {
 
   std::uint64_t used_bytes() const { return used_bytes_; }
   std::size_t entry_count() const { return entries_.size(); }
+
+  // Checkpoints the LRU order and per-entry freshness so a restored
+  // browser cache serves the same fresh/stale/absent verdicts. Restore
+  // requires matching capacity/freshness configuration.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   struct Entry {

@@ -65,6 +65,52 @@ bool Cache::Admit(std::uint64_t key, std::uint64_t size_bytes,
   return true;
 }
 
+namespace {
+// Layout of the shared Cache blob prefix (identity + counters); the policy
+// state that follows is versioned by each policy's own leading u32.
+constexpr std::uint32_t kCacheStateVersion = 1;
+}  // namespace
+
+void Cache::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kCacheStateVersion);
+  w.WriteString(name());
+  w.WriteU64(capacity_bytes_);
+  w.WriteU64(used_bytes_);
+  w.WriteU64(stats_.hits);
+  w.WriteU64(stats_.misses);
+  w.WriteU64(stats_.inserts);
+  w.WriteU64(stats_.evictions);
+  w.WriteU64(stats_.rejected);
+  w.WriteU64(stats_.hit_bytes);
+  w.WriteU64(stats_.miss_bytes);
+  SavePolicyState(w);
+}
+
+void Cache::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("cache", kCacheStateVersion);
+  const std::string saved_name = r.ReadString();
+  if (saved_name != name()) {
+    throw std::runtime_error("ckpt: cache policy mismatch (checkpoint has " +
+                             saved_name + ", this run built " + name() + ")");
+  }
+  const std::uint64_t saved_capacity = r.ReadU64();
+  if (saved_capacity != capacity_bytes_) {
+    throw std::runtime_error(
+        "ckpt: cache capacity mismatch (checkpoint has " +
+        std::to_string(saved_capacity) + " bytes, this run built " +
+        std::to_string(capacity_bytes_) + ")");
+  }
+  used_bytes_ = r.ReadU64();
+  stats_.hits = r.ReadU64();
+  stats_.misses = r.ReadU64();
+  stats_.inserts = r.ReadU64();
+  stats_.evictions = r.ReadU64();
+  stats_.rejected = r.ReadU64();
+  stats_.hit_bytes = r.ReadU64();
+  stats_.miss_bytes = r.ReadU64();
+  RestorePolicyState(r);
+}
+
 std::unique_ptr<Cache> CreateCache(PolicyKind kind,
                                    std::uint64_t capacity_bytes,
                                    std::int64_t ttl_ms) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "trace/record.h"
 
 namespace atlas::cdn {
@@ -48,10 +49,10 @@ struct CacheStats {
   void Merge(const CacheStats& other);
 };
 
-class Cache {
+class Cache : public ckpt::Checkpointable {
  public:
   explicit Cache(std::uint64_t capacity_bytes);
-  virtual ~Cache() = default;
+  ~Cache() override = default;
 
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
@@ -81,7 +82,21 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   virtual std::string name() const = 0;
 
+  // Checkpoints the policy name, capacity, byte/stat counters, and the
+  // policy's full eviction state (recency lists, frequencies, priorities),
+  // so a restored cache makes byte-identical hit/evict decisions from the
+  // snapshot point on. Restore must target a cache constructed with the
+  // same policy and capacity; anything else fails with a clear error.
+  void SaveState(ckpt::Writer& w) const final;
+  void RestoreState(ckpt::Reader& r) final;
+
  protected:
+  // Policy-specific halves of SaveState/RestoreState. RestorePolicyState
+  // rebuilds containers directly — it must not route through Insert()/
+  // OnInsertBytes(), which would double-count stats the base just restored.
+  virtual void SavePolicyState(ckpt::Writer& w) const = 0;
+  virtual void RestorePolicyState(ckpt::Reader& r) = 0;
+
   // Returns true and updates recency metadata if `key` is resident+fresh.
   virtual bool Lookup(std::uint64_t key, std::int64_t now_ms) = 0;
   // Inserts `key`; callee must evict enough to fit (capacity is already

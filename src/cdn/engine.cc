@@ -1,6 +1,7 @@
 #include "cdn/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -11,15 +12,23 @@
 #include "cdn/browser_cache.h"
 #include "cdn/chunking.h"
 #include "cdn/push.h"
+#include "ckpt/checkpoint.h"
 #include "trace/content_class.h"
+#include "trace/wire_format.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/par.h"
+#include "util/sorted.h"
 #include "util/time.h"
 
 namespace atlas::cdn {
 namespace {
 
 constexpr std::size_t kMergeBatchRecords = 8192;
+
+// Checkpoint section layouts ("engine.meta" + one "engine.shard.<i>" each).
+constexpr std::uint32_t kEngineMetaVersion = 1;
+constexpr std::uint32_t kEngineShardVersion = 1;
 
 // A record plus its provenance. The sequential simulator appended records
 // in (event order, chunk order) and then ran a *stable* sort on timestamp,
@@ -90,8 +99,13 @@ struct Shard {
 class Engine {
  public:
   Engine(std::span<const SiteJob> jobs, const SimulatorConfig& config,
-         trace::RecordSink& sink, int threads)
-      : jobs_(jobs), config_(config), sink_(sink) {
+         trace::RecordSink& sink, int threads,
+         const CheckpointOptions& opts)
+      : jobs_(jobs), config_(config), sink_(sink), opts_(opts) {
+    if (opts_.every_epochs > 0 && opts_.path.empty()) {
+      throw std::invalid_argument(
+          "RunSharded: checkpointing enabled without a path");
+    }
     if (config.playback_bytes_per_s <= 0.0) {
       throw std::invalid_argument("Simulator: playback rate must be > 0");
     }
@@ -126,9 +140,21 @@ class Engine {
   void RebuildSnapshots();
   std::vector<SimulatorResult> Assemble() const;
 
+  // Digest of everything a checkpoint assumes immutable: job identities,
+  // event counts, and every config knob that shapes the record stream.
+  std::uint64_t Fingerprint() const;
+  void SaveCheckpoint(std::int64_t epoch_end, std::uint64_t barriers_done);
+  void SaveShard(ckpt::Writer& w, const Shard& sh) const;
+  // Returns the epoch_end of the barrier the checkpoint was taken at and
+  // the barriers completed; shard state is overwritten in place.
+  void RestoreFromCheckpoint(ckpt::Reader& r, std::int64_t* epoch_end,
+                             std::uint64_t* barriers_done);
+  void RestoreShard(ckpt::Reader& r, Shard& sh);
+
   std::span<const SiteJob> jobs_;
   const SimulatorConfig& config_;
   trace::RecordSink& sink_;
+  const CheckpointOptions& opts_;
   int threads_ = 1;
   std::size_t dcs_per_site_ = 0;
   std::vector<Shard> shards_;
@@ -158,6 +184,15 @@ std::vector<SimulatorResult> Engine::Run() {
       max_ts == std::numeric_limits<std::int64_t>::min()
           ? std::numeric_limits<std::int64_t>::max()
           : (min_ts / config_.epoch_ms + 1) * config_.epoch_ms;
+  std::uint64_t barriers_done = 0;
+  if (opts_.resume != nullptr) {
+    // Mutable state comes back from the snapshot; the boundary schedule is
+    // recomputed identically (it is a pure function of the workload), and
+    // the run continues with the epoch after the checkpointed barrier.
+    std::int64_t saved_epoch_end = 0;
+    RestoreFromCheckpoint(*opts_.resume, &saved_epoch_end, &barriers_done);
+    epoch_end = saved_epoch_end + config_.epoch_ms;
+  }
   for (;;) {
     const bool last = epoch_end > max_ts;
     const std::int64_t bound =
@@ -167,10 +202,179 @@ std::vector<SimulatorResult> Engine::Run() {
     MergeFinalized();
     if (last) break;
     if (config_.peer_fill) RebuildSnapshots();
+    ++barriers_done;
+    if (opts_.every_epochs > 0 && barriers_done % opts_.every_epochs == 0) {
+      SaveCheckpoint(epoch_end, barriers_done);
+      if (opts_.after_save && !opts_.after_save(barriers_done)) {
+        // In-process "kill": stop here. Partial results; a resumed run
+        // picks up from the snapshot just committed.
+        pool_.reset();
+        return Assemble();
+      }
+    }
     epoch_end += config_.epoch_ms;
   }
   pool_.reset();
   return Assemble();
+}
+
+std::uint64_t Engine::Fingerprint() const {
+  std::uint64_t h = util::Fnv1a64("atlas.engine.v1");
+  h = util::HashCombine(h, static_cast<std::uint64_t>(jobs_.size()));
+  h = util::HashCombine(h, static_cast<std::uint64_t>(dcs_per_site_));
+  for (const auto& job : jobs_) {
+    h = util::HashCombine(h, job.generator->Fingerprint());
+    h = util::HashCombine(h, job.publisher_id);
+    h = util::HashCombine(h, static_cast<std::uint64_t>(job.events->size()));
+  }
+  h = util::HashCombine(h, static_cast<std::uint64_t>(config_.epoch_ms));
+  h = util::HashCombine(h, config_.chunk_bytes);
+  std::uint64_t playback_bits = 0;
+  static_assert(sizeof(playback_bits) == sizeof(config_.playback_bytes_per_s));
+  std::memcpy(&playback_bits, &config_.playback_bytes_per_s,
+              sizeof(playback_bits));
+  h = util::HashCombine(h, playback_bits);
+  h = util::HashCombine(h, config_.browser_capacity_bytes);
+  h = util::HashCombine(h, static_cast<std::uint64_t>(config_.browser_freshness_ms));
+  h = util::HashCombine(h, config_.browser_max_object_bytes);
+  h = util::HashCombine(h, config_.peer_fill ? 1 : 0);
+  h = util::HashCombine(h, config_.push.enabled ? 1 : 0);
+  h = util::HashCombine(h, static_cast<std::uint64_t>(config_.push.top_n));
+  const std::uint64_t push_pattern_bits =
+      (config_.push.include_diurnal ? 1u : 0u) |
+      (config_.push.include_long_lived ? 2u : 0u) |
+      (config_.push.include_short_lived ? 4u : 0u) |
+      (config_.push.include_flash ? 8u : 0u) |
+      (config_.push.include_outlier ? 16u : 0u);
+  h = util::HashCombine(h, push_pattern_bits);
+  h = util::HashCombine(h, config_.push.video_prefix_chunks);
+  h = util::HashCombine(h,
+                        static_cast<std::uint64_t>(config_.topology.edge_policy));
+  h = util::HashCombine(h, config_.topology.edge_capacity_bytes);
+  h = util::HashCombine(h, static_cast<std::uint64_t>(config_.topology.edge_ttl_ms));
+  h = util::HashCombine(
+      h, static_cast<std::uint64_t>(config_.topology.dcs_per_continent));
+  for (const auto& plan : push_plans_) {
+    h = util::HashCombine(h, static_cast<std::uint64_t>(plan.size()));
+  }
+  return h;
+}
+
+void Engine::SaveShard(ckpt::Writer& w, const Shard& sh) const {
+  w.WriteU64(static_cast<std::uint64_t>(sh.next_event));
+  w.WriteU64(static_cast<std::uint64_t>(sh.push_cursor));
+  w.WriteU64(sh.origin.fetches);
+  w.WriteU64(sh.origin.bytes);
+  w.WriteU64(sh.records);
+  w.WriteU64(sh.peer_fetches);
+  w.WriteU64(sh.peer_bytes);
+  w.WriteU64(sh.browser_fresh_hits);
+  w.WriteU64(sh.revalidations);
+  w.WriteU64(sh.pushed_bytes);
+  sh.cache->SaveState(w);
+  // Browser caches, keyed by user index; sorted so the section bytes are a
+  // pure function of state, not of hash-table layout.
+  w.WriteU64(static_cast<std::uint64_t>(sh.browsers.size()));
+  for (std::uint32_t user_index : util::SortedKeys(sh.browsers)) {
+    w.WriteU32(user_index);
+    sh.browsers.at(user_index).SaveState(w);
+  }
+  // Records emitted but not yet past a barrier (timestamps >= the
+  // checkpointed boundary). `finalized` is always merged by save time.
+  w.WriteU64(static_cast<std::uint64_t>(sh.pending.size()));
+  for (const TaggedRecord& tr : sh.pending) {
+    unsigned char buf[trace::wire::kRecordWireSize];
+    trace::wire::EncodeRecord(tr.rec, buf);
+    w.WriteBytes(buf, sizeof(buf));
+    w.WriteU64(tr.event_seq);
+    w.WriteU32(tr.sub_seq);
+  }
+  // `snapshot` is derivable (RebuildSnapshots) and not serialized.
+}
+
+void Engine::SaveCheckpoint(std::int64_t epoch_end,
+                            std::uint64_t barriers_done) {
+  ckpt::WriteCheckpointFile(opts_.path, [&](ckpt::Writer& w) {
+    w.BeginSection("engine.meta", kEngineMetaVersion);
+    w.WriteU64(Fingerprint());
+    w.WriteI64(epoch_end);
+    w.WriteU64(barriers_done);
+    w.WriteU64(static_cast<std::uint64_t>(shards_.size()));
+    w.EndSection();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      w.BeginSection("engine.shard." + std::to_string(i),
+                     kEngineShardVersion);
+      SaveShard(w, shards_[i]);
+      w.EndSection();
+    }
+    // Caller-owned state (e.g. the output TraceWriter) joins the same
+    // atomic commit so trace and engine can never disagree on progress.
+    if (opts_.save_extra) opts_.save_extra(w);
+  });
+}
+
+void Engine::RestoreShard(ckpt::Reader& r, Shard& sh) {
+  sh.next_event = static_cast<std::size_t>(r.ReadU64());
+  sh.push_cursor = static_cast<std::size_t>(r.ReadU64());
+  if (sh.next_event > sh.event_indices.size() ||
+      sh.push_cursor > push_plans_[sh.site].size()) {
+    throw std::runtime_error("ckpt: shard cursor out of range");
+  }
+  sh.origin.fetches = r.ReadU64();
+  sh.origin.bytes = r.ReadU64();
+  sh.records = r.ReadU64();
+  sh.peer_fetches = r.ReadU64();
+  sh.peer_bytes = r.ReadU64();
+  sh.browser_fresh_hits = r.ReadU64();
+  sh.revalidations = r.ReadU64();
+  sh.pushed_bytes = r.ReadU64();
+  sh.cache->RestoreState(r);
+  sh.browsers.clear();
+  const std::uint64_t nbrowsers = r.ReadU64();
+  for (std::uint64_t i = 0; i < nbrowsers; ++i) {
+    const std::uint32_t user_index = r.ReadU32();
+    BrowserFor(sh, user_index).RestoreState(r);
+  }
+  sh.pending.clear();
+  sh.finalized.clear();
+  const std::uint64_t npending = r.ReadU64();
+  sh.pending.reserve(static_cast<std::size_t>(npending));
+  for (std::uint64_t i = 0; i < npending; ++i) {
+    const std::vector<unsigned char> buf = r.ReadBytes();
+    if (buf.size() != trace::wire::kRecordWireSize) {
+      throw std::runtime_error("ckpt: bad pending record size");
+    }
+    TaggedRecord tr;
+    tr.rec = trace::wire::DecodeRecord(buf.data());
+    tr.event_seq = r.ReadU64();
+    tr.sub_seq = r.ReadU32();
+    sh.pending.push_back(tr);
+  }
+}
+
+void Engine::RestoreFromCheckpoint(ckpt::Reader& r, std::int64_t* epoch_end,
+                                   std::uint64_t* barriers_done) {
+  r.BeginSection("engine.meta", kEngineMetaVersion);
+  const std::uint64_t fp = r.ReadU64();
+  if (fp != Fingerprint()) {
+    throw std::runtime_error(
+        "ckpt: engine fingerprint mismatch — the checkpoint was taken with "
+        "a different workload, seed, or simulator configuration");
+  }
+  *epoch_end = r.ReadI64();
+  *barriers_done = r.ReadU64();
+  const std::uint64_t nshards = r.ReadU64();
+  r.EndSection();
+  if (nshards != shards_.size()) {
+    throw std::runtime_error("ckpt: shard count mismatch");
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    r.BeginSection("engine.shard." + std::to_string(i), kEngineShardVersion);
+    RestoreShard(r, shards_[i]);
+    r.EndSection();
+  }
+  // Peer-fill snapshots are a pure function of the restored caches.
+  if (config_.peer_fill) RebuildSnapshots();
 }
 
 void Engine::Validate() const {
@@ -531,7 +735,15 @@ std::vector<SimulatorResult> Engine::Assemble() const {
 std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
                                         const SimulatorConfig& config,
                                         trace::RecordSink& sink, int threads) {
-  Engine engine(jobs, config, sink, threads);
+  const CheckpointOptions no_checkpoint;
+  return RunSharded(jobs, config, sink, threads, no_checkpoint);
+}
+
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::RecordSink& sink, int threads,
+                                        const CheckpointOptions& ckpt_options) {
+  Engine engine(jobs, config, sink, threads, ckpt_options);
   return engine.Run();
 }
 

@@ -20,13 +20,24 @@
 // (timestamp, site, event, chunk) into the RecordSink, which reproduces
 // the legacy sequential simulator's stable time-sort byte for byte while
 // holding only one epoch of records in memory.
+// Checkpointing: at an epoch barrier every record with a timestamp before
+// the boundary has already been merged into the sink and every cache/cursor
+// is quiescent, so a snapshot taken there is both crash-consistent and
+// trace-invariant — the barriers are fixed multiples of epoch_ms whether or
+// not snapshots happen, so checkpoint cadence never changes the output
+// stream. CheckpointOptions arms the trigger; a resumed run rebuilds the
+// immutable structures (event routing, push plans) from the regenerated
+// workload and restores only mutable state from the snapshot.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cdn/simulator.h"
+#include "ckpt/checkpoint.h"
 #include "synth/workload.h"
 #include "trace/sink.h"
 
@@ -42,6 +53,27 @@ struct SiteJob {
   std::uint32_t publisher_id = 0;
 };
 
+// Epoch-aligned checkpoint/restore policy for RunSharded.
+struct CheckpointOptions {
+  // Snapshot every N epoch barriers; 0 disables saving.
+  std::uint64_t every_epochs = 0;
+  // Snapshot destination; each save commits atomically (tmp + rename), so
+  // a crash mid-save leaves the previous snapshot usable.
+  std::string path;
+  // Appends caller-owned sections (e.g. the TraceWriter's partial-block
+  // state via SaveState) to every snapshot, after the engine's sections.
+  // Runs inside the atomic commit, before the rename.
+  std::function<void(ckpt::Writer&)> save_extra;
+  // Called after each committed snapshot with the number of barriers
+  // completed; return false to stop the run immediately (the in-process
+  // "kill" the crash tests use). A stopped run's results are partial —
+  // resume from the snapshot instead of using them.
+  std::function<bool(std::uint64_t barriers_done)> after_save;
+  // Restore engine state from this checkpoint before the first epoch. The
+  // jobs/config must match the checkpointed run (verified by fingerprint).
+  ckpt::Reader* resume = nullptr;
+};
+
 // Runs every job through the sharded engine, streaming the merged,
 // time-sorted record stream of all sites into `sink`, and returns one
 // counter accumulator per job (in job order). `threads <= 0` means
@@ -50,5 +82,11 @@ std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
                                         const SimulatorConfig& config,
                                         trace::RecordSink& sink,
                                         int threads = 0);
+
+// As above, with checkpoint/restore armed per `ckpt_options`.
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::RecordSink& sink, int threads,
+                                        const CheckpointOptions& ckpt_options);
 
 }  // namespace atlas::cdn

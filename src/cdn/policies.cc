@@ -1,6 +1,9 @@
 #include "cdn/policies.h"
 
+#include <iterator>
 #include <stdexcept>
+
+#include "util/sorted.h"
 
 namespace atlas::cdn {
 
@@ -276,6 +279,197 @@ bool TtlLruCache::EvictOne() {
   if (lru_.empty()) return false;
   Erase(lru_.back());
   return true;
+}
+
+// --- Checkpoint state (SavePolicyState / RestorePolicyState) ----------------
+//
+// Each policy serializes its containers in an order that reconstructs both
+// membership and tie-breaking structure exactly: recency lists are written
+// front (most recent) to back, LFU buckets in ascending frequency, GDSF
+// entries with their stored priorities (computed against historic inflation
+// values, so they cannot be recomputed). A restored cache therefore picks
+// the same victims in the same order as one that never stopped.
+
+namespace {
+constexpr std::uint32_t kLruStateVersion = 1;
+constexpr std::uint32_t kFifoStateVersion = 1;
+constexpr std::uint32_t kLfuStateVersion = 1;
+constexpr std::uint32_t kGdsfStateVersion = 1;
+constexpr std::uint32_t kS4LruStateVersion = 1;
+constexpr std::uint32_t kTtlLruStateVersion = 1;
+}  // namespace
+
+void LruCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kLruStateVersion);
+  w.WriteU64(static_cast<std::uint64_t>(lru_.size()));
+  for (std::uint64_t key : lru_) {
+    w.WriteU64(key);
+    w.WriteU64(entries_.at(key).size);
+  }
+}
+
+void LruCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("LRU policy", kLruStateVersion);
+  lru_.clear();
+  entries_.clear();
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    const std::uint64_t size = r.ReadU64();
+    lru_.push_back(key);
+    entries_[key] = Entry{size, std::prev(lru_.end())};
+  }
+}
+
+void FifoCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kFifoStateVersion);
+  w.WriteU64(static_cast<std::uint64_t>(queue_.size()));
+  for (std::uint64_t key : queue_) {
+    w.WriteU64(key);
+    w.WriteU64(entries_.at(key));
+  }
+}
+
+void FifoCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("FIFO policy", kFifoStateVersion);
+  queue_.clear();
+  entries_.clear();
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    queue_.push_back(key);
+    entries_[key] = r.ReadU64();
+  }
+}
+
+void LfuCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kLfuStateVersion);
+  w.WriteU64(static_cast<std::uint64_t>(buckets_.size()));
+  for (const auto& [freq, bucket] : buckets_) {  // std::map: ascending freq
+    w.WriteU64(freq);
+    w.WriteU64(static_cast<std::uint64_t>(bucket.size()));
+    for (std::uint64_t key : bucket) {
+      w.WriteU64(key);
+      w.WriteU64(entries_.at(key).size);
+    }
+  }
+}
+
+void LfuCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("LFU policy", kLfuStateVersion);
+  buckets_.clear();
+  entries_.clear();
+  const std::uint64_t nbuckets = r.ReadU64();
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    const std::uint64_t freq = r.ReadU64();
+    const std::uint64_t len = r.ReadU64();
+    auto& bucket = buckets_[freq];
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const std::uint64_t key = r.ReadU64();
+      const std::uint64_t size = r.ReadU64();
+      bucket.push_back(key);
+      entries_[key] = Entry{size, freq, std::prev(bucket.end())};
+    }
+  }
+}
+
+void GdsfCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kGdsfStateVersion);
+  w.WriteDouble(inflation_);
+  w.WriteU64(static_cast<std::uint64_t>(entries_.size()));
+  for (std::uint64_t key : util::SortedKeys(entries_)) {
+    const Entry& e = entries_.at(key);
+    w.WriteU64(key);
+    w.WriteU64(e.size);
+    w.WriteU64(e.freq);
+    w.WriteDouble(e.priority);
+  }
+}
+
+void GdsfCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("GDSF policy", kGdsfStateVersion);
+  inflation_ = r.ReadDouble();
+  entries_.clear();
+  // Rebuild the heap from live entries only, dropping any stale
+  // lazy-invalidation items the original heap carried. That is safe for
+  // determinism: pops follow the (priority, key) total order over live
+  // entries either way, so the restored cache picks the same victims.
+  heap_ = decltype(heap_){};
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    Entry e;
+    e.size = r.ReadU64();
+    e.freq = r.ReadU64();
+    e.priority = r.ReadDouble();
+    entries_[key] = e;
+    PushHeap(key, e);
+  }
+}
+
+void S4LruCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kS4LruStateVersion);
+  for (const auto& list : lists_) {
+    w.WriteU64(static_cast<std::uint64_t>(list.size()));
+    for (std::uint64_t key : list) {
+      w.WriteU64(key);
+      w.WriteU64(entries_.at(key).size);
+    }
+  }
+}
+
+void S4LruCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("S4LRU policy", kS4LruStateVersion);
+  entries_.clear();
+  for (int seg = 0; seg < kSegments; ++seg) {
+    lists_[static_cast<std::size_t>(seg)].clear();
+    seg_bytes_[static_cast<std::size_t>(seg)] = 0;
+  }
+  for (int seg = 0; seg < kSegments; ++seg) {
+    auto& list = lists_[static_cast<std::size_t>(seg)];
+    const std::uint64_t n = r.ReadU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.ReadU64();
+      const std::uint64_t size = r.ReadU64();
+      list.push_back(key);
+      seg_bytes_[static_cast<std::size_t>(seg)] += size;
+      entries_[key] = Entry{size, seg, std::prev(list.end())};
+    }
+  }
+}
+
+void TtlLruCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kTtlLruStateVersion);
+  w.WriteI64(ttl_ms_);
+  w.WriteU64(static_cast<std::uint64_t>(lru_.size()));
+  for (std::uint64_t key : lru_) {
+    const Entry& e = entries_.at(key);
+    w.WriteU64(key);
+    w.WriteU64(e.size);
+    w.WriteI64(e.expires_ms);
+  }
+}
+
+void TtlLruCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("TTL-LRU policy", kTtlLruStateVersion);
+  const std::int64_t saved_ttl = r.ReadI64();
+  if (saved_ttl != ttl_ms_) {
+    throw std::runtime_error("ckpt: TTL mismatch (checkpoint has " +
+                             std::to_string(saved_ttl) + " ms, this run uses " +
+                             std::to_string(ttl_ms_) + ")");
+  }
+  lru_.clear();
+  entries_.clear();
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    Entry e;
+    e.size = r.ReadU64();
+    e.expires_ms = r.ReadI64();
+    lru_.push_back(key);
+    e.lru_it = std::prev(lru_.end());
+    entries_[key] = e;
+  }
 }
 
 }  // namespace atlas::cdn

@@ -44,6 +44,8 @@ class LruCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   struct Entry {
@@ -73,6 +75,8 @@ class FifoCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   bool EvictOne();  // false when there is nothing left to evict
@@ -98,6 +102,8 @@ class LfuCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   struct Entry {
@@ -134,6 +140,8 @@ class GdsfCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   struct Entry {
@@ -183,6 +191,8 @@ class S4LruCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   static constexpr int kSegments = 4;
@@ -218,6 +228,8 @@ class TtlLruCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   struct Entry {

@@ -73,4 +73,37 @@ void OracleTtlCache::EvictOne() {
   Erase(lru_.back());
 }
 
+namespace {
+constexpr std::uint32_t kOracleTtlStateVersion = 1;
+}  // namespace
+
+void OracleTtlCache::SavePolicyState(ckpt::Writer& w) const {
+  w.WriteVersion(kOracleTtlStateVersion);
+  w.WriteU64(expired_lookups_);
+  w.WriteU64(static_cast<std::uint64_t>(lru_.size()));
+  for (std::uint64_t key : lru_) {
+    const Entry& e = entries_.at(key);
+    w.WriteU64(key);
+    w.WriteU64(e.size);
+    w.WriteI64(e.expires_ms);
+  }
+}
+
+void OracleTtlCache::RestorePolicyState(ckpt::Reader& r) {
+  r.ExpectVersion("Oracle-TTL policy", kOracleTtlStateVersion);
+  expired_lookups_ = r.ReadU64();
+  lru_.clear();
+  entries_.clear();
+  const std::uint64_t n = r.ReadU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.ReadU64();
+    Entry e;
+    e.size = r.ReadU64();
+    e.expires_ms = r.ReadI64();
+    lru_.push_back(key);
+    e.lru_it = std::prev(lru_.end());
+    entries_[key] = e;
+  }
+}
+
 }  // namespace atlas::cdn

@@ -81,6 +81,12 @@ class OracleTtlCache : public Cache {
   bool Lookup(std::uint64_t key, std::int64_t now_ms) override;
   void Insert(std::uint64_t key, std::uint64_t size_bytes,
               std::int64_t now_ms) override;
+  // Expiry times are latched per entry at insert, so the snapshot carries
+  // them verbatim; the ttl function itself is not serialized — a restore
+  // must be constructed with the same oracle (the scenario fingerprint
+  // guards this at the engine level).
+  void SavePolicyState(ckpt::Writer& w) const override;
+  void RestorePolicyState(ckpt::Reader& r) override;
 
  private:
   struct Entry {

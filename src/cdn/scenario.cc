@@ -1,6 +1,8 @@
 #include "cdn/scenario.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -38,6 +40,15 @@ std::uint64_t LogicalBudget(const synth::WorkloadGenerator& gen,
   const double inflation = gen.EstimateRecordsPerRequest(config.chunk_bytes);
   return static_cast<std::uint64_t>(std::max(
       1.0, static_cast<double>(profile.total_requests) / inflation));
+}
+
+// Checkpoint section layouts owned by the scenario layer.
+constexpr std::uint32_t kScenarioMetaVersion = 1;
+constexpr std::uint32_t kScenarioGeneratorVersion = 1;
+constexpr std::uint32_t kMergeCursorStateVersion = 1;
+
+std::string GeneratorSectionName(std::size_t i) {
+  return "synth.generator." + std::to_string(i);
 }
 
 }  // namespace
@@ -137,10 +148,41 @@ std::span<const trace::LogRecord> MergedTraceSource::NextChunk() {
   return chunk_;
 }
 
+void MergedTraceSource::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kMergeCursorStateVersion);
+  w.WriteU64(static_cast<std::uint64_t>(cursors_.size()));
+  for (const Cursor& cur : cursors_) {
+    w.WriteU64(static_cast<std::uint64_t>(cur.pos));
+  }
+}
+
+void MergedTraceSource::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("merged trace cursor", kMergeCursorStateVersion);
+  const std::uint64_t n = r.ReadU64();
+  if (n != cursors_.size()) {
+    throw std::runtime_error("ckpt: merged trace cursor count mismatch");
+  }
+  for (Cursor& cur : cursors_) {
+    cur.pos = static_cast<std::size_t>(r.ReadU64());
+    if (cur.pos > cur.buf->size()) {
+      throw std::runtime_error("ckpt: merged trace cursor out of range");
+    }
+  }
+}
+
 ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
                                     const SimulatorConfig& config,
                                     std::uint64_t seed,
                                     trace::RecordSink& sink, int threads) {
+  return StreamScenario(std::move(profiles), config, seed, sink, threads,
+                        CheckpointOptions{});
+}
+
+ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
+                                    const SimulatorConfig& config,
+                                    std::uint64_t seed, trace::RecordSink& sink,
+                                    int threads,
+                                    const CheckpointOptions& ckpt_options) {
   ScenarioStreamResult out;
   util::Rng seeder(seed);
   std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;
@@ -158,7 +200,45 @@ ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
         LogicalBudget(*generators.back(), profile, config)));
     jobs.push_back({generators.back().get(), &events.back(), id});
   }
-  out.site_results = RunSharded(jobs, config, sink, threads);
+
+  // Layer the scenario's own sections onto every engine snapshot: the seed
+  // plan (so a resume against the wrong seed fails loud, not with a
+  // fingerprint puzzle) and each generator's RNG position.
+  CheckpointOptions opts = ckpt_options;
+  opts.save_extra = [&](ckpt::Writer& w) {
+    w.BeginSection("scenario.meta", kScenarioMetaVersion);
+    w.WriteU64(seed);
+    w.WriteU64(static_cast<std::uint64_t>(generators.size()));
+    w.EndSection();
+    for (std::size_t i = 0; i < generators.size(); ++i) {
+      w.BeginSection(GeneratorSectionName(i), kScenarioGeneratorVersion);
+      generators[i]->SaveState(w);
+      w.EndSection();
+    }
+    if (ckpt_options.save_extra) ckpt_options.save_extra(w);
+  };
+  if (ckpt_options.resume != nullptr) {
+    ckpt::Reader& r = *ckpt_options.resume;
+    r.BeginSection("scenario.meta", kScenarioMetaVersion);
+    const std::uint64_t saved_seed = r.ReadU64();
+    const std::uint64_t saved_sites = r.ReadU64();
+    r.EndSection();
+    if (saved_seed != seed || saved_sites != generators.size()) {
+      throw std::runtime_error(
+          "ckpt: scenario mismatch (checkpoint has seed " +
+          std::to_string(saved_seed) + " with " +
+          std::to_string(saved_sites) + " sites, this run asks for seed " +
+          std::to_string(seed) + " with " +
+          std::to_string(generators.size()) + ")");
+    }
+    for (std::size_t i = 0; i < generators.size(); ++i) {
+      r.BeginSection(GeneratorSectionName(i), kScenarioGeneratorVersion);
+      generators[i]->RestoreState(r);
+      r.EndSection();
+    }
+  }
+
+  out.site_results = RunSharded(jobs, config, sink, threads, opts);
   for (const auto& r : out.site_results) out.totals.Merge(r);
   return out;
 }

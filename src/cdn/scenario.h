@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "cdn/engine.h"
 #include "cdn/simulator.h"
 #include "synth/site_profile.h"
 #include "trace/publisher.h"
@@ -81,6 +82,12 @@ class MergedTraceSource final : public trace::RecordSource {
   explicit MergedTraceSource(const Scenario& scenario);
   std::span<const trace::LogRecord> NextChunk() override;
 
+  // Checkpoints the per-site merge cursors so a consumer can resume the
+  // merged stream mid-way (records already handed out are not replayed).
+  // Restore requires a source built over the same scenario shape.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
+
  private:
   struct Cursor {
     const trace::TraceBuffer* buf;
@@ -105,5 +112,17 @@ ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
                                     const SimulatorConfig& config,
                                     std::uint64_t seed,
                                     trace::RecordSink& sink, int threads = 0);
+
+// As above, with checkpoint/restore armed. On top of the engine's own
+// sections, every snapshot carries a "scenario.meta" section (seed +
+// profile count, verified on resume) and one "synth.generator.<i>" section
+// per site with the generator's RNG position; the caller's save_extra (if
+// any) still runs last. `ckpt_options.resume` restores the scenario and
+// delegates engine state to RunSharded.
+ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
+                                    const SimulatorConfig& config,
+                                    std::uint64_t seed, trace::RecordSink& sink,
+                                    int threads,
+                                    const CheckpointOptions& ckpt_options);
 
 }  // namespace atlas::cdn

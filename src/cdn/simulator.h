@@ -87,6 +87,11 @@ struct SimulatorResult {
   // Folds `other` into this accumulator (counters add, cache stats merge,
   // per-DC slots merge index-wise).
   void Merge(const SimulatorResult& other);
+
+  // Checkpoints every counter (and the per-DC breakdown) so a resumed run
+  // can continue accumulating from where the interrupted one stopped.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 };
 
 // Legacy in-memory convenience: the counters plus the fully materialized,

@@ -1,0 +1,378 @@
+#include "ckpt/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace atlas::ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'C', 'K', 'P'};
+// Sanity bounds: a single section name or payload larger than these is a
+// corrupted length field, not a real checkpoint.
+constexpr std::uint32_t kMaxSectionName = 1u << 10;
+constexpr std::uint64_t kMaxSectionBytes = 1ull << 34;  // 16 GiB
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw std::runtime_error("ckpt: " + message);
+}
+
+template <typename T>
+void StoreLe(unsigned char* dst, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    dst[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xffu);
+  }
+}
+
+template <typename T>
+T LoadLe(const unsigned char* src) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value | (static_cast<T>(src[i]) << (8 * i)));
+  }
+  return value;
+}
+
+template <typename T>
+void WriteLe(std::ostream& out, T value) {
+  unsigned char buf[sizeof(T)];
+  StoreLe(buf, value);
+  out.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+bool ReadLe(std::istream& in, T* value) {
+  unsigned char buf[sizeof(T)];
+  in.read(reinterpret_cast<char*>(buf), sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  *value = LoadLe<T>(buf);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Writer::Writer(std::ostream& out) : out_(out) {
+  out_.write(kMagic, sizeof(kMagic));
+  WriteLe<std::uint32_t>(out_, kFormatVersion);
+  if (!out_) Fail("write failed (header)");
+}
+
+void Writer::BeginSection(const std::string& name, std::uint32_t version) {
+  if (finished_) Fail("BeginSection after Finish");
+  if (in_section_) Fail("BeginSection inside open section '" + section_name_ + "'");
+  if (name.empty()) Fail("section name must be non-empty");
+  if (name.size() >= kMaxSectionName) Fail("section name too long");
+  section_name_ = name;
+  section_version_ = version;
+  payload_.clear();
+  in_section_ = true;
+}
+
+void Writer::EndSection() {
+  if (!in_section_) Fail("EndSection without open section");
+  WriteLe<std::uint32_t>(out_, static_cast<std::uint32_t>(section_name_.size()));
+  out_.write(section_name_.data(),
+             static_cast<std::streamsize>(section_name_.size()));
+  WriteLe<std::uint32_t>(out_, section_version_);
+  WriteLe<std::uint64_t>(out_, static_cast<std::uint64_t>(payload_.size()));
+  WriteLe<std::uint32_t>(out_, util::Crc32(payload_.data(), payload_.size()));
+  out_.write(reinterpret_cast<const char*>(payload_.data()),
+             static_cast<std::streamsize>(payload_.size()));
+  if (!out_) Fail("write failed (section '" + section_name_ + "')");
+  payload_.clear();
+  in_section_ = false;
+  ++sections_;
+}
+
+void Writer::Finish() {
+  if (finished_) return;
+  if (in_section_) Fail("Finish inside open section '" + section_name_ + "'");
+  WriteLe<std::uint32_t>(out_, 0);  // end marker: zero-length name
+  WriteLe<std::uint64_t>(out_, sections_);
+  out_.flush();
+  if (!out_) Fail("write failed (trailer)");
+  finished_ = true;
+}
+
+void Writer::Put(const void* data, std::size_t size) {
+  if (!in_section_) Fail("write outside section");
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  payload_.insert(payload_.end(), bytes, bytes + size);
+}
+
+void Writer::WriteU8(std::uint8_t v) { Put(&v, 1); }
+
+void Writer::WriteU16(std::uint16_t v) {
+  unsigned char buf[2];
+  StoreLe(buf, v);
+  Put(buf, sizeof(buf));
+}
+
+void Writer::WriteU32(std::uint32_t v) {
+  unsigned char buf[4];
+  StoreLe(buf, v);
+  Put(buf, sizeof(buf));
+}
+
+void Writer::WriteU64(std::uint64_t v) {
+  unsigned char buf[8];
+  StoreLe(buf, v);
+  Put(buf, sizeof(buf));
+}
+
+void Writer::WriteI64(std::int64_t v) {
+  WriteU64(static_cast<std::uint64_t>(v));
+}
+
+void Writer::WriteDouble(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void Writer::WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+void Writer::WriteString(const std::string& v) {
+  if (v.size() > std::numeric_limits<std::uint32_t>::max()) {
+    Fail("string too long");
+  }
+  WriteU32(static_cast<std::uint32_t>(v.size()));
+  Put(v.data(), v.size());
+}
+
+void Writer::WriteBytes(const void* data, std::size_t size) {
+  WriteU64(static_cast<std::uint64_t>(size));
+  Put(data, size);
+}
+
+void Writer::WriteVecU64(const std::vector<std::uint64_t>& v) {
+  WriteU64(static_cast<std::uint64_t>(v.size()));
+  for (std::uint64_t x : v) WriteU64(x);
+}
+
+void Writer::WriteVecDouble(const std::vector<double>& v) {
+  WriteU64(static_cast<std::uint64_t>(v.size()));
+  for (double x : v) WriteDouble(x);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Reader::Reader(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    Fail("bad magic (not a checkpoint file)");
+  }
+  std::uint32_t format = 0;
+  if (!ReadLe(in, &format)) Fail("truncated checkpoint (no format version)");
+  if (format != kFormatVersion) {
+    Fail("unsupported format version " + std::to_string(format) +
+         " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  bool terminated = false;
+  while (true) {
+    std::uint32_t name_len = 0;
+    if (!ReadLe(in, &name_len)) break;  // truncated: no end marker seen
+    if (name_len == 0) {
+      std::uint64_t declared = 0;
+      if (!ReadLe(in, &declared)) Fail("truncated checkpoint (no trailer)");
+      if (declared != sections_.size()) {
+        Fail("section count mismatch (trailer says " + std::to_string(declared) +
+             ", file has " + std::to_string(sections_.size()) + ")");
+      }
+      terminated = true;
+      break;
+    }
+    if (name_len >= kMaxSectionName) Fail("corrupt section name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (in.gcount() != static_cast<std::streamsize>(name_len)) {
+      Fail("truncated checkpoint (section name)");
+    }
+    Section section;
+    std::uint64_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    if (!ReadLe(in, &section.version) || !ReadLe(in, &payload_bytes) ||
+        !ReadLe(in, &crc)) {
+      Fail("truncated checkpoint (section header for '" + name + "')");
+    }
+    if (payload_bytes > kMaxSectionBytes) Fail("corrupt section length");
+    section.payload.resize(static_cast<std::size_t>(payload_bytes));
+    in.read(reinterpret_cast<char*>(section.payload.data()),
+            static_cast<std::streamsize>(payload_bytes));
+    if (in.gcount() != static_cast<std::streamsize>(payload_bytes)) {
+      Fail("truncated checkpoint (payload of '" + name + "')");
+    }
+    if (util::Crc32(section.payload.data(), section.payload.size()) != crc) {
+      Fail("section CRC mismatch in '" + name + "'");
+    }
+    if (!sections_.emplace(std::move(name), std::move(section)).second) {
+      Fail("duplicate section");
+    }
+  }
+  if (!terminated) Fail("truncated checkpoint (no end marker)");
+}
+
+bool Reader::HasSection(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+std::uint32_t Reader::BeginSection(const std::string& name) {
+  if (cur_ != nullptr) {
+    Fail("BeginSection('" + name + "') inside open section '" + cur_name_ + "'");
+  }
+  auto it = sections_.find(name);
+  if (it == sections_.end()) Fail("missing section '" + name + "'");
+  cur_ = &it->second;
+  cur_name_ = name;
+  pos_ = 0;
+  return it->second.version;
+}
+
+void Reader::BeginSection(const std::string& name, std::uint32_t expected) {
+  const std::uint32_t got = BeginSection(name);
+  if (got != expected) {
+    cur_ = nullptr;
+    Fail("section '" + name + "' version mismatch (file v" +
+         std::to_string(got) + ", code expects v" + std::to_string(expected) +
+         ")");
+  }
+}
+
+void Reader::EndSection() {
+  if (cur_ == nullptr) Fail("EndSection without open section");
+  if (pos_ != cur_->payload.size()) {
+    Fail("section '" + cur_name_ + "' has " +
+         std::to_string(cur_->payload.size() - pos_) +
+         " unread bytes (layout mismatch)");
+  }
+  cur_ = nullptr;
+}
+
+const unsigned char* Reader::Take(std::size_t size) {
+  if (cur_ == nullptr) Fail("read outside section");
+  if (cur_->payload.size() - pos_ < size) {
+    Fail("read past end of section '" + cur_name_ + "'");
+  }
+  const unsigned char* p = cur_->payload.data() + pos_;
+  pos_ += size;
+  return p;
+}
+
+std::uint8_t Reader::ReadU8() { return *Take(1); }
+std::uint16_t Reader::ReadU16() { return LoadLe<std::uint16_t>(Take(2)); }
+std::uint32_t Reader::ReadU32() { return LoadLe<std::uint32_t>(Take(4)); }
+std::uint64_t Reader::ReadU64() { return LoadLe<std::uint64_t>(Take(8)); }
+
+std::int64_t Reader::ReadI64() {
+  return static_cast<std::int64_t>(ReadU64());
+}
+
+double Reader::ReadDouble() {
+  const std::uint64_t bits = ReadU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::ReadBool() {
+  const std::uint8_t v = ReadU8();
+  if (v > 1) Fail("corrupt bool in section '" + cur_name_ + "'");
+  return v == 1;
+}
+
+std::string Reader::ReadString() {
+  const std::uint32_t size = ReadU32();
+  const unsigned char* p = Take(size);
+  return std::string(reinterpret_cast<const char*>(p), size);
+}
+
+std::vector<unsigned char> Reader::ReadBytes() {
+  const std::uint64_t size = ReadU64();
+  const unsigned char* p = Take(static_cast<std::size_t>(size));
+  return std::vector<unsigned char>(p, p + size);
+}
+
+std::vector<std::uint64_t> Reader::ReadVecU64() {
+  const std::uint64_t count = ReadU64();
+  if (cur_ != nullptr && count * 8 > cur_->payload.size() - pos_) {
+    Fail("corrupt vector length in section '" + cur_name_ + "'");
+  }
+  std::vector<std::uint64_t> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(ReadU64());
+  return v;
+}
+
+std::vector<double> Reader::ReadVecDouble() {
+  const std::uint64_t count = ReadU64();
+  if (cur_ != nullptr && count * 8 > cur_->payload.size() - pos_) {
+    Fail("corrupt vector length in section '" + cur_name_ + "'");
+  }
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(ReadDouble());
+  return v;
+}
+
+void Reader::ExpectVersion(const std::string& what, std::uint32_t expected) {
+  const std::uint32_t got = ReadU32();
+  if (got != expected) {
+    Fail(what + " state version mismatch (file v" + std::to_string(got) +
+         ", code expects v" + std::to_string(expected) + ")");
+  }
+}
+
+std::vector<std::string> Reader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, section] : sections_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+
+void WriteCheckpointFile(const std::string& path,
+                         const std::function<void(Writer&)>& fill) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) Fail("cannot open '" + tmp + "' for writing");
+      Writer writer(out);
+      fill(writer);
+      writer.Finish();
+      out.close();
+      if (out.fail()) Fail("close failed for '" + tmp + "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) Fail("rename '" + tmp + "' -> '" + path + "': " + ec.message());
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+Reader ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open '" + path + "' for reading");
+  return Reader(in);
+}
+
+}  // namespace atlas::ckpt

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_map>
 
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/par.h"
 
 namespace atlas::synth {
+
+namespace {
+// Layout of the generator's checkpoint blob (fingerprint + RNG stream).
+constexpr std::uint32_t kWorkloadStateVersion = 1;
+}  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const SiteProfile& profile,
                                      std::uint64_t seed)
@@ -223,6 +230,40 @@ double WorkloadGenerator::EstimateRecordsPerRequest(
     }
   }
   return weight_total > 0.0 ? records / weight_total : 1.0;
+}
+
+std::uint64_t WorkloadGenerator::Fingerprint() const {
+  std::uint64_t h = util::Fnv1a64(profile_.name);
+  h = util::HashCombine(h, static_cast<std::uint64_t>(profile_.kind));
+  h = util::HashCombine(h, profile_.total_requests);
+  h = util::HashCombine(h, static_cast<std::uint64_t>(catalog_.size()));
+  h = util::HashCombine(h, static_cast<std::uint64_t>(users_.size()));
+  h = util::HashCombine(h, static_cast<std::uint64_t>(shards_.size()));
+  return h;
+}
+
+void WorkloadGenerator::SaveState(ckpt::Writer& w) const {
+  w.WriteVersion(kWorkloadStateVersion);
+  w.WriteU64(Fingerprint());
+  const util::Rng::Snapshot rng = rng_.TakeSnapshot();
+  for (std::uint64_t word : rng.state) w.WriteU64(word);
+  w.WriteDouble(rng.cached_gaussian);
+  w.WriteBool(rng.has_cached_gaussian);
+}
+
+void WorkloadGenerator::RestoreState(ckpt::Reader& r) {
+  r.ExpectVersion("workload generator", kWorkloadStateVersion);
+  const std::uint64_t fp = r.ReadU64();
+  if (fp != Fingerprint()) {
+    throw std::runtime_error(
+        "ckpt: workload fingerprint mismatch for profile '" + profile_.name +
+        "' (checkpoint was taken against a different profile or seed plan)");
+  }
+  util::Rng::Snapshot rng;
+  for (std::uint64_t& word : rng.state) word = r.ReadU64();
+  rng.cached_gaussian = r.ReadDouble();
+  rng.has_cached_gaussian = r.ReadBool();
+  rng_.RestoreSnapshot(rng);
 }
 
 }  // namespace atlas::synth

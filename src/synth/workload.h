@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "synth/catalog.h"
 #include "synth/site_profile.h"
 #include "synth/user_model.h"
@@ -70,6 +71,19 @@ class WorkloadGenerator {
   // video views into `chunk_bytes`-sized transactions. Used to calibrate the
   // logical budget so the final trace hits the profile's record target.
   double EstimateRecordsPerRequest(std::uint64_t chunk_bytes) const;
+
+  // Digest of the generator's immutable identity (profile shape, catalog /
+  // population sizes, shard plan). Stored in checkpoints so a resume
+  // against a different profile fails clearly instead of replaying a
+  // mismatched workload.
+  std::uint64_t Fingerprint() const;
+
+  // Checkpoints the RNG stream position (the only mutable state: events
+  // are regenerated, not serialized — Generate() is a pure function of the
+  // seed and the stream base drawn per call). RestoreState verifies the
+  // fingerprint and rewinds/advances the stream to the saved position.
+  void SaveState(ckpt::Writer& w) const;
+  void RestoreState(ckpt::Reader& r);
 
  private:
   // One contiguous slice [user_lo, user_hi) of the population, with its own

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
 #include "trace/wire_format.h"
 #include "util/hash.h"
 
@@ -27,6 +29,17 @@ T ReadLe(std::istream& in) {
   in.read(reinterpret_cast<char*>(bytes), sizeof(T));
   if (!in) throw std::runtime_error("trace_io: truncated input");
   return wire::LoadLe<T>(bytes);
+}
+
+// Non-throwing variant for the recovery scanner, which must report
+// truncation as a finding rather than an exception.
+template <typename T>
+bool TryReadLe(std::istream& in, T* value) {
+  unsigned char bytes[sizeof(T)];
+  in.read(reinterpret_cast<char*>(bytes), sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  *value = wire::LoadLe<T>(bytes);
+  return true;
 }
 
 }  // namespace
@@ -100,6 +113,167 @@ void TraceWriter::Finish() {
   out_.flush();
   if (!out_) throw std::runtime_error("trace_io: write failed");
   finished_ = true;
+}
+
+ScanResult ScanV2Blocks(std::istream& in, std::uint64_t stop_after_records) {
+  ScanResult result;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    result.error = "bad magic";
+    return result;
+  }
+  std::uint32_t version = 0;
+  std::uint64_t header_count = 0;
+  if (!TryReadLe(in, &version) || !TryReadLe(in, &header_count)) {
+    result.error = "truncated header";
+    return result;
+  }
+  if (version != kBlockFormatVersion) {
+    result.error = "unsupported version " + std::to_string(version) +
+                   " (the scanner walks v2 block streams)";
+    return result;
+  }
+  if (header_count != kUnknownCount) result.header_count = header_count;
+  result.data_end_offset = sizeof(magic) + sizeof(version) + sizeof(header_count);
+  std::vector<unsigned char> payload;
+  while (result.valid_records < stop_after_records) {
+    std::uint32_t nrec = 0;
+    if (!TryReadLe(in, &nrec)) {
+      result.error = "missing terminator (stream ends at a block boundary)";
+      return result;
+    }
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    if (!TryReadLe(in, &payload_bytes) || !TryReadLe(in, &crc)) {
+      result.error = "truncated block header";
+      return result;
+    }
+    if (nrec == 0) {
+      if (payload_bytes != 0 || crc != 0) {
+        result.error = "malformed terminator block";
+        return result;
+      }
+      std::uint64_t trailer = 0;
+      if (!TryReadLe(in, &trailer)) {
+        result.error = "truncated trailer";
+        return result;
+      }
+      if (trailer != result.valid_records) {
+        result.error = "trailer count mismatch (trailer says " +
+                       std::to_string(trailer) + ", blocks hold " +
+                       std::to_string(result.valid_records) + ")";
+        return result;
+      }
+      if (result.header_count && *result.header_count != result.valid_records) {
+        result.error = "header count mismatch";
+        return result;
+      }
+      result.terminated = true;
+      return result;
+    }
+    if (nrec > kMaxBlockRecords ||
+        payload_bytes != nrec * wire::kRecordWireSize) {
+      result.error = "bad block header";
+      return result;
+    }
+    payload.resize(payload_bytes);
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    if (static_cast<std::size_t>(in.gcount()) != payload.size()) {
+      result.error = "truncated block payload";
+      return result;
+    }
+    if (util::Crc32(payload.data(), payload.size()) != crc) {
+      result.error = "block CRC mismatch";
+      return result;
+    }
+    result.data_end_offset += 3 * sizeof(std::uint32_t) + payload_bytes;
+    ++result.valid_blocks;
+    result.valid_records += nrec;
+  }
+  return result;  // stop_after_records reached; tail intentionally unscanned
+}
+
+ScanResult ScanV2File(const std::string& path,
+                      std::uint64_t stop_after_records) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return ScanV2Blocks(in, stop_after_records);
+}
+
+void TraceWriter::SaveState(ckpt::Writer& w) {
+  if (finished_) throw std::logic_error("TraceWriter: SaveState after Finish");
+  if (!seekable_) {
+    throw std::runtime_error("trace_io: checkpointing requires a seekable sink");
+  }
+  out_.flush();
+  const auto pos = out_.tellp();
+  if (!out_ || pos == std::ostream::pos_type(-1)) {
+    throw std::runtime_error("trace_io: flush failed before checkpoint");
+  }
+  w.BeginSection(kTraceWriterSection, kTraceWriterStateVersion);
+  w.WriteU64(static_cast<std::uint64_t>(block_records_));
+  w.WriteU64(total_);
+  w.WriteU32(block_nrec_);
+  w.WriteBytes(payload_.data(), payload_.size());
+  w.WriteU64(static_cast<std::uint64_t>(static_cast<std::streamoff>(pos)));
+  w.EndSection();
+}
+
+TraceWriter::ResumeState TraceWriter::ResumeState::Load(ckpt::Reader& r) {
+  ResumeState s;
+  r.BeginSection(kTraceWriterSection, kTraceWriterStateVersion);
+  s.block_records = static_cast<std::size_t>(r.ReadU64());
+  s.total = r.ReadU64();
+  s.block_nrec = r.ReadU32();
+  s.payload = r.ReadBytes();
+  s.file_bytes = r.ReadU64();
+  r.EndSection();
+  constexpr std::uint64_t kHeaderBytes = 16;
+  if (s.block_records == 0 || s.block_records > kMaxBlockRecords ||
+      s.block_nrec >= s.block_records || s.total < s.block_nrec ||
+      s.payload.size() != std::size_t{s.block_nrec} * wire::kRecordWireSize ||
+      s.file_bytes < kHeaderBytes) {
+    throw std::runtime_error("trace_io: corrupt writer snapshot");
+  }
+  return s;
+}
+
+TraceWriter::TraceWriter(std::ostream& out, const ResumeState& resume)
+    : out_(out), block_records_(resume.block_records) {
+  payload_ = resume.payload;
+  payload_.reserve(block_records_ * wire::kRecordWireSize);
+  block_nrec_ = resume.block_nrec;
+  total_ = resume.total;
+  // Resumed sinks are real files: the header count lives right after the
+  // 4-byte magic and 4-byte version, and Finish() can patch it.
+  count_pos_ = std::ostream::pos_type(std::streamoff{8});
+  seekable_ = true;
+  if (!out_) throw std::runtime_error("trace_io: write failed");
+}
+
+ResumedTraceFile::ResumedTraceFile(const std::string& path, ckpt::Reader& r) {
+  const auto resume = TraceWriter::ResumeState::Load(r);
+  const ScanResult scan = ScanV2File(path, resume.flushed_records());
+  if (scan.valid_records != resume.flushed_records() ||
+      scan.data_end_offset != resume.file_bytes) {
+    std::string detail = scan.error.empty() ? "layout mismatch" : scan.error;
+    throw std::runtime_error(
+        "trace_io: recovery failed for " + path + ": checkpoint expects " +
+        std::to_string(resume.flushed_records()) + " flushed records in " +
+        std::to_string(resume.file_bytes) + " bytes, file has " +
+        std::to_string(scan.valid_records) + " intact records in " +
+        std::to_string(scan.data_end_offset) + " bytes (" + detail + ")");
+  }
+  // Drop the torn tail (or blocks written after this snapshot), then
+  // reopen for in-place append.
+  std::filesystem::resize_file(path, resume.file_bytes);
+  io_.open(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!io_) throw std::runtime_error("trace_io: cannot reopen " + path);
+  io_.seekp(static_cast<std::streamoff>(resume.file_bytes), std::ios::beg);
+  writer_ = std::make_unique<TraceWriter>(io_, resume);
 }
 
 TraceReader::TraceReader(std::istream& in, std::size_t chunk_records)
@@ -218,6 +392,8 @@ void WriteV2File(const TraceBuffer& trace, const std::string& path,
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("trace_io: cannot open " + path);
   WriteV2(trace, out, block_records);
+  out.close();
+  if (out.fail()) throw std::runtime_error("trace_io: close failed: " + path);
 }
 
 TraceBuffer ReadAllRecords(RecordSource& source) {

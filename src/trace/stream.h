@@ -24,12 +24,18 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "trace/trace_buffer.h"
+
+namespace atlas::ckpt {
+class Reader;
+class Writer;
+}  // namespace atlas::ckpt
 
 namespace atlas::trace {
 
@@ -42,6 +48,34 @@ inline constexpr std::size_t kDefaultBlockRecords = 8192;
 inline constexpr std::size_t kMaxBlockRecords = 1u << 20;
 // Header count sentinel for v2 streams written to non-seekable sinks.
 inline constexpr std::uint64_t kUnknownCount = ~0ULL;
+
+// Checkpoint section written by TraceWriter::SaveState().
+inline constexpr char kTraceWriterSection[] = "trace.writer";
+inline constexpr std::uint32_t kTraceWriterStateVersion = 1;
+
+// Outcome of walking a v2 stream block by block (ScanV2Blocks): how much
+// of the file is intact, where the intact prefix ends, and what (if
+// anything) is wrong after it. Shared by `atlas-trace verify` and by
+// crash recovery, which truncates a torn file back to `data_end_offset`.
+struct ScanResult {
+  std::uint64_t valid_records = 0;  // records inside intact blocks
+  std::uint64_t valid_blocks = 0;
+  std::uint64_t data_end_offset = 0;  // byte offset past the last intact block
+  std::optional<std::uint64_t> header_count;  // nullopt if sentinel
+  bool terminated = false;  // saw a valid terminator + matching trailer
+  std::string error;        // empty when the whole stream is intact
+};
+
+// Validates a v2 stream's header and every block CRC without decoding
+// records. Never throws on corruption: the scan stops at the first defect
+// and reports it in `error`, leaving the intact-prefix fields set. Stops
+// early (cleanly, error empty, terminated false) once `stop_after_records`
+// records have been validated — crash recovery uses this to ignore blocks
+// written after the snapshot being restored.
+ScanResult ScanV2Blocks(std::istream& in,
+                        std::uint64_t stop_after_records = kUnknownCount);
+ScanResult ScanV2File(const std::string& path,
+                      std::uint64_t stop_after_records = kUnknownCount);
 
 // Pull-based record stream. Spans stay valid until the next NextChunk()
 // call (or the source's destruction).
@@ -84,6 +118,32 @@ class TraceWriter {
   void Finish();
 
   std::uint64_t written() const { return total_; }
+
+  // State carried in a "trace.writer" checkpoint section: the counters plus
+  // the encoded partial tail block. The tail rides in the snapshot rather
+  // than being force-flushed, so block layout — and therefore the output
+  // bytes — never depends on checkpoint cadence.
+  struct ResumeState {
+    std::size_t block_records = kDefaultBlockRecords;
+    std::uint64_t total = 0;             // records accepted by Add()
+    std::uint32_t block_nrec = 0;        // records in the partial tail block
+    std::vector<unsigned char> payload;  // encoded tail-block bytes
+    std::uint64_t file_bytes = 0;        // intact data bytes on disk at save
+
+    // Reads and validates the section; throws on any inconsistency.
+    static ResumeState Load(ckpt::Reader& r);
+    std::uint64_t flushed_records() const { return total - block_nrec; }
+  };
+
+  // Checkpoint hook: flushes completed blocks to the sink (which must be
+  // seekable), then writes the "trace.writer" section. Throws if the sink
+  // failed — a checkpoint must not commit with unflushed trace data.
+  void SaveState(ckpt::Writer& w);
+
+  // Re-attaches to `out`, an existing v2 file already recovered (truncated
+  // to resume.file_bytes) and positioned at its end. Most callers want
+  // ResumedTraceFile, which performs the recovery too.
+  TraceWriter(std::ostream& out, const ResumeState& resume);
 
  private:
   void FlushBlock();
@@ -149,6 +209,22 @@ class TraceFileReader final : public RecordSource {
 
   std::ifstream in_;
   TraceReader reader_;
+};
+
+// Crash recovery for a torn simulate output. Reads the "trace.writer"
+// section from `r`, validates `path`'s blocks up to the snapshot's
+// flushed-record count, truncates anything beyond it (a torn tail block,
+// or whole blocks written after the snapshot), and re-opens a TraceWriter
+// positioned to continue the stream byte-for-byte. Throws if the file
+// holds fewer intact records than the snapshot requires.
+class ResumedTraceFile {
+ public:
+  ResumedTraceFile(const std::string& path, ckpt::Reader& r);
+  TraceWriter& writer() { return *writer_; }
+
+ private:
+  std::fstream io_;
+  std::unique_ptr<TraceWriter> writer_;
 };
 
 // Whole-buffer conveniences over the streaming primitives.

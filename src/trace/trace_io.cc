@@ -71,6 +71,9 @@ void WriteBinary(const TraceBuffer& trace, std::ostream& out) {
   WriteLe(out, kTraceFormatVersion);
   WriteLe(out, static_cast<std::uint64_t>(trace.size()));
   for (const auto& r : trace.records()) WriteRecord(out, r);
+  // Flush before checking: a disk-full failure often only surfaces when the
+  // buffered tail hits the OS, and an ofstream destructor swallows it.
+  out.flush();
   if (!out) throw std::runtime_error("trace_io: write failed");
 }
 
@@ -78,6 +81,8 @@ void WriteBinaryFile(const TraceBuffer& trace, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("trace_io: cannot open " + path);
   WriteBinary(trace, out);
+  out.close();
+  if (out.fail()) throw std::runtime_error("trace_io: close failed: " + path);
 }
 
 TraceBuffer ReadBinary(std::istream& in) {
@@ -126,6 +131,10 @@ void WriteCsv(const TraceBuffer& trace, std::ostream& out) {
         .Field(static_cast<std::int64_t>(r.tz_offset_quarter_hours));
     writer.EndRow();
   }
+  // CSV export used to return silently on a failed stream; surface it like
+  // the binary writers do.
+  out.flush();
+  if (!out) throw std::runtime_error("trace_io: write failed (csv)");
 }
 
 TraceBuffer ReadCsv(std::istream& in) {

@@ -26,7 +26,8 @@ TraceBuffer ReadBinary(std::istream& in);
 TraceBuffer ReadBinaryFile(const std::string& path);
 
 // CSV with a header row; enums are written as their textual names so the
-// files are directly consumable by pandas and friends.
+// files are directly consumable by pandas and friends. WriteCsv throws
+// std::runtime_error if the stream fails (e.g. disk full at flush).
 void WriteCsv(const TraceBuffer& trace, std::ostream& out);
 TraceBuffer ReadCsv(std::istream& in);
 

@@ -100,6 +100,24 @@ class Rng {
     }
   }
 
+  // Full generator state as plain data, for checkpoint/restore. A restored
+  // generator continues the exact stream (including the cached Box-Muller
+  // variate) from where the snapshot was taken. util sits below ckpt in the
+  // layering, so this is a POD handoff rather than a Checkpointable.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+  Snapshot TakeSnapshot() const {
+    return {state_, cached_gaussian_, has_cached_gaussian_};
+  }
+  void RestoreSnapshot(const Snapshot& s) {
+    state_ = s.state;
+    cached_gaussian_ = s.cached_gaussian;
+    has_cached_gaussian_ = s.has_cached_gaussian;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_;
   double cached_gaussian_ = 0.0;

@@ -1,0 +1,17 @@
+// Fixture: ckpt-unversioned-blob fires on the raw ostream write (line 9)
+// and the fwrite (line 10) inside a SaveState body. The SaveCacheState
+// declaration (line 13) has no body, and the raw write in a non-SaveState
+// function (line 16) is out of scope; neither must fire.
+#include <cstdio>
+#include <ostream>
+
+void SaveState(std::ostream& out, const char* data, std::FILE* f) {
+  out.write(data, 4);
+  std::fwrite(data, 1, 4, f);
+}
+
+void SaveCacheState(std::ostream& out);
+
+void Flush(std::ostream& out, const char* data) {
+  out.write(data, 4);
+}

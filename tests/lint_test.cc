@@ -135,6 +135,18 @@ TEST(LintCorpusTest, TraceBufferScopedToCdn) {
   ExpectFindings("tracebuffer_in_cdn.cc", "src/analysis/fixture.cc", {});
 }
 
+TEST(LintCorpusTest, CkptUnversionedBlob) {
+  // Only raw writes inside SaveState bodies fire; declarations and writes
+  // in unrelated functions pass.
+  ExpectFindings("ckpt_unversioned_blob.cc", "src/cdn/fixture.cc",
+                 {{9, "ckpt-unversioned-blob"}, {10, "ckpt-unversioned-blob"}});
+}
+
+TEST(LintCorpusTest, CkptUnversionedBlobScopedOutsideCkpt) {
+  // The codec itself (src/ckpt/) is the one place raw byte I/O is allowed.
+  ExpectFindings("ckpt_unversioned_blob.cc", "src/ckpt/fixture.cc", {});
+}
+
 TEST(LintFileTest, SiblingHeaderDeclarationsResolve) {
   // A member declared only in the header must still be recognized as an
   // unordered container when the .cc ranges over it.
@@ -170,7 +182,7 @@ TEST(LintRegistryTest, RuleNamesAreCompleteAndCovered) {
       "nondet-random-device", "nondet-rand",        "nondet-time",
       "nondet-system-clock",  "raw-new-delete",     "narrow-byte-counter",
       "raw-std-mutex",        "mutex-unannotated",  "missing-pragma-once",
-      "unordered-iter",       "tracebuffer-in-cdn",
+      "unordered-iter",       "tracebuffer-in-cdn", "ckpt-unversioned-blob",
   };
   const auto names = RuleNames();
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);

@@ -1,8 +1,11 @@
 #include "cdn/revalidation.h"
 
 #include "cdn/policies.h"
+#include "ckpt/checkpoint.h"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 namespace atlas::cdn {
 namespace {
@@ -93,6 +96,57 @@ TEST(OracleTtlCacheTest, OracleDrivenReplayBeatsUniformShortTtl) {
   const double oracle_ratio = replay(oracle_cache);
   const double uniform_ratio = replay(uniform_short);
   EXPECT_GT(oracle_ratio, uniform_ratio + 0.2);
+}
+
+TEST(OracleTtlCacheTest, CheckpointRoundTripPreservesExpiryAndRecency) {
+  const auto ttl_fn = [](std::uint64_t key) {
+    return key == 1 ? 100LL : 1000LL;
+  };
+  OracleTtlCache cache(200, ttl_fn);
+  cache.Access(1, 50, 0);
+  cache.Access(2, 50, 0);
+  cache.Access(3, 50, 0);
+  cache.Access(2, 50, 1);  // promote 2; LRU order is now 2, 3, 1
+  cache.Access(1, 50, 150);  // expired -> counted + reinserted
+
+  std::ostringstream buf;
+  {
+    ckpt::Writer w(buf);
+    w.BeginSection("cache", 1);
+    cache.SaveState(w);
+    w.EndSection();
+    w.Finish();
+  }
+  OracleTtlCache restored(200, ttl_fn);
+  {
+    std::istringstream in(buf.str());
+    ckpt::Reader r(in);
+    r.BeginSection("cache", 1);
+    restored.RestoreState(r);
+    r.EndSection();
+  }
+  EXPECT_EQ(restored.expired_lookups(), cache.expired_lookups());
+  EXPECT_EQ(restored.used_bytes(), cache.used_bytes());
+  EXPECT_EQ(restored.stats().hits, cache.stats().hits);
+  EXPECT_EQ(restored.stats().misses, cache.stats().misses);
+  // Entry 1 was reinserted at t=150 with a 100ms lifetime: fresh at 200,
+  // stale at 300 — the latched expiry must survive the round trip.
+  EXPECT_EQ(restored.Access(1, 50, 200), trace::CacheStatus::kHit);
+  OracleTtlCache restored2(200, ttl_fn);
+  {
+    std::istringstream in(buf.str());
+    ckpt::Reader r(in);
+    r.BeginSection("cache", 1);
+    restored2.RestoreState(r);
+    r.EndSection();
+  }
+  EXPECT_EQ(restored2.Access(1, 50, 300), trace::CacheStatus::kMiss);
+  // Under pressure both evict the same victim: the LRU tail (entry 3, since
+  // 1 and 2 were both touched later).
+  cache.Access(9, 150, 200);
+  restored.Access(9, 150, 200);
+  EXPECT_EQ(cache.Contains(3), restored.Contains(3));
+  EXPECT_FALSE(restored.Contains(3));
 }
 
 }  // namespace

@@ -370,5 +370,42 @@ TEST(StreamMemoryTest, SuiteStreamsLargeTraceUnderBlockBudget) {
       << (peak - baseline) / (1 << 20) << " MB)";
 }
 
+// A sink that accepts `capacity` bytes, then fails every write — the
+// full-disk failure mode. The v2 writer must surface this from Finish()
+// (or an earlier block flush), never report success over a torn stream.
+class FullDiskBuf : public std::streambuf {
+ public:
+  explicit FullDiskBuf(std::size_t capacity) : capacity_(capacity) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    if (written_ + static_cast<std::size_t>(n) > capacity_) {
+      const auto fit = capacity_ - written_;
+      written_ = capacity_;
+      return static_cast<std::streamsize>(fit);
+    }
+    written_ += static_cast<std::size_t>(n);
+    return n;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+TEST(TraceWriterTest, ShortWriteSurfacesFromFinish) {
+  const TraceBuffer trace = MakeSampleTrace(4096);
+  FullDiskBuf buf(1024);  // header fits; the first block flush does not
+  std::ostream out(&buf);
+  TraceWriter writer(out);
+  writer.Append(trace.records());
+  EXPECT_THROW(writer.Finish(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace atlas::trace

@@ -291,5 +291,56 @@ TEST(CsvIoTest, NarrowFieldBoundaryValuesAccepted) {
   EXPECT_EQ(ReadCsv(min_tz)[0].tz_offset_quarter_hours, -128);
 }
 
+// Accepts `capacity` bytes, then fails every write — a disk that fills up
+// mid-stream. An ofstream over a full disk behaves exactly like this: the
+// writer sees no error until a flush, and a destructor-driven flush swallows
+// it entirely. The writers must flush and check before reporting success.
+class FullDiskBuf : public std::streambuf {
+ public:
+  explicit FullDiskBuf(std::size_t capacity) : capacity_(capacity) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    if (written_ + static_cast<std::size_t>(n) > capacity_) {
+      // Short write: only part of the buffer fits.
+      const auto fit = capacity_ - written_;
+      written_ = capacity_;
+      return static_cast<std::streamsize>(fit);
+    }
+    written_ += static_cast<std::size_t>(n);
+    return n;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t written_ = 0;
+};
+
+TEST(FailingStreamTest, WriteBinarySurfacesShortWrite) {
+  const TraceBuffer trace = MakeSampleTrace(100);
+  FullDiskBuf buf(64);  // header fits, records don't
+  std::ostream out(&buf);
+  EXPECT_THROW(WriteBinary(trace, out), std::runtime_error);
+}
+
+TEST(FailingStreamTest, WriteCsvSurfacesShortWrite) {
+  const TraceBuffer trace = MakeSampleTrace(100);
+  FullDiskBuf buf(256);
+  std::ostream out(&buf);
+  EXPECT_THROW(WriteCsv(trace, out), std::runtime_error);
+}
+
+TEST(FailingStreamTest, WriteBinaryToHealthySinkStillSucceeds) {
+  // The failure check must not reject a sink that merely buffers lazily.
+  const TraceBuffer trace = MakeSampleTrace(10);
+  std::ostringstream out;
+  EXPECT_NO_THROW(WriteBinary(trace, out));
+}
+
 }  // namespace
 }  // namespace atlas::trace

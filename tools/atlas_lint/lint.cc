@@ -246,6 +246,7 @@ class FileLinter {
   void CheckPragmaOnce();
   void CheckUnorderedIteration();
   void CheckTraceBufferInCdn();
+  void CheckCkptUnversionedBlob();
 
   std::string path_;
   ScrubbedFile scrubbed_;
@@ -523,6 +524,55 @@ void FileLinter::CheckUnorderedIteration() {
   }
 }
 
+void FileLinter::CheckCkptUnversionedBlob() {
+  if (!InLibrary(path_)) return;
+  // The codec itself is the one place allowed to touch raw bytes.
+  if (StartsWith(path_, "src/ckpt/")) return;
+  // A SaveState-family *definition*: match the name, balance the parameter
+  // list, then skip trailing specifiers (const/final/override/noexcept) to
+  // the body '{'. Declarations and call sites end in ';', ',' or ')' and
+  // are skipped. Raw stream writes inside the body bypass the Writer's
+  // CRC-stamped, versioned section framing — a checkpoint written that way
+  // restores wrong-but-plausible after any layout change.
+  static const std::regex kSaveFn(R"(\bSave\w*State\s*\()");
+  static const std::regex kRawWrite(
+      R"((\.|->)\s*write\s*\(|\bfwrite\s*\()");
+  for (auto it = std::sregex_iterator(flat_.begin(), flat_.end(), kSaveFn);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position(0)) +
+                      static_cast<std::size_t>(it->length(0));
+    int depth = 1;
+    while (pos < flat_.size() && depth > 0) {
+      if (flat_[pos] == '(') ++depth;
+      if (flat_[pos] == ')') --depth;
+      ++pos;
+    }
+    while (pos < flat_.size() && flat_[pos] != '{' && flat_[pos] != ';' &&
+           flat_[pos] != '=' && flat_[pos] != ',' && flat_[pos] != ')') {
+      ++pos;
+    }
+    if (pos >= flat_.size() || flat_[pos] != '{') continue;
+    const std::size_t body_begin = pos + 1;
+    int braces = 1;
+    std::size_t body_end = body_begin;
+    while (body_end < flat_.size() && braces > 0) {
+      if (flat_[body_end] == '{') ++braces;
+      if (flat_[body_end] == '}') --braces;
+      ++body_end;
+    }
+    const std::string body = flat_.substr(body_begin, body_end - body_begin);
+    for (auto w = std::sregex_iterator(body.begin(), body.end(), kRawWrite);
+         w != std::sregex_iterator(); ++w) {
+      const std::size_t at =
+          body_begin + static_cast<std::size_t>(w->position(0));
+      Report(line_of_[at], "ckpt-unversioned-blob",
+             "raw stream write inside a SaveState implementation; checkpoint "
+             "blobs must go through ckpt::Writer's typed, versioned section "
+             "API (see ckpt/checkpoint.h)");
+    }
+  }
+}
+
 std::vector<Finding> FileLinter::Run() {
   CheckNondeterminism();
   CheckRawNewDelete();
@@ -532,6 +582,7 @@ std::vector<Finding> FileLinter::Run() {
   CheckPragmaOnce();
   CheckUnorderedIteration();
   CheckTraceBufferInCdn();
+  CheckCkptUnversionedBlob();
   std::sort(findings_.begin(), findings_.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule) <
@@ -590,7 +641,7 @@ std::vector<std::string> RuleNames() {
   return {"nondet-random-device", "nondet-rand", "nondet-time",
           "nondet-system-clock", "raw-new-delete", "narrow-byte-counter",
           "raw-std-mutex", "mutex-unannotated", "missing-pragma-once",
-          "unordered-iter", "tracebuffer-in-cdn"};
+          "unordered-iter", "tracebuffer-in-cdn", "ckpt-unversioned-blob"};
 }
 
 std::string FormatFinding(const Finding& f) {

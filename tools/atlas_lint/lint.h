@@ -39,6 +39,13 @@
 //                                         through trace::RecordSink, never
 //                                         through a materialized buffer
 //                                         (references/pointers are fine).
+//   ckpt-unversioned-blob src/ except     SaveState implementations must
+//                         src/ckpt/       serialize through ckpt::Writer's
+//                                         typed, versioned section API; raw
+//                                         .write()/fwrite() bypasses the
+//                                         CRC + version framing and restores
+//                                         wrong-but-plausible after layout
+//                                         changes.
 //
 // Suppression: append `// atlas-lint: allow(<rule>[, <rule>...])  <reason>`
 // on the offending line or in the comment block directly above it.

@@ -12,25 +12,45 @@
 //                       [--format v1]              generate a fresh study trace
 //   atlas_trace simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N]
 //                       [--peer-fill] [--epoch-min 60]
-//                                                  run the paper study fully
+//                       [--checkpoint-every N] [--checkpoint-file F]
+//                       [--resume F]            run the paper study fully
 //                                                  out-of-core: the sharded
 //                                                  engine streams the merged
 //                                                  trace straight to a v2
 //                                                  file, so peak memory is
 //                                                  independent of trace length
+//   atlas_trace verify  <trace.v2>                 walk every block CRC and
+//                                                  report how much of the
+//                                                  file is intact
+//   atlas_trace analyze <trace.bin> [--report F] [--threads N] [--no-trends]
+//                       [--checkpoint-every N] [--checkpoint-file F]
+//                       [--resume F]               stream the full analysis
+//                                                  suite over a trace file
 //
 // Every reading command accepts both the v1 flat format and the v2 block
-// format (trace/stream.h). `info --stream`, v1->v2 `convert`, and
-// `simulate` run in bounded memory — one block at a time — so they work on
-// traces larger than RAM. CSV files are directly loadable in pandas/DuckDB.
+// format (trace/stream.h). `info --stream`, v1->v2 `convert`, `simulate`,
+// and `analyze` run in bounded memory — one block at a time — so they work
+// on traces larger than RAM. CSV files are directly loadable in pandas/DuckDB.
+//
+// Crash recovery: `simulate --checkpoint-every N` snapshots the engine,
+// generators, and the trace writer's partial tail block every N epoch
+// barriers (atomic tmp+rename, see ckpt/checkpoint.h). After a crash,
+// `simulate --resume <snapshot>` truncates the torn output back to the
+// snapshot's flushed prefix and continues — the finished trace is
+// byte-identical to an uninterrupted run. `analyze --checkpoint-every N`
+// does the same for the analysis pass (cursor = records consumed).
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <span>
 #include <unordered_set>
 
+#include "analysis/suite.h"
 #include "cdn/scenario.h"
+#include "ckpt/checkpoint.h"
 #include "trace/content_class.h"
 #include "trace/stream.h"
 #include "trace/trace_io.h"
@@ -46,8 +66,8 @@ using namespace atlas;
 
 int Usage(const char* prog) {
   std::cerr << "usage: " << prog
-            << " <info|head|tocsv|tobin|filter|convert|gen|simulate> "
-               "<args...>\n"
+            << " <info|head|tocsv|tobin|filter|convert|gen|simulate|verify|"
+               "analyze> <args...>\n"
                "  info    <trace.bin> [--stream]\n"
                "  head    <trace.bin> [--n 20]\n"
                "  tocsv   <trace.bin> <out.csv>\n"
@@ -58,7 +78,12 @@ int Usage(const char* prog) {
                "  gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N] "
                "[--format v1]\n"
                "  simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N] "
-               "[--peer-fill] [--epoch-min 60]\n";
+               "[--peer-fill] [--epoch-min 60] [--checkpoint-every N] "
+               "[--checkpoint-file F] [--resume F]\n"
+               "  verify  <trace.v2>\n"
+               "  analyze <trace.bin> [--report F] [--threads N] "
+               "[--no-trends] [--checkpoint-every N] [--checkpoint-file F] "
+               "[--resume F]\n";
   return 2;
 }
 
@@ -350,6 +375,15 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
   flags.DefineInt("epoch-min", 60,
                   "engine epoch length in minutes; trace-invariant, only "
                   "the peer-fill/origin split depends on it");
+  flags.DefineInt("checkpoint-every", 0,
+                  "snapshot the whole run every N epoch barriers (0 = off); "
+                  "snapshots are trace-invariant and atomically committed");
+  flags.DefineString("checkpoint-file", "",
+                     "snapshot destination (default: <out>.ckpt)");
+  flags.DefineString("resume", "",
+                     "resume a killed run from this snapshot: the torn "
+                     "output is truncated back to the snapshot's flushed "
+                     "prefix and the run continues byte-identically");
   flags.Parse(argc, argv);
   util::SetLogLevel(util::LogLevel::kWarn);
   const std::int64_t epoch_min = flags.GetInt("epoch-min");
@@ -357,24 +391,56 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
     std::cerr << "--epoch-min must be > 0\n";
     return 2;
   }
+  const std::int64_t every = flags.GetInt("checkpoint-every");
+  if (every < 0) {
+    std::cerr << "--checkpoint-every must be >= 0\n";
+    return 2;
+  }
   cdn::SimulatorConfig config;
   config.peer_fill = flags.GetBool("peer-fill");
   config.epoch_ms = epoch_min * 60'000;
 
-  std::ofstream stream(out, std::ios::binary);
-  if (!stream) {
-    std::cerr << "cannot open " << out << '\n';
-    return 1;
+  std::string ckpt_path = flags.GetString("checkpoint-file");
+  if (ckpt_path.empty()) ckpt_path = out + ".ckpt";
+  const std::string resume_path = flags.GetString("resume");
+
+  // Fresh runs write `out` from scratch; resumed runs recover the torn v2
+  // file (ResumedTraceFile truncates past the snapshot's flushed prefix)
+  // and re-attach the writer with its saved partial tail block.
+  std::ofstream stream;
+  std::optional<trace::TraceWriter> fresh_writer;
+  std::optional<ckpt::Reader> snapshot;
+  std::optional<trace::ResumedTraceFile> resumed;
+  cdn::CheckpointOptions ckpt_options;
+  ckpt_options.every_epochs = static_cast<std::uint64_t>(every);
+  ckpt_options.path = ckpt_path;
+  trace::TraceWriter* writer = nullptr;
+  if (!resume_path.empty()) {
+    snapshot.emplace(ckpt::ReadCheckpointFile(resume_path));
+    resumed.emplace(out, *snapshot);
+    writer = &resumed->writer();
+    ckpt_options.resume = &*snapshot;
+    std::cout << "resuming " << out << " at " << writer->written()
+              << " records\n";
+  } else {
+    stream.open(out, std::ios::binary);
+    if (!stream) {
+      std::cerr << "cannot open " << out << '\n';
+      return 1;
+    }
+    fresh_writer.emplace(stream);
+    writer = &*fresh_writer;
   }
-  trace::TraceWriter writer(stream);
-  trace::WriterSink sink(writer);
+  ckpt_options.save_extra = [&](ckpt::Writer& w) { writer->SaveState(w); };
+
+  trace::WriterSink sink(*writer);
   const auto result = cdn::StreamScenario(
       synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale")), config,
       static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
-      static_cast<int>(flags.GetInt("threads")));
-  writer.Finish();
+      static_cast<int>(flags.GetInt("threads")), ckpt_options);
+  writer->Finish();
 
-  std::cout << "simulated " << writer.written() << " records -> " << out
+  std::cout << "simulated " << writer->written() << " records -> " << out
             << " (v2)\n\n";
   std::cout << util::PadRight("site", 8) << util::PadLeft("records", 10)
             << util::PadLeft("edge-hit", 10) << util::PadLeft("origin", 11)
@@ -405,6 +471,138 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
   return 0;
 }
 
+int CmdVerify(const std::string& path) {
+  // Never throws on corruption: the scan stops at the first defect and
+  // reports the intact prefix — the same walk crash recovery truncates to.
+  const auto scan = trace::ScanV2File(path);
+  std::cout << path << ": " << scan.valid_records << " valid records in "
+            << scan.valid_blocks << " intact blocks, data ends at byte "
+            << scan.data_end_offset << '\n';
+  if (scan.header_count) {
+    std::cout << "header count: " << *scan.header_count << '\n';
+  } else {
+    std::cout << "header count: unknown (non-seekable writer)\n";
+  }
+  if (!scan.error.empty()) {
+    std::cout << "CORRUPT: " << scan.error << '\n'
+              << "last valid record ends at byte offset "
+              << scan.data_end_offset << '\n';
+    return 1;
+  }
+  if (!scan.terminated) {
+    std::cout << "TRUNCATED: no terminator/trailer (writer crashed before "
+                 "Finish, or the stream is still being written)\n";
+    return 1;
+  }
+  std::cout << "OK: stream is intact and properly terminated\n";
+  return 0;
+}
+
+// Section wrapping the StreamingAnalysis blob in an analyze checkpoint.
+constexpr char kAnalysisSection[] = "analysis.suite";
+constexpr std::uint32_t kAnalysisSectionVersion = 1;
+
+int CmdAnalyze(const std::string& in, int argc, char** argv) {
+  util::Flags flags;
+  flags.DefineString("report", "", "write the report here instead of stdout");
+  flags.DefineInt("threads", 0,
+                  "worker threads for per-site finalization (0 = hardware "
+                  "concurrency); the report is identical at any value");
+  flags.DefineBool("no-trends", false,
+                   "skip trend clustering (Figs. 8-10); it is O(n^2) in "
+                   "qualifying objects");
+  flags.DefineInt("checkpoint-every", 0,
+                  "checkpoint the accumulator state every N record chunks "
+                  "(0 = off); atomically committed");
+  flags.DefineString("checkpoint-file", "",
+                     "checkpoint destination (default: <trace>.analysis.ckpt)");
+  flags.DefineString("resume", "",
+                     "resume from this checkpoint: the trace is re-opened "
+                     "and exactly records-consumed records are skipped");
+  flags.Parse(argc, argv);
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const std::int64_t every = flags.GetInt("checkpoint-every");
+  if (every < 0) {
+    std::cerr << "--checkpoint-every must be >= 0\n";
+    return 2;
+  }
+  std::string ckpt_path = flags.GetString("checkpoint-file");
+  if (ckpt_path.empty()) ckpt_path = in + ".analysis.ckpt";
+
+  analysis::SuiteConfig config;
+  config.run_trend_clusters = !flags.GetBool("no-trends");
+  config.threads = static_cast<int>(flags.GetInt("threads"));
+
+  // ATLAS traces carry the paper-study publisher ids (gen/simulate register
+  // the five adult sites in PaperSites order); unknown ids are counted by
+  // the cursor but not analyzed.
+  const auto registry = trace::PublisherRegistry::PaperSites();
+  analysis::StreamingAnalysis stream(registry, config);
+
+  std::uint64_t skip = 0;
+  const std::string resume_path = flags.GetString("resume");
+  if (!resume_path.empty()) {
+    auto snapshot = ckpt::ReadCheckpointFile(resume_path);
+    snapshot.BeginSection(kAnalysisSection, kAnalysisSectionVersion);
+    stream.RestoreState(snapshot);
+    snapshot.EndSection();
+    skip = stream.records_consumed();
+    std::cout << "resuming analysis at record " << skip << '\n';
+  }
+
+  trace::TraceFileReader source(in);
+  std::uint64_t chunks = 0;
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    std::span<const trace::LogRecord> rest = chunk;
+    if (skip > 0) {
+      // The cursor contract: records the checkpoint already consumed are
+      // skipped, never re-added (re-adding would double-count).
+      const auto drop =
+          std::min<std::uint64_t>(skip, static_cast<std::uint64_t>(rest.size()));
+      rest = rest.subspan(static_cast<std::size_t>(drop));
+      skip -= drop;
+      if (rest.empty()) continue;
+    }
+    stream.AddChunk(rest);
+    ++chunks;
+    if (every > 0 && chunks % static_cast<std::uint64_t>(every) == 0) {
+      ckpt::WriteCheckpointFile(ckpt_path, [&](ckpt::Writer& w) {
+        w.BeginSection(kAnalysisSection, kAnalysisSectionVersion);
+        stream.SaveState(w);
+        w.EndSection();
+      });
+    }
+  }
+  if (skip > 0) {
+    std::cerr << "error: " << in << " holds fewer records than the "
+              << "checkpoint consumed (wrong trace for this checkpoint?)\n";
+    return 1;
+  }
+  const std::uint64_t consumed = stream.records_consumed();
+
+  analysis::AnalysisSuite suite(stream.Finalize());
+  const std::string report_path = flags.GetString("report");
+  if (report_path.empty()) {
+    suite.Render(std::cout);
+  } else {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "cannot open " << report_path << '\n';
+      return 1;
+    }
+    suite.Render(report);
+    report.flush();
+    if (!report) {
+      std::cerr << "error writing " << report_path << '\n';
+      return 1;
+    }
+    std::cout << "analyzed " << consumed << " records -> " << report_path
+              << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -423,6 +621,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "gen") return CmdGen(argv[2], argc - 2, argv + 2);
     if (cmd == "simulate") return CmdSimulate(argv[2], argc - 2, argv + 2);
+    if (cmd == "verify") return CmdVerify(argv[2]);
+    if (cmd == "analyze") return CmdAnalyze(argv[2], argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
