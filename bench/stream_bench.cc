@@ -105,12 +105,25 @@ int main(int argc, char** argv) {
       },
       rss_reset_ok);
 
-  // Full suite, streaming from disk.
+  // Full suite, streaming from disk through the per-record path (one AoS
+  // record per accumulator call) — the differential baseline.
   const PhaseSample streamed = MeasurePhase(
       records,
       [&] {
         trace::TraceFileReader source(v2_path, block_records);
-        analysis::AnalysisSuite suite(source, registry, suite_config);
+        analysis::AnalysisSuite suite(static_cast<trace::RecordSource&>(source),
+                                      registry, suite_config);
+        if (suite.sites().empty()) std::abort();
+      },
+      rss_reset_ok);
+
+  // Same suite on the SoA block path (the default streaming pipeline).
+  const PhaseSample streamed_batch = MeasurePhase(
+      records,
+      [&] {
+        trace::TraceFileReader source(v2_path, block_records);
+        analysis::AnalysisSuite suite(static_cast<trace::BlockSource&>(source),
+                                      registry, suite_config);
         if (suite.sites().empty()) std::abort();
       },
       rss_reset_ok);
@@ -134,6 +147,10 @@ int main(int argc, char** argv) {
             << "suite_stream:    "
             << static_cast<std::uint64_t>(streamed.records_per_s)
             << " rec/s, peak RSS " << streamed.peak_rss_bytes / 1024 / 1024
+            << " MB\n"
+            << "suite_stream_batch: "
+            << static_cast<std::uint64_t>(streamed_batch.records_per_s)
+            << " rec/s, peak RSS " << streamed_batch.peak_rss_bytes / 1024 / 1024
             << " MB\n"
             << "suite_in_memory: "
             << static_cast<std::uint64_t>(in_memory.records_per_s)
@@ -160,6 +177,7 @@ int main(int argc, char** argv) {
       << ",\n  \"results\": {\n";
   AppendPhase(out, "scan_v2", scan);
   AppendPhase(out, "suite_stream", streamed);
+  AppendPhase(out, "suite_stream_batch", streamed_batch);
   AppendPhase(out, "suite_in_memory", in_memory, /*last=*/true);
   out << "  }\n}\n";
   std::cout << "wrote " << json_path << "\n";

@@ -5,7 +5,6 @@
 #include <stdexcept>
 #include <vector>
 
-#include "util/sorted.h"
 #include "util/time.h"
 
 namespace atlas::analysis {
@@ -15,19 +14,30 @@ AgingAccumulator::AgingAccumulator(std::size_t size_hint) {
 }
 
 void AgingAccumulator::Add(const trace::LogRecord& r) {
-  if (any_ && r.timestamp_ms < last_ts_) {
+  AddOne(r.timestamp_ms, r.url_hash);
+}
+
+void AgingAccumulator::AddOne(std::int64_t ts, std::uint64_t url) {
+  if (any_ && ts < last_ts_) {
     throw std::invalid_argument("AgingAccumulator: input not sorted by time");
   }
   any_ = true;
-  last_ts_ = r.timestamp_ms;
-  end_ms_ = r.timestamp_ms;  // sorted input: the latest so far
-  auto& life =
-      lives_.try_emplace(r.url_hash, ObjectLife{r.timestamp_ms, 0})
-          .first->second;
-  const std::int64_t age_ms = r.timestamp_ms - life.first_seen;
+  last_ts_ = ts;
+  end_ms_ = ts;  // sorted input: the latest so far
+  auto [life, inserted] = lives_.TryEmplace(url);
+  if (inserted) life->first_seen = ts;
+  const std::int64_t age_ms = ts - life->first_seen;
   const auto day = static_cast<int>(age_ms / util::kMillisPerDay);  // 0-based
   if (day >= 0 && day < kMaxAgeDays) {
-    life.active_days |= (1u << day);
+    life->active_days |= (1u << day);
+  }
+}
+
+void AgingAccumulator::AddBatch(const trace::RecordBlock& b,
+                                const std::uint32_t* rows, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    AddOne(b.timestamp_ms[i], b.url_hash[i]);
   }
 }
 
@@ -43,8 +53,8 @@ AgingResult AgingAccumulator::Finalize(const std::string& site_name) {
   std::uint64_t observable_4plus = 0;
   std::uint64_t silent_after_3 = 0;
 
-  for (const auto& [hash, life] : lives_) {
-    (void)hash;
+  // Per-day integer tallies commute, so table layout order is fine here.
+  lives_.ForEach([&](std::uint64_t, const ObjectLife& life) {
     // Number of fully observable life-days for this object.
     const std::int64_t window = trace_end - life.first_seen;
     const auto observable = static_cast<int>(
@@ -71,7 +81,7 @@ AgingResult AgingAccumulator::Finalize(const std::string& site_name) {
       // "Not requested after 3 days": no active day beyond day 3 (bits 3+).
       if ((life.active_days >> 3) == 0) ++silent_after_3;
     }
-  }
+  });
 
   for (int d = 0; d < kMaxAgeDays; ++d) {
     const auto i = static_cast<std::size_t>(d);
@@ -121,8 +131,8 @@ constexpr std::uint32_t kAgingStateVersion = 1;
 void AgingAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kAgingStateVersion);
   w.WriteU64(lives_.size());
-  for (const std::uint64_t hash : util::SortedKeys(lives_)) {
-    const ObjectLife& life = lives_.at(hash);
+  for (const std::uint64_t hash : lives_.SortedKeys()) {
+    const ObjectLife& life = lives_.At(hash);
     w.WriteU64(hash);
     w.WriteI64(life.first_seen);
     w.WriteU32(life.active_days);

@@ -14,10 +14,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
 #include "ckpt/checkpoint.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -52,18 +53,24 @@ class AgingAccumulator {
  public:
   explicit AgingAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls, including the sorted-input check.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   AgingResult Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
   void RestoreState(ckpt::Reader& r);
 
  private:
+  void AddOne(std::int64_t ts, std::uint64_t url);
+
   struct ObjectLife {
     std::int64_t first_seen = 0;
     // Bitmask of life-days (day 1 = bit 0) with at least one request.
     std::uint32_t active_days = 0;
   };
-  std::unordered_map<std::uint64_t, ObjectLife> lives_;
+  util::FlatHashMap<std::uint64_t, ObjectLife> lives_;
   std::int64_t last_ts_ = 0;
   std::int64_t end_ms_ = 0;
   bool any_ = false;

@@ -4,7 +4,6 @@
 
 #include "stats/correlation.h"
 #include "trace/content_class.h"
-#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -24,26 +23,32 @@ CachingAccumulator::CachingAccumulator(std::size_t size_hint) {
 }
 
 void CachingAccumulator::Add(const trace::LogRecord& r) {
-  const auto cls = trace::ClassOf(r.file_type);
+  AddOne(r.url_hash, trace::ClassOf(r.file_type), r.response_code,
+         r.cache_status);
+}
+
+void CachingAccumulator::AddOne(std::uint64_t url, trace::ContentClass cls,
+                                std::uint16_t response_code,
+                                trace::CacheStatus cache_status) {
   // Fig. 16 counts every response.
-  ++result_.all_response_codes[r.response_code];
+  ++result_.all_response_codes[response_code];
   if (cls == trace::ContentClass::kVideo) {
-    ++result_.video_response_codes[r.response_code];
+    ++result_.video_response_codes[response_code];
   } else if (cls == trace::ContentClass::kImage) {
-    ++result_.image_response_codes[r.response_code];
+    ++result_.image_response_codes[response_code];
   }
   // Hit-ratio accounting only covers responses the cache could answer
   // (errors like 403/416 and beacons say nothing about cache state).
-  if (r.response_code != trace::kHttpOk &&
-      r.response_code != trace::kHttpPartialContent &&
-      r.response_code != trace::kHttpNotModified) {
+  if (response_code != trace::kHttpOk &&
+      response_code != trace::kHttpPartialContent &&
+      response_code != trace::kHttpNotModified) {
     return;
   }
-  auto& acc = per_object_[r.url_hash];
+  auto& acc = per_object_[url];
   acc.cls = cls;
   ++acc.cacheable;
   ++total_cacheable_;
-  const bool hit = r.cache_status == trace::CacheStatus::kHit;
+  const bool hit = cache_status == trace::CacheStatus::kHit;
   if (hit) {
     ++acc.hits;
     ++total_hits_;
@@ -54,6 +59,15 @@ void CachingAccumulator::Add(const trace::LogRecord& r) {
   } else if (cls == trace::ContentClass::kImage) {
     ++image_cacheable_;
     if (hit) ++image_hits_;
+  }
+}
+
+void CachingAccumulator::AddBatch(const trace::RecordBlock& b,
+                                  const std::uint32_t* rows, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    AddOne(b.url_hash[i], trace::ClassOf(b.file_type[i]), b.response_code[i],
+           b.cache_status[i]);
   }
 }
 
@@ -72,8 +86,8 @@ CachingResult CachingAccumulator::Finalize(const std::string& site_name) {
   hit_ratio.reserve(per_object_.size());
   // Sorted-hash order: the Spearman correlation below sums floating-point
   // ranks in sample order, so the order must not depend on hash-table layout.
-  for (const auto hash : util::SortedKeys(per_object_)) {
-    const auto& acc = per_object_.at(hash);
+  for (const auto hash : per_object_.SortedKeys()) {
+    const auto& acc = per_object_.At(hash);
     if (acc.cacheable == 0) continue;
     const double ratio = static_cast<double>(acc.hits) /
                          static_cast<double>(acc.cacheable);
@@ -145,8 +159,8 @@ void CachingAccumulator::SaveState(ckpt::Writer& w) const {
   SaveCodeMap(w, result_.image_response_codes);
   SaveCodeMap(w, result_.all_response_codes);
   w.WriteU64(per_object_.size());
-  for (const std::uint64_t hash : util::SortedKeys(per_object_)) {
-    const ObjAcc& acc = per_object_.at(hash);
+  for (const std::uint64_t hash : per_object_.SortedKeys()) {
+    const ObjAcc& acc = per_object_.At(hash);
     w.WriteU64(hash);
     w.WriteU8(static_cast<std::uint8_t>(acc.cls));
     w.WriteU64(acc.cacheable);

@@ -11,13 +11,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
+#include "trace/block.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -48,6 +49,10 @@ class CachingAccumulator {
  public:
   explicit CachingAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   CachingResult Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
@@ -60,8 +65,11 @@ class CachingAccumulator {
     std::uint64_t hits = 0;
   };
 
+  void AddOne(std::uint64_t url, trace::ContentClass cls,
+              std::uint16_t response_code, trace::CacheStatus cache_status);
+
   CachingResult result_;
-  std::unordered_map<std::uint64_t, ObjAcc> per_object_;
+  util::FlatHashMap<std::uint64_t, ObjAcc> per_object_;
   std::uint64_t total_cacheable_ = 0, total_hits_ = 0;
   std::uint64_t video_cacheable_ = 0, video_hits_ = 0;
   std::uint64_t image_cacheable_ = 0, image_hits_ = 0;

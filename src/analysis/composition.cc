@@ -58,16 +58,29 @@ void CompositionAccumulator::Add(const trace::LogRecord& r) {
   const auto c = static_cast<std::size_t>(cls);
   ++result_.requests[c];
   result_.bytes[c] += r.response_bytes;
-  seen_.emplace(r.url_hash, cls);
+  seen_.InsertIfAbsent(r.url_hash, cls);
+}
+
+void CompositionAccumulator::AddBatch(const trace::RecordBlock& b,
+                                      const std::uint32_t* rows,
+                                      std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const auto cls = trace::ClassOf(b.file_type[i]);
+    const auto c = static_cast<std::size_t>(cls);
+    ++result_.requests[c];
+    result_.bytes[c] += b.response_bytes[i];
+    seen_.InsertIfAbsent(b.url_hash[i], cls);
+  }
 }
 
 CompositionResult CompositionAccumulator::Finalize(
     const std::string& site_name) {
   result_.site = site_name;
-  for (const auto& [hash, cls] : seen_) {
-    (void)hash;
+  // Per-class object tallies commute, so layout order is fine here.
+  seen_.ForEach([&](std::uint64_t, trace::ContentClass cls) {
     ++result_.objects[static_cast<std::size_t>(cls)];
-  }
+  });
   return std::move(result_);
 }
 
@@ -93,8 +106,28 @@ void DatasetSummaryAccumulator::Add(const trace::LogRecord& r) {
   }
   ++records_;
   bytes_ += r.response_bytes;
-  users_.insert(r.user_id);
-  objects_.insert(r.url_hash);
+  users_.Insert(r.user_id);
+  objects_.Insert(r.url_hash);
+}
+
+void DatasetSummaryAccumulator::AddBatch(const trace::RecordBlock& b,
+                                         const std::uint32_t* rows,
+                                         std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const std::int64_t ts = b.timestamp_ms[i];
+    if (records_ == 0) {
+      start_ms_ = ts;
+      end_ms_ = ts;
+    } else {
+      start_ms_ = std::min(start_ms_, ts);
+      end_ms_ = std::max(end_ms_, ts);
+    }
+    ++records_;
+    bytes_ += b.response_bytes[i];
+    users_.Insert(b.user_id[i]);
+    objects_.Insert(b.url_hash[i]);
+  }
 }
 
 DatasetSummary DatasetSummaryAccumulator::Finalize(const std::string& label) {
@@ -121,13 +154,6 @@ namespace {
 constexpr std::uint32_t kCompositionStateVersion = 1;
 constexpr std::uint32_t kDatasetSummaryStateVersion = 1;
 
-std::vector<std::uint64_t> SortedElements(
-    const std::unordered_set<std::uint64_t>& s) {
-  std::vector<std::uint64_t> v(s.begin(), s.end());
-  std::sort(v.begin(), v.end());
-  return v;
-}
-
 }  // namespace
 
 void CompositionAccumulator::SaveState(ckpt::Writer& w) const {
@@ -138,9 +164,9 @@ void CompositionAccumulator::SaveState(ckpt::Writer& w) const {
     w.WriteU64(result_.bytes[c]);
   }
   w.WriteU64(seen_.size());
-  for (const std::uint64_t hash : util::SortedKeys(seen_)) {
+  for (const std::uint64_t hash : seen_.SortedKeys()) {
     w.WriteU64(hash);
-    w.WriteU8(static_cast<std::uint8_t>(seen_.at(hash)));
+    w.WriteU8(static_cast<std::uint8_t>(seen_.At(hash)));
   }
 }
 
@@ -166,8 +192,8 @@ void DatasetSummaryAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteU64(bytes_);
   w.WriteI64(start_ms_);
   w.WriteI64(end_ms_);
-  w.WriteVecU64(SortedElements(users_));
-  w.WriteVecU64(SortedElements(objects_));
+  w.WriteVecU64(users_.SortedElements());
+  w.WriteVecU64(objects_.SortedElements());
 }
 
 void DatasetSummaryAccumulator::RestoreState(ckpt::Reader& r) {
@@ -176,10 +202,10 @@ void DatasetSummaryAccumulator::RestoreState(ckpt::Reader& r) {
   bytes_ = r.ReadU64();
   start_ms_ = r.ReadI64();
   end_ms_ = r.ReadI64();
-  const std::vector<std::uint64_t> users = r.ReadVecU64();
-  const std::vector<std::uint64_t> objects = r.ReadVecU64();
-  users_ = std::unordered_set<std::uint64_t>(users.begin(), users.end());
-  objects_ = std::unordered_set<std::uint64_t>(objects.begin(), objects.end());
+  users_.clear();
+  for (const std::uint64_t u : r.ReadVecU64()) users_.Insert(u);
+  objects_.clear();
+  for (const std::uint64_t o : r.ReadVecU64()) objects_.Insert(o);
 }
 
 }  // namespace atlas::analysis

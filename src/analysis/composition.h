@@ -4,11 +4,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "ckpt/checkpoint.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -38,6 +38,11 @@ class CompositionAccumulator {
  public:
   explicit CompositionAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Batch path: rows `rows[0..n)` of `b` (all of [0, n) when rows is null),
+  // in stream order — equivalent to n Add() calls. Same contract for every
+  // accumulator's AddBatch.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   CompositionResult Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
@@ -45,7 +50,7 @@ class CompositionAccumulator {
 
  private:
   CompositionResult result_;
-  std::unordered_map<std::uint64_t, trace::ContentClass> seen_;
+  util::FlatHashMap<std::uint64_t, trace::ContentClass> seen_;
 };
 
 // Computes composition for a (single-site) trace.
@@ -68,6 +73,8 @@ class DatasetSummaryAccumulator {
  public:
   explicit DatasetSummaryAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   DatasetSummary Finalize(const std::string& label);
 
   void SaveState(ckpt::Writer& w) const;
@@ -78,8 +85,8 @@ class DatasetSummaryAccumulator {
   std::uint64_t bytes_ = 0;
   std::int64_t start_ms_ = 0;
   std::int64_t end_ms_ = 0;
-  std::unordered_set<std::uint64_t> users_;
-  std::unordered_set<std::uint64_t> objects_;
+  util::FlatHashSet<std::uint64_t> users_;
+  util::FlatHashSet<std::uint64_t> objects_;
 };
 
 DatasetSummary ComputeDatasetSummary(const trace::TraceBuffer& trace,

@@ -1,9 +1,5 @@
 #include "analysis/devices.h"
 
-#include <unordered_map>
-
-#include "util/sorted.h"
-
 namespace atlas::analysis {
 
 DeviceCompositionAccumulator::DeviceCompositionAccumulator(
@@ -15,19 +11,34 @@ DeviceCompositionAccumulator::DeviceCompositionAccumulator(
 // unique user to the device of their first-seen UA.
 const trace::UaInfo& DeviceCompositionAccumulator::InfoFor(
     std::uint16_t ua_id) {
-  auto it = parsed_.find(ua_id);
-  if (it == parsed_.end()) {
-    const auto& bank = trace::UaBank::Instance();
-    it = parsed_.emplace(ua_id, trace::ParseUserAgent(bank.String(ua_id)))
-             .first;
+  if (ua_id >= parsed_valid_.size()) {
+    parsed_valid_.resize(std::size_t{ua_id} + 1, 0);
+    parsed_.resize(std::size_t{ua_id} + 1);
   }
-  return it->second;
+  if (!parsed_valid_[ua_id]) {
+    const auto& bank = trace::UaBank::Instance();
+    parsed_[ua_id] = trace::ParseUserAgent(bank.String(ua_id));
+    parsed_valid_[ua_id] = 1;
+  }
+  return parsed_[ua_id];
 }
 
 void DeviceCompositionAccumulator::Add(const trace::LogRecord& r) {
-  user_ua_.emplace(r.user_id, r.user_agent_id);
+  user_ua_.InsertIfAbsent(r.user_id, r.user_agent_id);
   ++request_counts_[static_cast<std::size_t>(InfoFor(r.user_agent_id).device)];
   ++requests_;
+}
+
+void DeviceCompositionAccumulator::AddBatch(const trace::RecordBlock& b,
+                                            const std::uint32_t* rows,
+                                            std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const std::uint16_t ua = b.user_agent_id[i];
+    user_ua_.InsertIfAbsent(b.user_id[i], ua);
+    ++request_counts_[static_cast<std::size_t>(InfoFor(ua).device)];
+  }
+  requests_ += n;
 }
 
 DeviceComposition DeviceCompositionAccumulator::Finalize(
@@ -38,13 +49,13 @@ DeviceComposition DeviceCompositionAccumulator::Finalize(
   std::array<std::uint64_t, trace::kNumDeviceTypes> user_counts{};
   std::array<std::uint64_t, trace::kNumOsFamilies> os_counts{};
   std::array<std::uint64_t, trace::kNumBrowserFamilies> browser_counts{};
-  for (const auto& [user, ua_id] : user_ua_) {
-    (void)user;
+  // Per-family tallies commute, so table layout order is fine here.
+  user_ua_.ForEachMutable([&](std::uint64_t, std::uint16_t& ua_id) {
     const auto& info = InfoFor(ua_id);
     ++user_counts[static_cast<std::size_t>(info.device)];
     ++os_counts[static_cast<std::size_t>(info.os)];
     ++browser_counts[static_cast<std::size_t>(info.browser)];
-  }
+  });
 
   result.unique_users = user_ua_.size();
   const double users = static_cast<double>(user_ua_.size());
@@ -83,9 +94,9 @@ constexpr std::uint32_t kDevicesStateVersion = 1;
 void DeviceCompositionAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kDevicesStateVersion);
   w.WriteU64(user_ua_.size());
-  for (const std::uint64_t user : util::SortedKeys(user_ua_)) {
+  for (const std::uint64_t user : user_ua_.SortedKeys()) {
     w.WriteU64(user);
-    w.WriteU16(user_ua_.at(user));
+    w.WriteU16(user_ua_.At(user));
   }
   for (const std::uint64_t c : request_counts_) w.WriteU64(c);
   w.WriteU64(requests_);

@@ -9,11 +9,13 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
 #include "trace/useragent.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -41,6 +43,8 @@ class DeviceCompositionAccumulator {
  public:
   explicit DeviceCompositionAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   DeviceComposition Finalize(const std::string& site_name);
 
   // The parsed-UA cache is not serialized: it is a pure function of the
@@ -51,8 +55,11 @@ class DeviceCompositionAccumulator {
  private:
   const trace::UaInfo& InfoFor(std::uint16_t ua_id);
 
-  std::unordered_map<std::uint16_t, trace::UaInfo> parsed_;
-  std::unordered_map<std::uint64_t, std::uint16_t> user_ua_;
+  // Dense parsed-UA cache indexed by ua id (the bank is small and ids are
+  // u16, so a flat array beats a hash probe per record).
+  std::vector<trace::UaInfo> parsed_;
+  std::vector<std::uint8_t> parsed_valid_;
+  util::FlatHashMap<std::uint64_t, std::uint16_t> user_ua_;
   std::array<std::uint64_t, trace::kNumDeviceTypes> request_counts_{};
   std::uint64_t requests_ = 0;
 };

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "trace/content_class.h"
-#include "util/hash.h"
-#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -17,8 +14,27 @@ EngagementAccumulator::EngagementAccumulator(double addicted_ratio,
 }
 
 void EngagementAccumulator::Add(const trace::LogRecord& r) {
-  ++pair_counts_[{r.url_hash, r.user_id}];
-  classes_.emplace(r.url_hash, trace::ClassOf(r.file_type));
+  // A repeat (object, user) pair implies the object's class is already
+  // stored, so the common case is a single probe.
+  auto [slot, inserted] = pair_counts_.TryEmplace({r.url_hash, r.user_id});
+  ++*slot;
+  if (inserted) {
+    classes_.InsertIfAbsent(r.url_hash, trace::ClassOf(r.file_type));
+  }
+}
+
+void EngagementAccumulator::AddBatch(const trace::RecordBlock& b,
+                                     const std::uint32_t* rows,
+                                     std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const std::uint64_t url = b.url_hash[i];
+    auto [slot, inserted] = pair_counts_.TryEmplace({url, b.user_id[i]});
+    ++*slot;
+    if (inserted) {
+      classes_.InsertIfAbsent(url, trace::ClassOf(b.file_type[i]));
+    }
+  }
 }
 
 EngagementResult EngagementAccumulator::Finalize(
@@ -27,25 +43,25 @@ EngagementResult EngagementAccumulator::Finalize(
   result.site = site_name;
   const double addicted_ratio = addicted_ratio_;
 
-  std::unordered_map<std::uint64_t, ObjectEngagement> per_object;
+  util::FlatHashMap<std::uint64_t, ObjectEngagement> per_object;
   per_object.reserve(classes_.size());
-  // atlas-lint: allow(unordered-iter)  per-key integer sums/max commute.
-  for (const auto& [key, count] : pair_counts_) {
+  // Per-key integer sums/max commute, so table layout order is fine here.
+  pair_counts_.ForEach([&](const std::pair<std::uint64_t, std::uint64_t>& key,
+                           std::uint64_t count) {
     auto& obj = per_object[key.first];
     obj.url_hash = key.first;
-    obj.content_class = classes_.at(key.first);
+    obj.content_class = classes_.At(key.first);
     obj.requests += count;
     obj.unique_users += 1;
     obj.max_requests_per_user = std::max(obj.max_requests_per_user, count);
-  }
+  });
 
   result.objects.reserve(per_object.size());
   std::uint64_t video_over_10 = 0, video_total = 0;
   std::uint64_t image_over_10 = 0, image_total = 0;
-  // atlas-lint: allow(unordered-iter)  Ecdf adds and integer counters
-  // commute; result.objects is explicitly sorted below.
-  for (auto& [hash, obj] : per_object) {
-    (void)hash;
+  // Ecdf adds and integer counters commute; result.objects is explicitly
+  // sorted below.
+  per_object.ForEach([&](std::uint64_t, const ObjectEngagement& obj) {
     const double rpu = obj.RequestsPerUser();
     if (obj.content_class == trace::ContentClass::kVideo) {
       result.video_requests_per_user.Add(rpu);
@@ -62,7 +78,7 @@ EngagementResult EngagementAccumulator::Finalize(
       ++result.viral_objects;
     }
     result.objects.push_back(obj);
-  }
+  });
   // Deterministic order for downstream output.
   std::sort(result.objects.begin(), result.objects.end(),
             [](const ObjectEngagement& a, const ObjectEngagement& b) {
@@ -98,15 +114,15 @@ void EngagementAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kEngagementStateVersion);
   w.WriteDouble(addicted_ratio_);
   w.WriteU64(pair_counts_.size());
-  for (const auto& key : util::SortedKeys(pair_counts_)) {
+  for (const auto& key : pair_counts_.SortedKeys()) {
     w.WriteU64(key.first);
     w.WriteU64(key.second);
-    w.WriteU64(pair_counts_.at(key));
+    w.WriteU64(pair_counts_.At(key));
   }
   w.WriteU64(classes_.size());
-  for (const std::uint64_t hash : util::SortedKeys(classes_)) {
+  for (const std::uint64_t hash : classes_.SortedKeys()) {
     w.WriteU64(hash);
-    w.WriteU8(static_cast<std::uint8_t>(classes_.at(hash)));
+    w.WriteU8(static_cast<std::uint8_t>(classes_.At(hash)));
   }
 }
 

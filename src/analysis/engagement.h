@@ -11,15 +11,15 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
+#include "trace/block.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
-#include "util/hash.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -60,24 +60,21 @@ class EngagementAccumulator {
   explicit EngagementAccumulator(double addicted_ratio = 3.0,
                                  std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   EngagementResult Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
   void RestoreState(ckpt::Reader& r);
 
  private:
-  struct PairHash {
-    std::size_t operator()(
-        const std::pair<std::uint64_t, std::uint64_t>& p) const {
-      return util::HashCombine(p.first, p.second);
-    }
-  };
-
   double addicted_ratio_;
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
-                     PairHash>
+  util::FlatHashMap<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t,
+                    util::FlatPairHash>
       pair_counts_;
-  std::unordered_map<std::uint64_t, trace::ContentClass> classes_;
+  util::FlatHashMap<std::uint64_t, trace::ContentClass> classes_;
 };
 
 // `addicted_ratio`: requests/user above which an object counts as

@@ -1,7 +1,6 @@
 #include "analysis/popularity.h"
 
 #include "trace/content_class.h"
-#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -23,8 +22,23 @@ PopularityAccumulator::PopularityAccumulator(std::size_t size_hint) {
 }
 
 void PopularityAccumulator::Add(const trace::LogRecord& r) {
-  ++counts_[r.url_hash];
-  classes_.emplace(r.url_hash, trace::ClassOf(r.file_type));
+  // One probe for the common repeat case: the class only needs storing the
+  // first time an object appears.
+  auto [slot, inserted] = counts_.TryEmplace(r.url_hash);
+  ++*slot;
+  if (inserted) classes_[r.url_hash] = trace::ClassOf(r.file_type);
+}
+
+void PopularityAccumulator::AddBatch(const trace::RecordBlock& b,
+                                     const std::uint32_t* rows,
+                                     std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const std::uint64_t url = b.url_hash[i];
+    auto [slot, inserted] = counts_.TryEmplace(url);
+    ++*slot;
+    if (inserted) classes_[url] = trace::ClassOf(b.file_type[i]);
+  }
 }
 
 PopularityResult PopularityAccumulator::Finalize(
@@ -36,10 +50,10 @@ PopularityResult PopularityAccumulator::Finalize(
   // the order must not depend on hash-table layout.
   std::vector<double> all;
   all.reserve(counts_.size());
-  for (const auto hash : util::SortedKeys(counts_)) {
-    const auto c = static_cast<double>(counts_.at(hash));
+  for (const auto hash : counts_.SortedKeys()) {
+    const auto c = static_cast<double>(counts_.At(hash));
     all.push_back(c);
-    switch (classes_.at(hash)) {
+    switch (classes_.At(hash)) {
       case trace::ContentClass::kVideo:
         result.video_counts.Add(c);
         break;
@@ -77,10 +91,10 @@ constexpr std::uint32_t kPopularityStateVersion = 1;
 void PopularityAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kPopularityStateVersion);
   w.WriteU64(counts_.size());
-  for (const std::uint64_t hash : util::SortedKeys(counts_)) {
+  for (const std::uint64_t hash : counts_.SortedKeys()) {
     w.WriteU64(hash);
-    w.WriteU64(counts_.at(hash));
-    w.WriteU8(static_cast<std::uint8_t>(classes_.at(hash)));
+    w.WriteU64(counts_.At(hash));
+    w.WriteU8(static_cast<std::uint8_t>(classes_.At(hash)));
   }
 }
 

@@ -14,7 +14,9 @@
 #include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
 #include "stats/powerlaw.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -40,14 +42,18 @@ class PopularityAccumulator {
  public:
   explicit PopularityAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   PopularityResult Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
   void RestoreState(ckpt::Reader& r);
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
-  std::unordered_map<std::uint64_t, trace::ContentClass> classes_;
+  util::FlatHashMap<std::uint64_t, std::uint64_t> counts_;
+  util::FlatHashMap<std::uint64_t, trace::ContentClass> classes_;
 };
 
 PopularityResult ComputePopularity(const trace::TraceBuffer& trace,

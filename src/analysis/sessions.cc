@@ -73,41 +73,51 @@ void SessionAccumulator::CloseSession(const Session& s) {
 }
 
 void SessionAccumulator::Add(const trace::LogRecord& r) {
-  if (any_ && r.timestamp_ms < last_ts_) {
+  AddOne(r.timestamp_ms, r.user_id);
+}
+
+void SessionAccumulator::AddOne(std::int64_t ts, std::uint64_t user) {
+  if (any_ && ts < last_ts_) {
     throw std::invalid_argument(
         "SessionAccumulator: input not sorted by time");
   }
   any_ = true;
-  last_ts_ = r.timestamp_ms;
+  last_ts_ = ts;
 
-  auto [it, inserted] = open_.try_emplace(r.user_id);
-  Session& current = it->second;
+  auto [current, inserted] = open_.TryEmplace(user);
   if (inserted) {
-    current.user_id = r.user_id;
-    current.start_ms = r.timestamp_ms;
-    current.end_ms = r.timestamp_ms;
-    current.requests = 1;
+    current->user_id = user;
+    current->start_ms = ts;
+    current->end_ms = ts;
+    current->requests = 1;
     return;
   }
   // Every consecutive same-user gap feeds the IAT CDF, in or out of
   // session (Fig. 11 plots all gaps).
-  result_.iat_seconds.Add(
-      static_cast<double>(r.timestamp_ms - current.end_ms) / 1000.0);
-  if (r.timestamp_ms - current.end_ms > timeout_ms_) {
-    CloseSession(current);
-    current.start_ms = r.timestamp_ms;
-    current.requests = 0;
+  result_.iat_seconds.Add(static_cast<double>(ts - current->end_ms) / 1000.0);
+  if (ts - current->end_ms > timeout_ms_) {
+    CloseSession(*current);
+    current->start_ms = ts;
+    current->requests = 0;
   }
-  current.end_ms = r.timestamp_ms;
-  ++current.requests;
+  current->end_ms = ts;
+  ++current->requests;
+}
+
+void SessionAccumulator::AddBatch(const trace::RecordBlock& b,
+                                  const std::uint32_t* rows, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    AddOne(b.timestamp_ms[i], b.user_id[i]);
+  }
 }
 
 SessionResult SessionAccumulator::Finalize(const std::string& site_name) {
   result_.site = site_name;
-  for (const auto& [user, session] : open_) {
-    (void)user;
-    CloseSession(session);
-  }
+  // The Ecdfs sort on Finalize and the count commutes, so table layout
+  // order is fine here.
+  open_.ForEach(
+      [&](std::uint64_t, const Session& session) { CloseSession(session); });
   open_.clear();
   result_.iat_seconds.Finalize();
   result_.session_length_seconds.Finalize();
@@ -123,8 +133,8 @@ void SessionAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kSessionsStateVersion);
   w.WriteI64(timeout_ms_);
   w.WriteU64(open_.size());
-  for (const std::uint64_t user : util::SortedKeys(open_)) {
-    const Session& s = open_.at(user);
+  for (const std::uint64_t user : open_.SortedKeys()) {
+    const Session& s = open_.At(user);
     w.WriteU64(s.user_id);
     w.WriteI64(s.start_ms);
     w.WriteI64(s.end_ms);

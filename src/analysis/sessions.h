@@ -9,12 +9,13 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -54,6 +55,10 @@ class SessionAccumulator {
   explicit SessionAccumulator(std::int64_t timeout_ms = kSessionTimeoutMs,
                               std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls, including the sorted-input check.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   SessionResult Finalize(const std::string& site_name);
 
   // Restore requires the same sessionization timeout the state was saved
@@ -63,9 +68,10 @@ class SessionAccumulator {
 
  private:
   void CloseSession(const Session& s);
+  void AddOne(std::int64_t ts, std::uint64_t user);
 
   std::int64_t timeout_ms_;
-  std::unordered_map<std::uint64_t, Session> open_;
+  util::FlatHashMap<std::uint64_t, Session> open_;
   std::int64_t last_ts_ = 0;
   bool any_ = false;
   SessionResult result_;

@@ -1,10 +1,7 @@
 #include "analysis/sizes.h"
 
-#include <unordered_map>
-
 #include "stats/histogram.h"
 #include "trace/content_class.h"
-#include "util/sorted.h"
 
 namespace atlas::analysis {
 
@@ -24,15 +21,25 @@ SizeDistributionsAccumulator::SizeDistributionsAccumulator(
 }
 
 void SizeDistributionsAccumulator::Add(const trace::LogRecord& r) {
-  firsts_.emplace(r.url_hash, FirstSeen{r.object_size, r.file_type});
+  firsts_.InsertIfAbsent(r.url_hash, FirstSeen{r.object_size, r.file_type});
+}
+
+void SizeDistributionsAccumulator::AddBatch(const trace::RecordBlock& b,
+                                            const std::uint32_t* rows,
+                                            std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    firsts_.InsertIfAbsent(b.url_hash[i],
+                           FirstSeen{b.object_size[i], b.file_type[i]});
+  }
 }
 
 SizeDistributions SizeDistributionsAccumulator::Finalize(
     const std::string& site_name) {
   SizeDistributions result;
   result.site = site_name;
-  for (const auto& [hash, first] : firsts_) {
-    (void)hash;
+  // The Ecdfs sort on Finalize, so table layout order is fine here.
+  firsts_.ForEach([&](std::uint64_t, const FirstSeen& first) {
     const double size = static_cast<double>(first.object_size);
     switch (trace::ClassOf(first.file_type)) {
       case trace::ContentClass::kVideo:
@@ -45,7 +52,7 @@ SizeDistributions SizeDistributionsAccumulator::Finalize(
         result.other.Add(size);
         break;
     }
-  }
+  });
   result.video.Finalize();
   result.image.Finalize();
   result.other.Finalize();
@@ -66,8 +73,8 @@ constexpr std::uint32_t kFirstSeenStateVersion = 1;
 void SizeDistributionsAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteVersion(kFirstSeenStateVersion);
   w.WriteU64(firsts_.size());
-  for (const std::uint64_t hash : util::SortedKeys(firsts_)) {
-    const FirstSeen& f = firsts_.at(hash);
+  for (const std::uint64_t hash : firsts_.SortedKeys()) {
+    const FirstSeen& f = firsts_.At(hash);
     w.WriteU64(hash);
     w.WriteU64(f.object_size);
     w.WriteU8(static_cast<std::uint8_t>(f.file_type));

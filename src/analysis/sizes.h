@@ -9,12 +9,13 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "stats/ecdf.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -37,6 +38,10 @@ class SizeDistributionsAccumulator {
  public:
   explicit SizeDistributionsAccumulator(std::size_t size_hint = 0);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   SizeDistributions Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;
@@ -47,7 +52,7 @@ class SizeDistributionsAccumulator {
     std::uint64_t object_size = 0;
     trace::FileType file_type{};
   };
-  std::unordered_map<std::uint64_t, FirstSeen> firsts_;
+  util::FlatHashMap<std::uint64_t, FirstSeen> firsts_;
 };
 
 SizeDistributions ComputeSizeDistributions(const trace::TraceBuffer& trace,

@@ -1,8 +1,8 @@
 #include "analysis/suite.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "analysis/report.h"
 #include "util/logging.h"
@@ -40,6 +40,23 @@ void SiteAccumulator::Add(const trace::LogRecord& r) {
   caching_.Add(r);
   if (video_series_) video_series_->Add(r);
   if (image_series_) image_series_->Add(r);
+}
+
+void SiteAccumulator::AddBatch(const trace::RecordBlock& b,
+                               const std::uint32_t* rows, std::size_t n) {
+  records_ += n;
+  summary_.AddBatch(b, rows, n);
+  composition_.AddBatch(b, rows, n);
+  hourly_.AddBatch(b, rows, n);
+  devices_.AddBatch(b, rows, n);
+  sizes_.AddBatch(b, rows, n);
+  popularity_.AddBatch(b, rows, n);
+  aging_.AddBatch(b, rows, n);
+  sessions_.AddBatch(b, rows, n);
+  engagement_.AddBatch(b, rows, n);
+  caching_.AddBatch(b, rows, n);
+  if (video_series_) video_series_->AddBatch(b, rows, n);
+  if (image_series_) image_series_->AddBatch(b, rows, n);
 }
 
 SiteAnalysis SiteAccumulator::Finalize() {
@@ -132,25 +149,88 @@ StreamingAnalysis::StreamingAnalysis(const trace::PublisherRegistry& registry,
                                      const SuiteConfig& config)
     : config_(config), publishers_(registry.all()) {
   pub_index_.reserve(publishers_.size());
+  std::uint32_t max_id = 0;
   for (std::size_t i = 0; i < publishers_.size(); ++i) {
-    pub_index_.emplace(publishers_[i].id, i);
+    pub_index_.InsertIfAbsent(publishers_[i].id, i);
+    max_id = std::max(max_id, publishers_[i].id);
+  }
+  // Direct-indexed id table for the per-record hot path; only worth the
+  // memory when the id space is small (registry ids are sequential).
+  constexpr std::uint32_t kDenseIdLimit = 1u << 16;
+  if (!publishers_.empty() && max_id < kDenseIdLimit) {
+    dense_index_.assign(static_cast<std::size_t>(max_id) + 1, -1);
+    for (std::size_t i = 0; i < publishers_.size(); ++i) {
+      std::int32_t& slot = dense_index_[publishers_[i].id];
+      if (slot < 0) slot = static_cast<std::int32_t>(i);
+    }
   }
   accumulators_.resize(publishers_.size());
 }
 
+SiteAccumulator& StreamingAnalysis::AccumulatorFor(std::size_t index) {
+  auto& acc = accumulators_[index];
+  if (!acc) {
+    acc = std::make_unique<SiteAccumulator>(publishers_[index], config_);
+  }
+  return *acc;
+}
+
 void StreamingAnalysis::Add(const trace::LogRecord& r) {
   ++records_consumed_;
-  const auto it = pub_index_.find(r.publisher_id);
-  if (it == pub_index_.end()) return;  // unregistered publisher
-  auto& acc = accumulators_[it->second];
-  if (!acc) {
-    acc = std::make_unique<SiteAccumulator>(publishers_[it->second], config_);
-  }
-  acc->Add(r);
+  const std::int64_t idx = IndexFor(r.publisher_id);
+  if (idx < 0) return;  // unregistered publisher
+  AccumulatorFor(static_cast<std::size_t>(idx)).Add(r);
 }
 
 void StreamingAnalysis::AddChunk(std::span<const trace::LogRecord> records) {
   for (const auto& r : records) Add(r);
+}
+
+void StreamingAnalysis::AddBlock(const trace::RecordBlock& block,
+                                 std::size_t first_row) {
+  const std::size_t n = block.size();
+  if (first_row >= n) return;
+  records_consumed_ += n - first_row;
+
+  if (first_row == 0) {
+    // Fast path: single-publisher block (per-site traces, and long runs of
+    // a merged trace) — hand the whole block down with no row indirection.
+    const std::uint32_t first_pub = block.publisher_id[0];
+    bool uniform = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (block.publisher_id[i] != first_pub) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      if (const std::int64_t idx = IndexFor(first_pub); idx >= 0) {
+        AccumulatorFor(static_cast<std::size_t>(idx)).AddBatch(block, nullptr,
+                                                               n);
+      }
+      return;
+    }
+  }
+
+  // Stable demux: per-publisher row-index lists preserve stream order
+  // within each site, so the per-site results are identical to feeding the
+  // rows through Add() one at a time.
+  if (demux_rows_.size() != publishers_.size()) {
+    demux_rows_.assign(publishers_.size(), {});
+  }
+  touched_.clear();
+  for (std::size_t i = first_row; i < n; ++i) {
+    const std::int64_t found = IndexFor(block.publisher_id[i]);
+    if (found < 0) continue;
+    const auto idx = static_cast<std::size_t>(found);
+    if (demux_rows_[idx].empty()) touched_.push_back(idx);
+    demux_rows_[idx].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (const std::size_t idx : touched_) {
+    AccumulatorFor(idx).AddBatch(block, demux_rows_[idx].data(),
+                                 demux_rows_[idx].size());
+    demux_rows_[idx].clear();
+  }
 }
 
 std::vector<SiteAnalysis> StreamingAnalysis::Finalize() {
@@ -206,14 +286,17 @@ void StreamingAnalysis::RestoreState(ckpt::Reader& r) {
 AnalysisSuite::AnalysisSuite(const trace::TraceBuffer& full_trace,
                              const trace::PublisherRegistry& registry,
                              const SuiteConfig& config) {
+  // The batch and per-record paths produce identical results (pinned by
+  // the batch differential suite), so the in-memory convenience wrapper
+  // takes the faster block path.
   if (full_trace.IsSortedByTime()) {
-    trace::BufferSource source(full_trace);
-    Run(source, registry, config);
+    trace::BufferBlockSource source(full_trace);
+    RunBlocks(source, registry, config);
   } else {
     trace::TraceBuffer sorted = full_trace;
     sorted.SortByTime();
-    trace::BufferSource source(sorted);
-    Run(source, registry, config);
+    trace::BufferBlockSource source(sorted);
+    RunBlocks(source, registry, config);
   }
 }
 
@@ -221,6 +304,12 @@ AnalysisSuite::AnalysisSuite(trace::RecordSource& source,
                              const trace::PublisherRegistry& registry,
                              const SuiteConfig& config) {
   Run(source, registry, config);
+}
+
+AnalysisSuite::AnalysisSuite(trace::BlockSource& source,
+                             const trace::PublisherRegistry& registry,
+                             const SuiteConfig& config) {
+  RunBlocks(source, registry, config);
 }
 
 void AnalysisSuite::Run(trace::RecordSource& source,
@@ -233,6 +322,18 @@ void AnalysisSuite::Run(trace::RecordSource& source,
   for (auto chunk = source.NextChunk(); !chunk.empty();
        chunk = source.NextChunk()) {
     stream.AddChunk(chunk);
+  }
+  sites_ = stream.Finalize();
+}
+
+void AnalysisSuite::RunBlocks(trace::BlockSource& source,
+                              const trace::PublisherRegistry& registry,
+                              const SuiteConfig& config) {
+  // Same sequential demultiplexing contract as Run(), in SoA block units.
+  StreamingAnalysis stream(registry, config);
+  for (const auto* block = source.NextBlock(); block != nullptr;
+       block = source.NextBlock()) {
+    stream.AddBlock(*block);
   }
   sites_ = stream.Finalize();
 }

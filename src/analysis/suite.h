@@ -10,7 +10,6 @@
 #include <ostream>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -24,9 +23,11 @@
 #include "analysis/sizes.h"
 #include "analysis/temporal.h"
 #include "analysis/trend_cluster.h"
+#include "trace/block.h"
 #include "trace/publisher.h"
 #include "trace/stream.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -69,6 +70,12 @@ class SiteAccumulator {
   SiteAccumulator(const trace::Publisher& publisher,
                   const SuiteConfig& config);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls, sub-accumulator by
+  // sub-accumulator. Reordering across accumulators is safe because their
+  // states are independent.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   SiteAnalysis Finalize();
 
   std::uint64_t records() const { return records_; }
@@ -114,6 +121,11 @@ class StreamingAnalysis {
 
   void Add(const trace::LogRecord& r);
   void AddChunk(std::span<const trace::LogRecord> records);
+  // Batch path: consumes rows [first_row, size) of `block`, demultiplexing
+  // to per-site AddBatch calls that preserve stream order per site — the
+  // results are identical to per-record Add() calls. `first_row` lets a
+  // resumed analysis skip the already-consumed prefix of a partial block.
+  void AddBlock(const trace::RecordBlock& block, std::size_t first_row = 0);
 
   // Records consumed so far (including ones from unregistered publishers,
   // which are counted but not analyzed — the cursor tracks stream position,
@@ -130,11 +142,31 @@ class StreamingAnalysis {
   void RestoreState(ckpt::Reader& r);
 
  private:
+  SiteAccumulator& AccumulatorFor(std::size_t index);
+
+  // Accumulator index for a publisher id, or -1 if unregistered. Registry
+  // ids are small and dense in practice, so the hot paths resolve through a
+  // direct-indexed table; pub_index_ stays as the fallback for sparse or
+  // large id spaces. Both honor keep-first on duplicate ids.
+  std::int64_t IndexFor(std::uint32_t publisher_id) const {
+    if (!dense_index_.empty()) {
+      return publisher_id < dense_index_.size() ? dense_index_[publisher_id]
+                                                : -1;
+    }
+    const std::size_t* idx = pub_index_.Find(publisher_id);
+    return idx ? static_cast<std::int64_t>(*idx) : -1;
+  }
+
   SuiteConfig config_;
   std::vector<trace::Publisher> publishers_;
-  std::unordered_map<std::uint32_t, std::size_t> pub_index_;
+  util::FlatHashMap<std::uint32_t, std::size_t> pub_index_;
+  std::vector<std::int32_t> dense_index_;
   std::vector<std::unique_ptr<SiteAccumulator>> accumulators_;
   std::uint64_t records_consumed_ = 0;
+  // Per-publisher row-index scratch for demultiplexing mixed blocks
+  // (cleared after every block; kept here to reuse capacity).
+  std::vector<std::vector<std::uint32_t>> demux_rows_;
+  std::vector<std::size_t> touched_;
 };
 
 class AnalysisSuite {
@@ -156,6 +188,14 @@ class AnalysisSuite {
                 const trace::PublisherRegistry& registry,
                 const SuiteConfig& config = {});
 
+  // Batch streaming analysis: like the RecordSource overload but moves
+  // whole SoA blocks through StreamingAnalysis::AddBlock. Produces
+  // byte-identical reports to the per-record path (the batch differential
+  // suite pins this).
+  AnalysisSuite(trace::BlockSource& source,
+                const trace::PublisherRegistry& registry,
+                const SuiteConfig& config = {});
+
   // Wraps already-finalized per-site results — the hand-off from an
   // externally driven StreamingAnalysis (e.g. the checkpointed
   // `atlas-trace analyze` pass) to the report renderer.
@@ -172,6 +212,9 @@ class AnalysisSuite {
   void Run(trace::RecordSource& source,
            const trace::PublisherRegistry& registry,
            const SuiteConfig& config);
+  void RunBlocks(trace::BlockSource& source,
+                 const trace::PublisherRegistry& registry,
+                 const SuiteConfig& config);
 
   std::vector<SiteAnalysis> sites_;
 };

@@ -48,6 +48,25 @@ void HourlyVolumeAccumulator::Add(const trace::LogRecord& r) {
   result_.week_series.Accumulate(wrapped, 1.0);
 }
 
+void HourlyVolumeAccumulator::AddBatch(const trace::RecordBlock& b,
+                                       const std::uint32_t* rows,
+                                       std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    const std::int64_t local = b.LocalTimestampMs(i);
+    const int hour = util::HourOfDay(local);
+    const auto bytes = static_cast<double>(b.response_bytes[i]);
+    counts_[static_cast<std::size_t>(hour)] += 1.0;
+    bytes_[static_cast<std::size_t>(hour)] += bytes;
+    total_count_ += 1.0;
+    total_bytes_ += bytes;
+    const std::int64_t wrapped =
+        ((local % util::kMillisPerWeek) + util::kMillisPerWeek) %
+        util::kMillisPerWeek;
+    result_.week_series.Accumulate(wrapped, 1.0);
+  }
+}
+
 HourlyVolume HourlyVolumeAccumulator::Finalize(const std::string& site_name) {
   result_.site = site_name;
   for (int h = 0; h < 24; ++h) {

@@ -12,6 +12,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "stats/timeseries.h"
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::analysis {
@@ -38,6 +39,11 @@ class HourlyVolumeAccumulator {
  public:
   HourlyVolumeAccumulator();
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order. The float sums accumulate in exactly the per-record sequence so
+  // the result is bit-identical to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   HourlyVolume Finalize(const std::string& site_name);
 
   void SaveState(ckpt::Writer& w) const;

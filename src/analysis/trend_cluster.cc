@@ -4,13 +4,11 @@
 #include <array>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
 #include "cluster/shape.h"
 #include "stats/timeseries.h"
 #include "trace/content_class.h"
-#include "util/sorted.h"
 #include "util/time.h"
 
 namespace atlas::analysis {
@@ -35,29 +33,43 @@ TrendSeriesAccumulator::TrendSeriesAccumulator(
     : config_(config) {}
 
 void TrendSeriesAccumulator::Add(const trace::LogRecord& r) {
+  AddOne(r.timestamp_ms, r.url_hash, r.file_type);
+}
+
+void TrendSeriesAccumulator::AddOne(std::int64_t ts, std::uint64_t url,
+                                    trace::FileType file_type) {
   if (config_.use_class &&
-      trace::ClassOf(r.file_type) != config_.content_class) {
+      trace::ClassOf(file_type) != config_.content_class) {
     return;
   }
-  auto& acc = accs_[r.url_hash];
+  auto& acc = accs_[url];
   if (acc.hours.empty()) {
     acc.hours.assign(static_cast<std::size_t>(util::kHoursPerWeek), 0.0);
   }
   ++acc.count;
   const auto hour = static_cast<std::size_t>(std::clamp<std::int64_t>(
-      r.timestamp_ms / util::kMillisPerHour, 0, util::kHoursPerWeek - 1));
+      ts / util::kMillisPerHour, 0, util::kHoursPerWeek - 1));
   acc.hours[hour] += 1.0;
+}
+
+void TrendSeriesAccumulator::AddBatch(const trace::RecordBlock& b,
+                                      const std::uint32_t* rows,
+                                      std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = rows ? rows[k] : k;
+    AddOne(b.timestamp_ms[i], b.url_hash[i], b.file_type[i]);
+  }
 }
 
 std::vector<std::pair<std::uint64_t, std::vector<double>>>
 TrendSeriesAccumulator::Finalize() {
   // Qualify and rank by request count.
   std::vector<std::pair<std::uint64_t, Acc*>> qualified;
-  // atlas-lint: allow(unordered-iter)  qualified is fully sorted below with a
-  // deterministic tie-break, so collection order is irrelevant.
-  for (auto& [hash, acc] : accs_) {
+  // qualified is fully sorted below with a deterministic tie-break, so
+  // collection order is irrelevant.
+  accs_.ForEachMutable([&](std::uint64_t hash, Acc& acc) {
     if (acc.count >= config_.min_requests) qualified.emplace_back(hash, &acc);
-  }
+  });
   std::sort(qualified.begin(), qualified.end(),
             [](const auto& a, const auto& b) {
               if (a.second->count != b.second->count) {
@@ -91,8 +103,8 @@ void TrendSeriesAccumulator::SaveState(ckpt::Writer& w) const {
   w.WriteBool(config_.use_class);
   w.WriteU8(static_cast<std::uint8_t>(config_.content_class));
   w.WriteU64(accs_.size());
-  for (const std::uint64_t hash : util::SortedKeys(accs_)) {
-    const Acc& acc = accs_.at(hash);
+  for (const std::uint64_t hash : accs_.SortedKeys()) {
+    const Acc& acc = accs_.At(hash);
     w.WriteU64(hash);
     w.WriteU64(acc.count);
     w.WriteVecDouble(acc.hours);

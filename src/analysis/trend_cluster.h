@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -18,8 +17,10 @@
 #include "cluster/linkage.h"
 #include "cluster/medoid.h"
 #include "synth/site_profile.h"
+#include "trace/block.h"
 #include "trace/record.h"
 #include "trace/trace_buffer.h"
+#include "util/flat_hash.h"
 
 namespace atlas::analysis {
 
@@ -91,6 +92,10 @@ class TrendSeriesAccumulator {
  public:
   explicit TrendSeriesAccumulator(const TrendClusterConfig& config);
   void Add(const trace::LogRecord& r);
+  // Rows rows[0..n) of b (all of [0, n) when rows is null), in stream
+  // order — equivalent to n Add() calls.
+  void AddBatch(const trace::RecordBlock& b, const std::uint32_t* rows,
+                std::size_t n);
   std::vector<std::pair<std::uint64_t, std::vector<double>>> Finalize();
 
   void SaveState(ckpt::Writer& w) const;
@@ -101,8 +106,10 @@ class TrendSeriesAccumulator {
     std::uint64_t count = 0;
     std::vector<double> hours;
   };
+  void AddOne(std::int64_t ts, std::uint64_t url, trace::FileType file_type);
+
   TrendClusterConfig config_;
-  std::unordered_map<std::uint64_t, Acc> accs_;
+  util::FlatHashMap<std::uint64_t, Acc> accs_;
 };
 
 // Clustering back half of ComputeTrendClusters, operating on a prebuilt

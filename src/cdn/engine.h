@@ -39,6 +39,7 @@
 #include "cdn/simulator.h"
 #include "ckpt/checkpoint.h"
 #include "synth/workload.h"
+#include "trace/block.h"
 #include "trace/sink.h"
 
 namespace atlas::cdn {
@@ -87,6 +88,24 @@ std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
 std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
                                         const SimulatorConfig& config,
                                         trace::RecordSink& sink, int threads,
+                                        const CheckpointOptions& ckpt_options);
+
+// Block-sink variants: the merged stream leaves the engine as SoA
+// RecordBlocks (packed by a PerRecordSink adapter and flushed at the end of
+// the run). The record sequence is identical to the RecordSink overloads —
+// only the framing handed to `sink` differs, and BlockSink consumers must
+// not depend on block sizes.
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::BlockSink& sink,
+                                        int threads = 0);
+
+// With checkpointing, the packer also flushes inside every snapshot commit
+// so no already-merged record is buffered outside the captured state;
+// checkpoint cadence still never changes the record stream.
+std::vector<SimulatorResult> RunSharded(std::span<const SiteJob> jobs,
+                                        const SimulatorConfig& config,
+                                        trace::BlockSink& sink, int threads,
                                         const CheckpointOptions& ckpt_options);
 
 }  // namespace atlas::cdn

@@ -1,0 +1,197 @@
+// Struct-of-arrays record batches: the block-granular half of the streaming
+// trace pipeline.
+//
+// The v2 trace format already moves data in CRC-framed blocks of a few
+// thousand records; RecordBlock is that same unit decoded into column
+// arrays instead of an array of LogRecord structs. Hot consumers (the
+// analysis accumulators, the simulation push path) iterate one column at a
+// time — contiguous, branch-light loops the compiler can vectorize — and
+// hot interfaces move whole blocks through one virtual call instead of one
+// call per record:
+//
+//   BlockSource::NextBlock()   pull side; nullptr at end of stream
+//   BlockSink::WriteBlock()    push side
+//
+// The per-record world stays fully supported: PerRecordSource/PerRecordSink
+// adapt a block stream to one-record-at-a-time callers (NextRecord /
+// PushRecord), and every block carries enough to reconstruct exact
+// LogRecords (Row()), so the two paths are interchangeable — the
+// differential digest suite in tests/ pins them byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::trace {
+
+class RecordSource;  // stream.h
+
+// Records per block: 8192 * 51 B ≈ 408 KB payloads — big enough to
+// amortize syscalls and virtual dispatch, small enough that a reader's
+// working set is trivial.
+inline constexpr std::size_t kDefaultBlockRecords = 8192;
+// Upper bound a reader will accept for one block; anything larger is
+// corruption, not a legitimate writer.
+inline constexpr std::size_t kMaxBlockRecords = 1u << 20;
+
+// One batch of records, one contiguous array per field. All columns always
+// have identical length (size()); rows correspond across columns.
+struct RecordBlock {
+  std::vector<std::int64_t> timestamp_ms;
+  std::vector<std::uint64_t> url_hash;
+  std::vector<std::uint64_t> user_id;
+  std::vector<std::uint64_t> object_size;
+  std::vector<std::uint64_t> response_bytes;
+  std::vector<std::uint32_t> publisher_id;
+  std::vector<std::uint16_t> user_agent_id;
+  std::vector<std::uint16_t> response_code;
+  std::vector<FileType> file_type;
+  std::vector<CacheStatus> cache_status;
+  std::vector<std::int8_t> tz_offset_quarter_hours;
+
+  std::size_t size() const { return timestamp_ms.size(); }
+  bool empty() const { return timestamp_ms.empty(); }
+  void clear();
+  void reserve(std::size_t n);
+
+  // Local-time timestamp of row i (same formula as LogRecord).
+  std::int64_t LocalTimestampMs(std::size_t i) const {
+    return timestamp_ms[i] +
+           static_cast<std::int64_t>(tz_offset_quarter_hours[i]) * 15 * 60 *
+               1000;
+  }
+
+  // Row i reassembled as a LogRecord (the AoS bridge).
+  LogRecord Row(std::size_t i) const;
+  void PushBack(const LogRecord& r);
+  void Append(std::span<const LogRecord> records);
+
+  // Decodes `n` wire-format records (wire_format.h, 51 bytes each) at `src`
+  // into the columns, replacing current contents. Applies the same field
+  // validation as wire::DecodeRecord and throws std::runtime_error with the
+  // same messages on any field a valid writer could not have produced.
+  void DecodeWire(const unsigned char* src, std::size_t n);
+
+  // Appends rows [first, first + n) in wire format to `out`.
+  void EncodeWire(std::size_t first, std::size_t n,
+                  std::vector<unsigned char>& out) const;
+};
+
+// Pull interface of the block pipeline. Returned blocks stay valid until
+// the next call (or the source's destruction); nullptr means end of stream.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+  virtual const RecordBlock* NextBlock() = 0;
+};
+
+// Push interface of the block pipeline. Blocks arrive in final stream
+// order; a sink must not assume any particular block size (producers may
+// emit partial blocks, e.g. at end of stream).
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+  virtual void WriteBlock(const RecordBlock& block) = 0;
+};
+
+// Streams an in-memory TraceBuffer as SoA blocks, block_records at a time.
+class BufferBlockSource final : public BlockSource {
+ public:
+  explicit BufferBlockSource(const TraceBuffer& buffer,
+                             std::size_t block_records = kDefaultBlockRecords);
+  const RecordBlock* NextBlock() override;
+
+ private:
+  const TraceBuffer& buffer_;
+  std::size_t block_records_;
+  std::size_t pos_ = 0;
+  RecordBlock block_;
+};
+
+// Repacks any per-record RecordSource into SoA blocks of exactly
+// block_records rows (except the final partial block). This is how v1
+// traces and other legacy sources join the block pipeline.
+class ChunkBlockSource final : public BlockSource {
+ public:
+  explicit ChunkBlockSource(RecordSource& source,
+                            std::size_t block_records = kDefaultBlockRecords);
+  const RecordBlock* NextBlock() override;
+
+ private:
+  RecordSource& source_;
+  std::size_t block_records_;
+  std::span<const LogRecord> pending_;  // unconsumed tail of the last chunk
+  bool done_ = false;
+  RecordBlock block_;
+};
+
+// Appends every block to a caller-owned TraceBuffer (the in-memory bridge).
+class BlockBufferSink final : public BlockSink {
+ public:
+  explicit BlockBufferSink(TraceBuffer& out) : out_(&out) {}
+  void WriteBlock(const RecordBlock& block) override;
+
+ private:
+  TraceBuffer* out_;
+};
+
+// Discards blocks, keeping only totals (column-wise reduction).
+class BlockCountingSink final : public BlockSink {
+ public:
+  void WriteBlock(const RecordBlock& block) override;
+
+  std::uint64_t records() const { return records_; }
+  std::uint64_t response_bytes() const { return response_bytes_; }
+
+ private:
+  std::uint64_t records_ = 0;
+  std::uint64_t response_bytes_ = 0;
+};
+
+// Per-record compatibility adapter, pull side: one record at a time off a
+// block stream. Strictly for cold paths and interop — the atlas-lint rule
+// `perrecord-in-hotpath` rejects NextRecord() calls inside src/analysis and
+// src/cdn so hot loops stay on block spans.
+class PerRecordSource {
+ public:
+  explicit PerRecordSource(BlockSource& blocks) : blocks_(&blocks) {}
+  // Next record, or nullptr at end of stream. The pointer stays valid until
+  // the next call.
+  const LogRecord* NextRecord();
+
+ private:
+  BlockSource* blocks_;
+  const RecordBlock* current_ = nullptr;
+  std::size_t row_ = 0;
+  bool done_ = false;
+  LogRecord scratch_;
+};
+
+// Per-record compatibility adapter, push side: buffers pushed records into
+// an SoA block and emits it whenever full. Also a RecordSink, so any
+// span-based producer (e.g. the simulation engine) can feed a BlockSink.
+// Flush() must be called after the last record to emit the partial tail
+// block; like the sources, an unflushed adapter simply never delivers its
+// tail. Subject to the same `perrecord-in-hotpath` lint rule as the pull
+// side.
+class PerRecordSink final : public RecordSink {
+ public:
+  explicit PerRecordSink(BlockSink& sink,
+                         std::size_t block_records = kDefaultBlockRecords);
+  void PushRecord(const LogRecord& r);
+  void Write(std::span<const LogRecord> records) override;
+  // Emits the partial tail block, if any. Idempotent.
+  void Flush();
+
+ private:
+  BlockSink* sink_;
+  std::size_t block_records_;
+  RecordBlock block_;
+};
+
+}  // namespace atlas::trace

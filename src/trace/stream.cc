@@ -84,6 +84,20 @@ void TraceWriter::Append(std::span<const LogRecord> records) {
   for (const auto& r : records) Add(r);
 }
 
+void TraceWriter::AppendBlock(const RecordBlock& block) {
+  if (finished_) throw std::logic_error("TraceWriter: Add after Finish");
+  std::size_t first = 0;
+  while (first < block.size()) {
+    const std::size_t n =
+        std::min(block.size() - first, block_records_ - block_nrec_);
+    block.EncodeWire(first, n, payload_);
+    block_nrec_ += static_cast<std::uint32_t>(n);
+    total_ += n;
+    first += n;
+    if (block_nrec_ == block_records_) FlushBlock();
+  }
+}
+
 void TraceWriter::FlushBlock() {
   if (block_nrec_ == 0) return;
   WriteLe(out_, block_nrec_);
@@ -306,11 +320,11 @@ std::span<const LogRecord> TraceReader::NextChunk() {
   return version_ == 1 ? NextChunkV1() : NextChunkV2();
 }
 
-std::span<const LogRecord> TraceReader::NextChunkV1() {
+std::size_t TraceReader::ReadRawV1() {
   const std::uint64_t remaining = header_count_ - records_read_;
   if (remaining == 0) {
     done_ = true;
-    return {};
+    return 0;
   }
   const auto n = static_cast<std::size_t>(
       std::min<std::uint64_t>(remaining, chunk_records_));
@@ -320,15 +334,11 @@ std::span<const LogRecord> TraceReader::NextChunkV1() {
   if (static_cast<std::size_t>(in_.gcount()) != raw_.size()) {
     throw std::runtime_error("trace_io: truncated input");
   }
-  records_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    records_[i] = wire::DecodeRecord(raw_.data() + i * wire::kRecordWireSize);
-  }
   records_read_ += n;
-  return {records_.data(), n};
+  return n;
 }
 
-std::span<const LogRecord> TraceReader::NextChunkV2() {
+std::uint32_t TraceReader::ReadRawV2() {
   const auto nrec = ReadLe<std::uint32_t>(in_);
   const auto payload_bytes = ReadLe<std::uint32_t>(in_);
   const auto crc = ReadLe<std::uint32_t>(in_);
@@ -346,7 +356,7 @@ std::span<const LogRecord> TraceReader::NextChunkV2() {
       throw std::runtime_error("trace_io: header count mismatch");
     }
     done_ = true;
-    return {};
+    return 0;
   }
   if (nrec > kMaxBlockRecords ||
       payload_bytes != nrec * wire::kRecordWireSize) {
@@ -361,12 +371,36 @@ std::span<const LogRecord> TraceReader::NextChunkV2() {
   if (util::Crc32(raw_.data(), raw_.size()) != crc) {
     throw std::runtime_error("trace_io: block CRC mismatch");
   }
+  records_read_ += nrec;
+  return nrec;
+}
+
+std::span<const LogRecord> TraceReader::NextChunkV1() {
+  const std::size_t n = ReadRawV1();
+  if (n == 0) return {};
+  records_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records_[i] = wire::DecodeRecord(raw_.data() + i * wire::kRecordWireSize);
+  }
+  return {records_.data(), n};
+}
+
+std::span<const LogRecord> TraceReader::NextChunkV2() {
+  const std::uint32_t nrec = ReadRawV2();
+  if (nrec == 0) return {};
   records_.resize(nrec);
   for (std::size_t i = 0; i < nrec; ++i) {
     records_[i] = wire::DecodeRecord(raw_.data() + i * wire::kRecordWireSize);
   }
-  records_read_ += nrec;
   return {records_.data(), records_.size()};
+}
+
+const RecordBlock* TraceReader::NextBlock() {
+  if (done_) return nullptr;
+  const std::size_t n = version_ == 1 ? ReadRawV1() : ReadRawV2();
+  if (n == 0) return nullptr;
+  block_.DecodeWire(raw_.data(), n);
+  return &block_;
 }
 
 std::ifstream& TraceFileReader::Checked(std::ifstream& in,

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/block.h"
 #include "trace/trace_buffer.h"
 
 namespace atlas::ckpt {
@@ -40,12 +41,6 @@ class Writer;
 namespace atlas::trace {
 
 inline constexpr std::uint32_t kBlockFormatVersion = 2;
-// Records per block: 8192 * 51 B ≈ 408 KB payloads — big enough to
-// amortize syscalls, small enough that a reader's working set is trivial.
-inline constexpr std::size_t kDefaultBlockRecords = 8192;
-// Upper bound a reader will accept for one block; anything larger is
-// corruption, not a legitimate writer.
-inline constexpr std::size_t kMaxBlockRecords = 1u << 20;
 // Header count sentinel for v2 streams written to non-seekable sinks.
 inline constexpr std::uint64_t kUnknownCount = ~0ULL;
 
@@ -114,6 +109,11 @@ class TraceWriter {
 
   void Add(const LogRecord& record);
   void Append(std::span<const LogRecord> records);
+  // Batch push: encodes the SoA block straight into the wire payload. Block
+  // framing on disk depends only on block_records_ and the cumulative record
+  // count, never on the sizes of the appended blocks, so AppendBlock and
+  // Add produce byte-identical files for the same record sequence.
+  void AppendBlock(const RecordBlock& block);
   // Idempotent; throws std::runtime_error if the sink failed.
   void Finish();
 
@@ -158,17 +158,35 @@ class TraceWriter {
   bool finished_ = false;
 };
 
+// Forwards every block to a v2 TraceWriter (the out-of-core push path). The
+// caller still owns the writer and must call Finish() on it.
+class WriterBlockSink final : public BlockSink {
+ public:
+  explicit WriterBlockSink(TraceWriter& writer) : writer_(&writer) {}
+  void WriteBlock(const RecordBlock& block) override {
+    writer_->AppendBlock(block);
+  }
+
+ private:
+  TraceWriter* writer_;
+};
+
 // Reads v1 or v2 trace streams (dispatching on the header version) through
 // bounded memory. For v2, every block's length fields and CRC are verified
 // and the trailer count is cross-checked against the records actually
 // delivered, so truncation and bit-rot surface as errors, not short reads.
-class TraceReader final : public RecordSource {
+class TraceReader final : public RecordSource, public BlockSource {
  public:
   // Throws std::runtime_error on bad magic or unsupported version.
   explicit TraceReader(std::istream& in,
                        std::size_t chunk_records = kDefaultBlockRecords);
 
   std::span<const LogRecord> NextChunk() override;
+  // SoA pull path: one whole CRC block decoded column-wise per call (for
+  // v1 streams, chunk_records rows at a time); nullptr at end of stream.
+  // Framing, CRC, and trailer validation are identical to NextChunk — the
+  // two entry points share one cursor, so use one or the other.
+  const RecordBlock* NextBlock() override;
 
   std::uint32_t version() const { return version_; }
   // Count from the header; nullopt for a v2 stream whose writer could not
@@ -179,6 +197,11 @@ class TraceReader final : public RecordSource {
  private:
   std::span<const LogRecord> NextChunkV1();
   std::span<const LogRecord> NextChunkV2();
+  // Reads + validates the next raw payload into raw_ (v2: one CRC block,
+  // v1: up to chunk_records records). Returns the record count, 0 at a
+  // (validated) end of stream.
+  std::size_t ReadRawV1();
+  std::uint32_t ReadRawV2();
 
   std::istream& in_;
   std::size_t chunk_records_;
@@ -188,16 +211,18 @@ class TraceReader final : public RecordSource {
   bool done_ = false;
   std::vector<unsigned char> raw_;
   std::vector<LogRecord> records_;
+  RecordBlock block_;
 };
 
 // TraceReader over a file it owns; the usual way to hand a trace file to
 // the streaming analysis suite.
-class TraceFileReader final : public RecordSource {
+class TraceFileReader final : public RecordSource, public BlockSource {
  public:
   // Throws std::runtime_error if the file cannot be opened or parsed.
   explicit TraceFileReader(const std::string& path,
                            std::size_t chunk_records = kDefaultBlockRecords);
   std::span<const LogRecord> NextChunk() override { return reader_.NextChunk(); }
+  const RecordBlock* NextBlock() override { return reader_.NextBlock(); }
 
   std::uint32_t version() const { return reader_.version(); }
   std::optional<std::uint64_t> declared_count() const {

@@ -7,6 +7,7 @@
 // corrupt byte fails loudly instead of producing an out-of-range enum.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -19,14 +20,23 @@ namespace atlas::trace::wire {
 inline constexpr std::size_t kRecordWireSize =
     8 + 8 + 8 + 8 + 8 + 4 + 2 + 2 + 1 + 1 + 1;  // 51 bytes
 
+// On little-endian targets the wire layout matches memory, so load/store is
+// a plain memcpy (a single unaligned mov after inlining — the byte-by-byte
+// fallback is an order of magnitude slower and dominates block decode). The
+// big-endian path swaps via the same byte loop as before.
+
 template <typename T>
 inline void StoreLe(unsigned char* dst, T value) {
   static_assert(std::is_integral_v<T>);
   using U = std::make_unsigned_t<T>;
   auto u = static_cast<U>(value);
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    dst[i] = static_cast<unsigned char>(u & 0xff);
-    u = static_cast<U>(u >> 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, &u, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      dst[i] = static_cast<unsigned char>(u & 0xff);
+      u = static_cast<U>(u >> 8);
+    }
   }
 }
 
@@ -35,8 +45,12 @@ inline T LoadLe(const unsigned char* src) {
   static_assert(std::is_integral_v<T>);
   using U = std::make_unsigned_t<T>;
   U u = 0;
-  for (std::size_t i = sizeof(T); i > 0; --i) {
-    u = static_cast<U>(u << 8) | src[i - 1];
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(&u, src, sizeof(T));
+  } else {
+    for (std::size_t i = sizeof(T); i > 0; --i) {
+      u = static_cast<U>(u << 8) | src[i - 1];
+    }
   }
   return static_cast<T>(u);
 }

@@ -1,5 +1,7 @@
 #include "util/hash.h"
 
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 
 namespace atlas::util {
@@ -29,15 +31,25 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
 
 namespace {
 
-struct Crc32Table {
-  std::uint32_t entries[256];
-  Crc32Table() {
+// Slicing-by-8 CRC-32 (polynomial 0xEDB88320): table[0] is the classic
+// byte-at-a-time table, tables 1..7 advance a byte through k extra zero
+// bytes, so eight lookups retire eight input bytes per iteration. Produces
+// bit-identical results to the one-table loop — every trace CRC on disk
+// stays valid.
+struct Crc32Tables {
+  std::uint32_t t[8][256];
+  Crc32Tables() {
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int bit = 0; bit < 8; ++bit) {
         c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      entries[i] = c;
+      t[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+      }
     }
   }
 };
@@ -45,11 +57,26 @@ struct Crc32Table {
 }  // namespace
 
 std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
-  static const Crc32Table table;
+  static const Crc32Tables table;
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = table.t[7][lo & 0xFFu] ^ table.t[6][(lo >> 8) & 0xFFu] ^
+          table.t[5][(lo >> 16) & 0xFFu] ^ table.t[4][lo >> 24] ^
+          table.t[3][hi & 0xFFu] ^ table.t[2][(hi >> 8) & 0xFFu] ^
+          table.t[1][(hi >> 16) & 0xFFu] ^ table.t[0][hi >> 24];
+      p += 8;
+      size -= 8;
+    }
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = table.t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

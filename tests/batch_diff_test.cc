@@ -1,0 +1,239 @@
+// Differential golden-digest harness for the SoA batch pipeline.
+//
+// The batch refactor's contract: moving records through fixed-size SoA
+// RecordBlocks (trace/block.h) instead of one LogRecord at a time changes
+// nothing observable. FNV-1a digests prove it:
+//
+//   1. the rendered analysis report (all ten per-site modules plus trend
+//      clustering) is byte-identical between the per-record path and the
+//      block path, at 1/2/8 analysis threads, pinned to one golden digest;
+//   2. that digest is invariant to block size — swept over {1, 7, 97, 1024,
+//      4096, 8191, 8192}, sizes chosen so the sweep covers single-record
+//      blocks, prime sizes that never divide the trace, and a ragged final
+//      partial block;
+//   3. the sharded simulation's merged v2 trace is byte-identical whether
+//      the engine streams into a RecordSink or a BlockSink, with and
+//      without checkpointing armed, at 1/2/8 worker threads — the
+//      full-scenario run is pinned to the same golden digest the
+//      kill-resume suite enforces.
+//
+// Labeled `batch-diff` so CI gates the equivalence proof explicitly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/suite.h"
+#include "cdn/engine.h"
+#include "cdn/scenario.h"
+#include "synth/site_profile.h"
+#include "synth/workload.h"
+#include "trace/block.h"
+#include "trace/sink.h"
+#include "trace/stream.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace atlas {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+// Single-record blocks, primes that divide nothing, the defaults, and the
+// default's prime neighbor. The golden trace is not a multiple of any of
+// the sizes > 1, so every sweep point ends on a partial final block.
+constexpr std::size_t kBlockSweep[] = {1, 7, 97, 1024, 4096, 8191, 8192};
+
+// Same golden scenario the kill-resume suite pins: PaperAdultSites(0.01),
+// seed 42, peer fill + push. The v2 digest below must match
+// kill_resume_test's kGoldenV2Digest — two suites enforcing one constant.
+constexpr std::uint64_t kGoldenV2Digest = 0xef475dbcd9a33c2dULL;
+constexpr std::uint64_t kGoldenRecords = 53664;
+
+// Pinned digest of the full rendered report for the analysis scenario
+// below. If this moves, the batch path and the per-record path moved
+// together — a deliberate generator/analysis change; say which in the
+// commit message.
+constexpr std::uint64_t kGoldenReportDigest = 0x673b3ee6fc5b043ULL;
+
+cdn::SimulatorConfig GoldenConfig() {
+  cdn::SimulatorConfig config;
+  config.topology.edge_capacity_bytes = 256ULL << 20;
+  config.peer_fill = true;
+  config.push.enabled = true;
+  config.push.top_n = 100;
+  return config;
+}
+
+analysis::SuiteConfig ReportConfig(int threads) {
+  analysis::SuiteConfig config;
+  config.trend.min_requests = 60;
+  config.trend.max_objects = 40;
+  config.threads = threads;
+  return config;
+}
+
+const cdn::Scenario& GoldenScenario() {
+  static const cdn::Scenario* scenario = [] {
+    util::SetLogLevel(util::LogLevel::kWarn);
+    return new cdn::Scenario(synth::SiteProfile::PaperAdultSites(0.01),
+                             GoldenConfig(), 42, /*threads=*/2);
+  }();
+  return *scenario;
+}
+
+const trace::TraceBuffer& GoldenMerged() {
+  static const trace::TraceBuffer* merged =
+      new trace::TraceBuffer(GoldenScenario().MergedTrace());
+  return *merged;
+}
+
+std::uint64_t ReportDigest(analysis::AnalysisSuite& suite) {
+  std::ostringstream out;
+  suite.Render(out);
+  return util::Fnv1a64(out.str());
+}
+
+// The per-record differential baseline: one LogRecord at a time.
+std::uint64_t PerRecordReportDigest(int threads) {
+  trace::BufferSource source(GoldenMerged());
+  analysis::AnalysisSuite suite(source, GoldenScenario().registry(),
+                                ReportConfig(threads));
+  return ReportDigest(suite);
+}
+
+std::uint64_t BlockReportDigest(int threads, std::size_t block_records) {
+  trace::BufferBlockSource source(GoldenMerged(), block_records);
+  analysis::AnalysisSuite suite(source, GoldenScenario().registry(),
+                                ReportConfig(threads));
+  return ReportDigest(suite);
+}
+
+TEST(BatchDiffReportTest, PerRecordBaselineMatchesPinnedDigest) {
+  for (const int threads : kThreadCounts) {
+    EXPECT_EQ(PerRecordReportDigest(threads), kGoldenReportDigest)
+        << "threads=" << threads;
+  }
+}
+
+TEST(BatchDiffReportTest, BlockPathMatchesPerRecordAtAnyThreadCount) {
+  for (const int threads : kThreadCounts) {
+    EXPECT_EQ(BlockReportDigest(threads, trace::kDefaultBlockRecords),
+              kGoldenReportDigest)
+        << "threads=" << threads;
+  }
+}
+
+TEST(BatchDiffReportTest, ReportInvariantToBlockSizeSweep) {
+  // None of the swept sizes > 1 divides the golden trace, so every run
+  // decodes a ragged final partial block; size 1 degenerates the batch
+  // path to one-record blocks.
+  for (const std::size_t block_records : kBlockSweep) {
+    if (block_records > 1) {
+      ASSERT_NE(GoldenMerged().size() % block_records, 0u)
+          << "sweep size " << block_records
+          << " divides the trace; partial-final-block coverage lost";
+    }
+    EXPECT_EQ(BlockReportDigest(/*threads=*/2, block_records),
+              kGoldenReportDigest)
+        << "block_records=" << block_records;
+  }
+}
+
+TEST(BatchDiffSimTest, ScenarioThroughBlockSinkMatchesGoldenBytes) {
+  // Per-record producer -> SoA packer -> block-aware v2 writer must emit
+  // the exact bytes the per-record WriterSink pipeline is pinned to.
+  util::SetLogLevel(util::LogLevel::kWarn);
+  for (const int threads : kThreadCounts) {
+    std::ostringstream out;
+    trace::TraceWriter writer(out);
+    trace::WriterBlockSink block_sink(writer);
+    trace::PerRecordSink packer(block_sink);
+    cdn::StreamScenario(synth::SiteProfile::PaperAdultSites(0.01),
+                        GoldenConfig(), 42, packer, threads);
+    packer.Flush();
+    writer.Finish();
+    EXPECT_EQ(writer.written(), kGoldenRecords) << "threads=" << threads;
+    EXPECT_EQ(util::Fnv1a64(out.str()), kGoldenV2Digest)
+        << "threads=" << threads;
+  }
+}
+
+// Two-site job set for driving cdn::RunSharded directly (the scenario
+// layer normally owns this plumbing).
+struct JobSet {
+  std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;
+  std::vector<std::vector<synth::RequestEvent>> events;
+  std::vector<cdn::SiteJob> jobs;
+};
+
+const JobSet& GoldenJobs() {
+  static const JobSet* jobs = [] {
+    util::SetLogLevel(util::LogLevel::kWarn);
+    auto* js = new JobSet;
+    std::uint64_t seed = 7;
+    for (const auto& profile :
+         {synth::SiteProfile::V1(0.01), synth::SiteProfile::P2(0.01)}) {
+      auto gen = std::make_unique<synth::WorkloadGenerator>(profile, seed++);
+      js->events.push_back(gen->Generate());
+      js->generators.push_back(std::move(gen));
+    }
+    for (std::size_t i = 0; i < js->generators.size(); ++i) {
+      js->jobs.push_back({js->generators[i].get(), &js->events[i],
+                          static_cast<std::uint32_t>(i + 1)});
+    }
+    return js;
+  }();
+  return *jobs;
+}
+
+std::string RunEngineRecordSink(int threads) {
+  std::ostringstream out;
+  trace::TraceWriter writer(out);
+  trace::WriterSink sink(writer);
+  cdn::RunSharded(GoldenJobs().jobs, GoldenConfig(), sink, threads);
+  writer.Finish();
+  return out.str();
+}
+
+std::string RunEngineBlockSink(int threads) {
+  std::ostringstream out;
+  trace::TraceWriter writer(out);
+  trace::WriterBlockSink sink(writer);
+  cdn::RunSharded(GoldenJobs().jobs, GoldenConfig(), sink, threads);
+  writer.Finish();
+  return out.str();
+}
+
+TEST(BatchDiffSimTest, EngineBlockSinkOverloadMatchesRecordSink) {
+  const std::string golden = RunEngineRecordSink(/*threads=*/1);
+  ASSERT_FALSE(golden.empty());
+  for (const int threads : kThreadCounts) {
+    EXPECT_EQ(RunEngineBlockSink(threads), golden) << "threads=" << threads;
+  }
+}
+
+TEST(BatchDiffSimTest, EngineBlockSinkCheckpointCadenceNeverChangesBytes) {
+  // The checkpointing overload flushes the packer inside every snapshot
+  // commit; those extra flushes must not move a single output byte.
+  const std::string golden = RunEngineRecordSink(/*threads=*/1);
+  const std::string ckpt_path =
+      ::testing::TempDir() + "/atlas_batch_diff_engine.ckpt";
+  std::ostringstream out;
+  trace::TraceWriter writer(out);
+  trace::WriterBlockSink sink(writer);
+  cdn::CheckpointOptions opts;
+  opts.every_epochs = 24;
+  opts.path = ckpt_path;
+  opts.save_extra = [&writer](ckpt::Writer& w) { writer.SaveState(w); };
+  cdn::RunSharded(GoldenJobs().jobs, GoldenConfig(), sink, /*threads=*/2,
+                  opts);
+  writer.Finish();
+  EXPECT_EQ(out.str(), golden);
+  std::remove(ckpt_path.c_str());
+}
+
+}  // namespace
+}  // namespace atlas

@@ -17,6 +17,7 @@
 #include "cdn/scenario.h"
 #include "ckpt/checkpoint.h"
 #include "synth/site_profile.h"
+#include "trace/block.h"
 #include "trace/sink.h"
 #include "trace/stream.h"
 #include "util/hash.h"
@@ -259,6 +260,129 @@ TEST(KillResumeTest, StreamingAnalysisSaveRestoreReproducesReport) {
   std::ostringstream out;
   resumed_suite.Render(out);
   EXPECT_EQ(out.str(), golden_report);
+  std::remove(ckpt_path.c_str());
+}
+
+// Same property on the SoA batch path: consume blocks, checkpoint, restore
+// into a fresh analysis, and resume with a *different* block size so the
+// cursor lands mid-block — AddBlock's first_row skip must consume exactly
+// the unseen suffix. The resumed report must be character-identical.
+TEST(KillResumeTest, BatchStreamingAnalysisSaveRestoreReproducesReport) {
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const cdn::Scenario scenario(synth::SiteProfile::PaperAdultSites(0.004),
+                               GoldenConfig(), 11, 2);
+  const trace::TraceBuffer merged = scenario.MergedTrace();
+  ASSERT_GT(merged.size(), 1000u);
+
+  analysis::SuiteConfig config;
+  config.threads = 2;
+
+  // Uninterrupted pass, block path.
+  std::string golden_report;
+  {
+    trace::BufferBlockSource source(merged, /*block_records=*/512);
+    analysis::AnalysisSuite suite(source, scenario.registry(), config);
+    std::ostringstream out;
+    suite.Render(out);
+    golden_report = out.str();
+  }
+
+  const std::string ckpt_path =
+      ::testing::TempDir() + "/atlas_kr_batch_suite.ckpt";
+  {
+    analysis::StreamingAnalysis first(scenario.registry(), config);
+    trace::BufferBlockSource source(merged, /*block_records=*/512);
+    const std::uint64_t half = merged.size() / 2;
+    for (const auto* block = source.NextBlock();
+         block != nullptr && first.records_consumed() < half;
+         block = source.NextBlock()) {
+      first.AddBlock(*block);
+    }
+    ckpt::WriteCheckpointFile(ckpt_path, [&](ckpt::Writer& w) {
+      w.BeginSection("analysis.suite", 1);
+      first.SaveState(w);
+      w.EndSection();
+    });
+  }
+
+  analysis::StreamingAnalysis second(scenario.registry(), config);
+  {
+    auto snapshot = ckpt::ReadCheckpointFile(ckpt_path);
+    snapshot.BeginSection("analysis.suite", 1);
+    second.RestoreState(snapshot);
+    snapshot.EndSection();
+  }
+  std::uint64_t skip = second.records_consumed();
+  EXPECT_GT(skip, 0u);
+  // 384 does not divide the 512-aligned cursor, so the resume point falls
+  // inside a block and first_row does real work.
+  EXPECT_NE(skip % 384, 0u);
+  {
+    trace::BufferBlockSource source(merged, /*block_records=*/384);
+    for (const auto* block = source.NextBlock(); block != nullptr;
+         block = source.NextBlock()) {
+      if (skip >= block->size()) {
+        skip -= block->size();
+        continue;
+      }
+      second.AddBlock(*block, static_cast<std::size_t>(skip));
+      skip = 0;
+    }
+  }
+  EXPECT_EQ(second.records_consumed(), merged.size());
+  analysis::AnalysisSuite resumed_suite(second.Finalize());
+  std::ostringstream out;
+  resumed_suite.Render(out);
+  EXPECT_EQ(out.str(), golden_report);
+  std::remove(ckpt_path.c_str());
+}
+
+// The simulator-side batch path: the engine streams its merged trace
+// through the SoA packer into the v2 writer, checkpoints every epoch,
+// "dies", tears the tail, and resumes — the recovered file must reproduce
+// the golden bytes exactly. The packer flushes inside the snapshot commit,
+// so no merged record is ever buffered outside the captured state.
+TEST(KillResumeTest, BlockSinkRunResumesToGoldenBytes) {
+  util::SetLogLevel(util::LogLevel::kWarn);
+  const std::string path = ::testing::TempDir() + "/atlas_kr_batch.v2";
+  const std::string ckpt_path = ::testing::TempDir() + "/atlas_kr_batch.ckpt";
+  constexpr int kThreads = 2;
+  constexpr std::uint64_t kKill = 60;
+
+  {
+    std::ofstream out(path, std::ios::binary);
+    trace::TraceWriter writer(out);
+    trace::WriterBlockSink block_sink(writer);
+    trace::PerRecordSink packer(block_sink);
+    cdn::CheckpointOptions opts;
+    opts.every_epochs = 1;
+    opts.path = ckpt_path;
+    opts.save_extra = [&](ckpt::Writer& w) {
+      packer.Flush();  // every merged record reaches the writer's state
+      writer.SaveState(w);
+    };
+    opts.after_save = [](std::uint64_t done) { return done < kKill; };
+    cdn::StreamScenario(synth::SiteProfile::PaperAdultSites(0.01),
+                        GoldenConfig(), 42, packer, kThreads, opts);
+  }
+  std::ofstream torn(path, std::ios::binary | std::ios::app);
+  torn << "TORN-TAIL-GARBAGE";
+  torn.close();
+
+  auto snapshot = ckpt::ReadCheckpointFile(ckpt_path);
+  trace::ResumedTraceFile resumed(path, snapshot);
+  trace::WriterBlockSink block_sink(resumed.writer());
+  trace::PerRecordSink packer(block_sink);
+  cdn::CheckpointOptions opts;
+  opts.resume = &snapshot;
+  cdn::StreamScenario(synth::SiteProfile::PaperAdultSites(0.01),
+                      GoldenConfig(), 42, packer, kThreads, opts);
+  packer.Flush();
+  resumed.writer().Finish();
+  EXPECT_EQ(resumed.writer().written(), kGoldenRecords);
+  EXPECT_EQ(util::Fnv1a64(ReadFileBytes(path)), kGoldenV2Digest);
+
+  std::remove(path.c_str());
   std::remove(ckpt_path.c_str());
 }
 

@@ -1,0 +1,18 @@
+// Fixture: perrecord-in-hotpath fires on the per-record adapter calls in
+// the drain loop (lines 9 and 10). A free declaration that merely shares
+// the name (line 14) and the block-path calls (line 17) must NOT fire.
+#include "trace/block.h"
+
+using namespace atlas;
+
+void Drain(trace::PerRecordSource& source, trace::PerRecordSink& sink) {
+  while (const auto* r = source.NextRecord()) {
+    sink.PushRecord(*r);
+  }
+}
+
+const trace::LogRecord* NextRecord();
+
+void DrainBlocks(trace::BlockSource& source, trace::BlockSink& sink) {
+  while (const auto* b = source.NextBlock()) sink.WriteBlock(*b);
+}

@@ -135,6 +135,35 @@ TEST(LintCorpusTest, TraceBufferScopedToCdn) {
   ExpectFindings("tracebuffer_in_cdn.cc", "src/analysis/fixture.cc", {});
 }
 
+TEST(LintCorpusTest, PerRecordInHotPath) {
+  // Declarations sharing the adapter names and block-path calls pass; only
+  // member calls on the per-record adapters fire.
+  ExpectFindings("perrecord_in_hotpath.cc", "src/analysis/fixture.cc",
+                 {{9, "perrecord-in-hotpath"}, {10, "perrecord-in-hotpath"}});
+  ExpectFindings("perrecord_in_hotpath.cc", "src/cdn/fixture.cc",
+                 {{9, "perrecord-in-hotpath"}, {10, "perrecord-in-hotpath"}});
+}
+
+TEST(LintCorpusTest, PerRecordScopedToHotPathLayers) {
+  // The adapters themselves live in src/trace/, and tools may use them for
+  // compatibility; neither scope is flagged.
+  ExpectFindings("perrecord_in_hotpath.cc", "src/trace/fixture.cc", {});
+  ExpectFindings("perrecord_in_hotpath.cc", "tools/fixture.cc", {});
+}
+
+TEST(LintFileTest, PerRecordAllowForAdapters) {
+  // A compatibility shim inside a hot-path layer suppresses with the
+  // standard escape hatch.
+  const std::string source =
+      "#include \"trace/block.h\"\n"
+      "void Shim(atlas::trace::PerRecordSource& s) {\n"
+      "  // atlas-lint: allow(perrecord-in-hotpath)  adapter, not a hot loop\n"
+      "  while (s.NextRecord() != nullptr) {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(LintFile("src/analysis/fixture.cc", source).empty());
+}
+
 TEST(LintCorpusTest, CkptUnversionedBlob) {
   // Only raw writes inside SaveState bodies fire; declarations and writes
   // in unrelated functions pass.
@@ -183,6 +212,7 @@ TEST(LintRegistryTest, RuleNamesAreCompleteAndCovered) {
       "nondet-system-clock",  "raw-new-delete",     "narrow-byte-counter",
       "raw-std-mutex",        "mutex-unannotated",  "missing-pragma-once",
       "unordered-iter",       "tracebuffer-in-cdn", "ckpt-unversioned-blob",
+      "perrecord-in-hotpath",
   };
   const auto names = RuleNames();
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);

@@ -246,6 +246,7 @@ class FileLinter {
   void CheckPragmaOnce();
   void CheckUnorderedIteration();
   void CheckTraceBufferInCdn();
+  void CheckPerRecordInHotPath();
   void CheckCkptUnversionedBlob();
 
   std::string path_;
@@ -524,6 +525,29 @@ void FileLinter::CheckUnorderedIteration() {
   }
 }
 
+void FileLinter::CheckPerRecordInHotPath() {
+  if (!StartsWith(path_, "src/analysis/") && !StartsWith(path_, "src/cdn/")) {
+    return;
+  }
+  // A member call on the one-record-at-a-time adapters from trace/block.h.
+  // Requiring `.` or `->` before the name keeps declarations and free
+  // functions that merely share the name out of scope; matching on the
+  // flattened view catches calls split across lines.
+  static const std::regex kPerRecordCall(
+      R"((\.|->)\s*(NextRecord|PushRecord)\s*\()");
+  for (auto it =
+           std::sregex_iterator(flat_.begin(), flat_.end(), kPerRecordCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position(2));
+    Report(line_of_[at], "perrecord-in-hotpath",
+           "per-record adapter call '" + (*it)[2].str() +
+               "()' in a hot-path layer; stream whole SoA RecordBlocks "
+               "(BlockSource::NextBlock / BlockSink::WriteBlock, "
+               "trace/block.h) — compatibility shims annotate with "
+               "// atlas-lint: allow(perrecord-in-hotpath)");
+  }
+}
+
 void FileLinter::CheckCkptUnversionedBlob() {
   if (!InLibrary(path_)) return;
   // The codec itself is the one place allowed to touch raw bytes.
@@ -582,6 +606,7 @@ std::vector<Finding> FileLinter::Run() {
   CheckPragmaOnce();
   CheckUnorderedIteration();
   CheckTraceBufferInCdn();
+  CheckPerRecordInHotPath();
   CheckCkptUnversionedBlob();
   std::sort(findings_.begin(), findings_.end(),
             [](const Finding& a, const Finding& b) {
@@ -641,7 +666,8 @@ std::vector<std::string> RuleNames() {
   return {"nondet-random-device", "nondet-rand", "nondet-time",
           "nondet-system-clock", "raw-new-delete", "narrow-byte-counter",
           "raw-std-mutex", "mutex-unannotated", "missing-pragma-once",
-          "unordered-iter", "tracebuffer-in-cdn", "ckpt-unversioned-blob"};
+          "unordered-iter", "tracebuffer-in-cdn", "perrecord-in-hotpath",
+          "ckpt-unversioned-blob"};
 }
 
 std::string FormatFinding(const Finding& f) {

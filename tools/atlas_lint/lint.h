@@ -39,6 +39,13 @@
 //                                         through trace::RecordSink, never
 //                                         through a materialized buffer
 //                                         (references/pointers are fine).
+//   perrecord-in-hotpath  src/analysis/,  calls to the one-record-at-a-time
+//                         src/cdn/        adapters (NextRecord / PushRecord,
+//                                         trace/block.h) are banned in the
+//                                         hot analysis/simulation layers:
+//                                         records move as SoA RecordBlocks
+//                                         (BlockSource / BlockSink) there;
+//                                         compatibility shims annotate.
 //   ckpt-unversioned-blob src/ except     SaveState implementations must
 //                         src/ckpt/       serialize through ckpt::Writer's
 //                                         typed, versioned section API; raw

@@ -512,8 +512,12 @@ int CmdAnalyze(const std::string& in, int argc, char** argv) {
                    "skip trend clustering (Figs. 8-10); it is O(n^2) in "
                    "qualifying objects");
   flags.DefineInt("checkpoint-every", 0,
-                  "checkpoint the accumulator state every N record chunks "
+                  "checkpoint the accumulator state every N record blocks "
                   "(0 = off); atomically committed");
+  flags.DefineInt("block-records",
+                  static_cast<std::int64_t>(trace::kDefaultBlockRecords),
+                  "records per SoA batch fed to the analysis pipeline (v2 "
+                  "inputs stream in their on-disk block size)");
   flags.DefineString("checkpoint-file", "",
                      "checkpoint destination (default: <trace>.analysis.ckpt)");
   flags.DefineString("resume", "",
@@ -550,23 +554,26 @@ int CmdAnalyze(const std::string& in, int argc, char** argv) {
     std::cout << "resuming analysis at record " << skip << '\n';
   }
 
-  trace::TraceFileReader source(in);
-  std::uint64_t chunks = 0;
-  for (auto chunk = source.NextChunk(); !chunk.empty();
-       chunk = source.NextChunk()) {
-    std::span<const trace::LogRecord> rest = chunk;
+  // SoA batch path: one decoded block at a time through the demultiplexer.
+  trace::TraceFileReader source(
+      in, static_cast<std::size_t>(flags.GetInt("block-records")));
+  std::uint64_t blocks = 0;
+  for (const auto* block = source.NextBlock(); block != nullptr;
+       block = source.NextBlock()) {
+    std::size_t first_row = 0;
     if (skip > 0) {
       // The cursor contract: records the checkpoint already consumed are
-      // skipped, never re-added (re-adding would double-count).
-      const auto drop =
-          std::min<std::uint64_t>(skip, static_cast<std::uint64_t>(rest.size()));
-      rest = rest.subspan(static_cast<std::size_t>(drop));
+      // skipped, never re-added (re-adding would double-count). A resume
+      // point inside a block consumes only the block's unseen suffix.
+      const auto drop = std::min<std::uint64_t>(
+          skip, static_cast<std::uint64_t>(block->size()));
+      first_row = static_cast<std::size_t>(drop);
       skip -= drop;
-      if (rest.empty()) continue;
+      if (first_row >= block->size()) continue;
     }
-    stream.AddChunk(rest);
-    ++chunks;
-    if (every > 0 && chunks % static_cast<std::uint64_t>(every) == 0) {
+    stream.AddBlock(*block, first_row);
+    ++blocks;
+    if (every > 0 && blocks % static_cast<std::uint64_t>(every) == 0) {
       ckpt::WriteCheckpointFile(ckpt_path, [&](ckpt::Writer& w) {
         w.BeginSection(kAnalysisSection, kAnalysisSectionVersion);
         stream.SaveState(w);
