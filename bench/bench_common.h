@@ -45,7 +45,9 @@ inline cdn::PolicyKind PolicyFromName(const std::string& name) {
 // before calling.
 inline bool SetUpStudy(BenchEnv& env, int argc, char** argv,
                        const char* description) {
-  env.flags.DefineDouble("scale", 0.1, "population scale in (0, 1]");
+  env.flags.DefineDouble("scale", 0.1,
+                         "population scale in (0, 16]; 1.0 is the paper-sized "
+                         "study, >1 extrapolates past it");
   env.flags.DefineInt("seed", 42, "RNG seed");
   env.flags.DefineDouble("capacity-gb", 0.0,
                          "edge cache capacity per DC in GB (0 = auto-scale)");
@@ -92,7 +94,9 @@ struct AblationEnv {
 
 inline bool SetUpAblation(AblationEnv& env, int argc, char** argv,
                           const char* description) {
-  env.flags.DefineDouble("scale", 0.05, "population scale in (0, 1]");
+  env.flags.DefineDouble("scale", 0.05,
+                         "population scale in (0, 16]; 1.0 is the paper-sized "
+                         "study, >1 extrapolates past it");
   env.flags.DefineInt("seed", 42, "RNG seed");
   env.flags.DefineInt("threads", 0,
                       "worker threads (0 = hardware concurrency); results "

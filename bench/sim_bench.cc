@@ -13,6 +13,13 @@
 // Results land in BENCH_sim.json (override the path with
 // ATLAS_BENCH_SIM_JSON; set it empty to skip). Peak RSS is reset between
 // phases via /proc/self/clear_refs where the kernel allows it.
+//
+// --scale-sweep "0.05,1.0,5.0" switches to the scale-hardening sweep
+// instead: for each scale it times workload generation and the sharded
+// simulation separately (rec/s + peak RSS each) and writes
+// BENCH_scale.json (override with ATLAS_BENCH_SCALE_JSON). Scale 1.0 is
+// the paper-sized study; the sweep is how the README's scale >= 1.0
+// workflow documents its memory envelope.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -54,14 +61,135 @@ PhaseSample MeasurePhase(const std::function<std::uint64_t()>& fn,
   return s;
 }
 
+struct SweepPoint {
+  double scale = 0.0;
+  PhaseSample generate;
+  PhaseSample simulate;
+};
+
+// One sweep point: build the five-site study at `scale` and time the
+// generator and the engine separately. Everything is torn down before the
+// next point so peak-RSS watermarks do not bleed across scales.
+SweepPoint RunSweepPoint(double scale, std::uint64_t seed, int threads,
+                         bool& rss_reset_ok) {
+  cdn::SimulatorConfig config;
+  config.topology.edge_capacity_bytes =
+      static_cast<std::uint64_t>(64e9 * scale) + (1ULL << 30);
+
+  auto profiles = synth::SiteProfile::PaperAdultSites(scale);
+  util::Rng seeder(seed);
+  std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;
+  std::vector<std::vector<synth::RequestEvent>> events;
+  std::vector<cdn::SiteJob> jobs;
+  // jobs holds pointers into `events`; reserve so growth never reallocates.
+  generators.reserve(profiles.size());
+  events.reserve(profiles.size());
+  jobs.reserve(profiles.size());
+
+  SweepPoint point;
+  point.scale = scale;
+  point.generate = MeasurePhase(
+      [&] {
+        std::uint64_t total_events = 0;
+        for (std::size_t i = 0; i < profiles.size(); ++i) {
+          const auto& profile = profiles[i];
+          const std::uint64_t site_seed = seeder.Next();
+          generators.push_back(
+              std::make_unique<synth::WorkloadGenerator>(profile, site_seed));
+          const double inflation =
+              generators.back()->EstimateRecordsPerRequest(config.chunk_bytes);
+          const auto budget = static_cast<std::uint64_t>(std::max(
+              1.0, static_cast<double>(profile.total_requests) / inflation));
+          events.push_back(generators.back()->Generate(budget));
+          total_events += events.back().size();
+          jobs.push_back({generators.back().get(), &events.back(),
+                          static_cast<std::uint32_t>(i)});
+        }
+        return total_events;
+      },
+      rss_reset_ok);
+  point.simulate = MeasurePhase(
+      [&] {
+        trace::CountingSink sink;
+        cdn::RunSharded(jobs, config, sink, threads);
+        return sink.records();
+      },
+      rss_reset_ok);
+  return point;
+}
+
+int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads) {
+  if (threads <= 0) threads = util::DefaultThreads();
+  std::vector<double> scales;
+  for (const auto& field : util::Split(spec, ',')) {
+    scales.push_back(util::ParseDouble(field));
+  }
+  bool rss_reset_ok = true;
+  std::vector<SweepPoint> points;
+  for (const double scale : scales) {
+    points.push_back(RunSweepPoint(scale, seed, threads, rss_reset_ok));
+    const auto& p = points.back();
+    std::cout << "scale=" << util::FormatDouble(scale, 2) << ": generate "
+              << static_cast<std::uint64_t>(p.generate.records_per_s)
+              << " ev/s (peak RSS " << p.generate.peak_rss_bytes / 1024 / 1024
+              << " MB), simulate "
+              << static_cast<std::uint64_t>(p.simulate.records_per_s)
+              << " rec/s (peak RSS " << p.simulate.peak_rss_bytes / 1024 / 1024
+              << " MB), " << p.simulate.records << " records\n";
+  }
+  if (!rss_reset_ok) {
+    std::cout << "note: peak-RSS reset unavailable; RSS columns are "
+                 "process-lifetime watermarks\n";
+  }
+
+  std::string json_path = "BENCH_scale.json";
+  if (const char* override_path = std::getenv("ATLAS_BENCH_SCALE_JSON")) {
+    json_path = override_path;
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"scale\",\n  \"threads\": " << threads
+      << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"scale\": " << util::FormatDouble(p.scale, 3)
+        << ", \"records\": " << p.simulate.records
+        << ", \"generate_events_per_s\": "
+        << static_cast<std::uint64_t>(p.generate.records_per_s)
+        << ", \"generate_peak_rss_bytes\": " << p.generate.peak_rss_bytes
+        << ", \"simulate_records_per_s\": "
+        << static_cast<std::uint64_t>(p.simulate.records_per_s)
+        << ", \"simulate_peak_rss_bytes\": " << p.simulate.peak_rss_bytes
+        << "}" << (i + 1 == points.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::AblationEnv env;
+  env.flags.DefineString(
+      "scale-sweep", "",
+      "comma-separated scales (e.g. 0.05,1.0,5.0): run the scale sweep "
+      "(generation + simulation rec/s and peak RSS per scale) and write "
+      "BENCH_scale.json instead of the thread-count bench");
   if (!bench::SetUpAblation(
           env, argc, argv,
           "Sharded simulation engine throughput vs. thread count")) {
     return 0;
+  }
+  const std::string sweep = env.flags.GetString("scale-sweep");
+  if (!sweep.empty()) {
+    return RunScaleSweep(sweep, env.seed,
+                         static_cast<int>(env.flags.GetInt("threads")));
   }
 
   cdn::SimulatorConfig config;

@@ -409,12 +409,17 @@ void Engine::BuildShards() {
     // Pin every event to its user's home DC. The pinning is a pure
     // function of the user, so the per-shard event slices — and therefore
     // every cache's operation sequence — never depend on thread count.
+    // Routes are precomputed in one streaming pass over the population
+    // (event order is random, which would thrash a lazy user table).
     const synth::UserPopulation& users = jobs_[s].generator->users();
+    std::vector<std::uint8_t> user_dc(users.size(), 0);
+    users.ForEachUser([&](std::size_t u, const synth::UserInfo& user) {
+      user_dc[u] = static_cast<std::uint8_t>(
+          Topology::RouteIndex(config_.topology, user.continent, user.user_id));
+    });
     const auto& events = *jobs_[s].events;
     for (std::size_t i = 0; i < events.size(); ++i) {
-      const synth::UserInfo& user = users.user(events[i].user_index);
-      const std::size_t d =
-          Topology::RouteIndex(config_.topology, user.continent, user.user_id);
+      const std::size_t d = user_dc[events[i].user_index];
       shard(s, d).event_indices.push_back(i);
     }
   }

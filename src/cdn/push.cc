@@ -28,17 +28,21 @@ std::vector<PushItem> BuildPushPlan(const synth::Catalog& catalog,
   std::vector<PushItem> plan;
   if (!config.enabled) return plan;
 
-  // Rank eligible objects by static popularity weight.
+  // Rank eligible objects by static popularity weight. One streaming pass
+  // collects eligibility and the weights keyed by object index, so a lazy
+  // catalog materializes each shard once here instead of thrashing its
+  // cache inside the comparator.
   std::vector<std::uint32_t> eligible;
-  for (std::uint32_t i = 0; i < catalog.size(); ++i) {
-    if (PatternSelected(catalog.object(i).pattern.type, config)) {
-      eligible.push_back(i);
+  std::vector<double> weights(catalog.size(), 0.0);
+  catalog.ForEachObject([&](std::size_t i, const synth::ObjectMeta& obj) {
+    if (PatternSelected(obj.pattern.type, config)) {
+      eligible.push_back(static_cast<std::uint32_t>(i));
+      weights[i] = obj.popularity_weight;
     }
-  }
+  });
   std::sort(eligible.begin(), eligible.end(),
             [&](std::uint32_t a, std::uint32_t b) {
-              return catalog.object(a).popularity_weight >
-                     catalog.object(b).popularity_weight;
+              return weights[a] > weights[b];
             });
   if (eligible.size() > config.top_n) eligible.resize(config.top_n);
 

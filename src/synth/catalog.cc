@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/checked.h"
 #include "util/hash.h"
 
 namespace atlas::synth {
@@ -84,91 +85,114 @@ double RepresentativeTz(const SiteProfile& profile) {
 
 }  // namespace
 
-Catalog::Catalog(const SiteProfile& profile, util::Rng& rng) {
+ObjectMeta Catalog::GenerateObject(std::size_t i, util::Rng& rng) const {
+  ObjectMeta obj;
+  obj.url_hash = util::Mix64(rng.Next());
+  const std::vector<double> class_weights(profile_.object_class_mix.begin(),
+                                          profile_.object_class_mix.end());
+  obj.content_class =
+      static_cast<trace::ContentClass>(rng.NextWeighted(class_weights));
+  obj.file_type = SampleFileType(obj.content_class, profile_.kind, rng);
+  obj.size_bytes = SizeForClass(profile_, obj.content_class).Sample(rng);
+  const PatternType type = MixForClass(profile_, obj.content_class).Sample(rng);
+  obj.pattern = PatternParams::Sample(type, profile_, rng);
+
+  // Paper §IV-B: diurnal videos are smaller than long-/short-lived ones;
+  // long-lived videos are the largest. Apply mild size multipliers.
+  if (obj.content_class == trace::ContentClass::kVideo) {
+    if (type == PatternType::kDiurnal) {
+      obj.size_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(obj.size_bytes) * 0.6);
+    } else if (type == PatternType::kLongLived) {
+      obj.size_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(obj.size_bytes) * 1.6);
+    } else if (type == PatternType::kShortLived) {
+      obj.size_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(obj.size_bytes) * 1.2);
+    }
+  }
+  if (obj.size_bytes == 0) obj.size_bytes = 1;
+
+  // Static popularity: Zipf over the shuffled rank, biased per class so
+  // sites like V-2 can have per-object video demand exceed image demand.
+  const double rank = static_cast<double>(ranks_[i]);
+  obj.popularity_weight =
+      std::pow(rank, -profile_.zipf_s) *
+      profile_.class_demand_bias[static_cast<std::size_t>(obj.content_class)];
+
+  // Injection: a `preexisting_fraction` share is live at trace start (with
+  // negative ages so early decay is already over for some); the rest
+  // arrives uniformly across the week.
+  if (rng.NextBool(profile_.preexisting_fraction)) {
+    obj.injected_at_ms = -static_cast<std::int64_t>(
+        rng.NextDouble() * 3.0 * static_cast<double>(util::kMillisPerDay));
+  } else {
+    obj.injected_at_ms = static_cast<std::int64_t>(
+        rng.NextDouble() * static_cast<double>(util::kMillisPerWeek));
+  }
+  return obj;
+}
+
+Catalog::Catalog(const SiteProfile& profile, util::Rng& rng)
+    : profile_(profile) {
   profile.Validate();
   representative_tz_hours_ = RepresentativeTz(profile);
   const std::size_t n = profile.num_objects;
-  objects_.reserve(n);
 
   // Zipf ranks are assigned to a random permutation of objects so that rank
   // does not correlate with class or pattern by construction.
-  std::vector<std::uint32_t> ranks(n);
-  for (std::uint32_t i = 0; i < n; ++i) ranks[i] = i + 1;
-  rng.Shuffle(ranks);
-
-  const std::vector<double> class_weights(profile.object_class_mix.begin(),
-                                          profile.object_class_mix.end());
+  ranks_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ObjectMeta obj;
-    obj.url_hash = util::Mix64(rng.Next());
-    obj.content_class =
-        static_cast<trace::ContentClass>(rng.NextWeighted(class_weights));
-    obj.file_type = SampleFileType(obj.content_class, profile.kind, rng);
-    obj.size_bytes = SizeForClass(profile, obj.content_class).Sample(rng);
-    const PatternType type = MixForClass(profile, obj.content_class).Sample(rng);
-    obj.pattern = PatternParams::Sample(type, profile, rng);
-
-    // Paper §IV-B: diurnal videos are smaller than long-/short-lived ones;
-    // long-lived videos are the largest. Apply mild size multipliers.
-    if (obj.content_class == trace::ContentClass::kVideo) {
-      if (type == PatternType::kDiurnal) {
-        obj.size_bytes = static_cast<std::uint64_t>(
-            static_cast<double>(obj.size_bytes) * 0.6);
-      } else if (type == PatternType::kLongLived) {
-        obj.size_bytes = static_cast<std::uint64_t>(
-            static_cast<double>(obj.size_bytes) * 1.6);
-      } else if (type == PatternType::kShortLived) {
-        obj.size_bytes = static_cast<std::uint64_t>(
-            static_cast<double>(obj.size_bytes) * 1.2);
-      }
-    }
-    if (obj.size_bytes == 0) obj.size_bytes = 1;
-
-    // Static popularity: Zipf over the shuffled rank, biased per class so
-    // sites like V-2 can have per-object video demand exceed image demand.
-    const double rank = static_cast<double>(ranks[i]);
-    obj.popularity_weight =
-        std::pow(rank, -profile.zipf_s) *
-        profile.class_demand_bias[static_cast<std::size_t>(obj.content_class)];
-
-    // Injection: a `preexisting_fraction` share is live at trace start (with
-    // negative ages so early decay is already over for some); the rest
-    // arrives uniformly across the week.
-    if (rng.NextBool(profile.preexisting_fraction)) {
-      obj.injected_at_ms = -static_cast<std::int64_t>(
-          rng.NextDouble() * 3.0 * static_cast<double>(util::kMillisPerDay));
-    } else {
-      obj.injected_at_ms = static_cast<std::int64_t>(
-          rng.NextDouble() * static_cast<double>(util::kMillisPerWeek));
-    }
-    objects_.push_back(obj);
+    ranks_[i] = util::CheckedIndexU32(i + 1, "object rank");
   }
+  rng.Shuffle(ranks_);
 
-  // Build per-pattern groups and alias tables.
-  for (std::uint32_t i = 0; i < objects_.size(); ++i) {
-    const auto type = static_cast<std::size_t>(objects_[i].pattern.type);
-    groups_[type].members.push_back(i);
-    groups_[type].weights.push_back(objects_[i].popularity_weight);
-    groups_[type].weight_total += objects_[i].popularity_weight;
-  }
-  for (auto& group : groups_) {
-    if (!group.members.empty()) {
-      group.alias = std::make_unique<stats::AliasTable>(group.weights);
-    }
-  }
+  // The catalog's half of the synth-table budget (the user table gets the
+  // other half; see SiteProfile::synth_table_budget_bytes).
+  store_.BeginBuild(n, kCatalogShardItems, profile.synth_table_budget_bytes / 2);
 
-  // Precompute hourly demand masses: mass[type][hour] = sum of
-  // weight_i * multiplier_i(hour midpoint).
-  for (int h = 0; h < util::kHoursPerWeek; ++h) {
-    const std::int64_t t =
-        static_cast<std::int64_t>(h) * util::kMillisPerHour +
-        util::kMillisPerHour / 2;
-    for (const auto& obj : objects_) {
-      const auto type = static_cast<std::size_t>(obj.pattern.type);
+  // One sequential pass: generate each object from the shared stream and
+  // fold it into the resident sampling machinery (groups, hourly masses,
+  // counts). All accumulators receive contributions in object order, so the
+  // floating-point sums are identical whether the store keeps the object or
+  // drops it for lazy replay.
+  for (std::size_t i = 0; i < n; ++i) {
+    store_.BeforeItem(i, rng);
+    const ObjectMeta obj = GenerateObject(i, rng);
+    store_.Append(obj);
+
+    const auto type = static_cast<std::size_t>(obj.pattern.type);
+    groups_[type].members.push_back(util::CheckedIndexU32(i, "object"));
+    groups_[type].weights.push_back(obj.popularity_weight);
+    groups_[type].weight_total += obj.popularity_weight;
+    ++counts_by_class_[static_cast<std::size_t>(obj.content_class)];
+    ++counts_by_pattern_[type];
+    for (int h = 0; h < util::kHoursPerWeek; ++h) {
+      const std::int64_t t =
+          static_cast<std::int64_t>(h) * util::kMillisPerHour +
+          util::kMillisPerHour / 2;
       hourly_mass_[type][static_cast<std::size_t>(h)] +=
           obj.popularity_weight *
           ObjectDemandMultiplier(obj.pattern, obj.injected_at_ms, t,
                                  representative_tz_hours_);
+    }
+  }
+  store_.EndBuild([this](std::size_t shard, util::Rng& replay_rng,
+                         std::vector<ObjectMeta>& out) {
+    for (std::size_t i = store_.ShardBegin(shard); i < store_.ShardEnd(shard);
+         ++i) {
+      out.push_back(GenerateObject(i, replay_rng));
+    }
+  });
+  if (!store_.lazy()) {
+    // Replay is the only consumer of the rank permutation after the build.
+    ranks_.clear();
+    ranks_.shrink_to_fit();
+  }
+
+  for (auto& group : groups_) {
+    if (!group.members.empty()) {
+      group.alias = std::make_unique<stats::AliasTable>(group.weights);
     }
   }
 }
@@ -188,7 +212,7 @@ std::size_t Catalog::SampleObject(std::int64_t utc_ms, util::Rng& rng) const {
   if (total <= 0.0) {
     // Degenerate (e.g. single-pattern catalog before any injection): fall
     // back to static weights over everything.
-    return static_cast<std::size_t>(rng.NextBounded(objects_.size()));
+    return static_cast<std::size_t>(rng.NextBounded(store_.size()));
   }
   const auto type = rng.NextWeighted(masses);
   const PatternGroup& group = groups_[type];
@@ -199,7 +223,7 @@ std::size_t Catalog::SampleObject(std::int64_t utc_ms, util::Rng& rng) const {
   double best_alive_mult = 0.0;
   for (int attempt = 0; attempt < 128; ++attempt) {
     const std::uint32_t idx = group.members[group.alias->Sample(rng)];
-    const ObjectMeta& obj = objects_[idx];
+    const ObjectMeta obj = store_.Get(idx);
     const double mult = ObjectDemandMultiplier(
         obj.pattern, obj.injected_at_ms, utc_ms, representative_tz_hours_);
     if (mult > best_alive_mult) {
@@ -217,7 +241,7 @@ std::size_t Catalog::SampleObject(std::int64_t utc_ms, util::Rng& rng) const {
     return best_alive;
   }
   for (const std::uint32_t idx : group.members) {
-    const ObjectMeta& obj = objects_[idx];
+    const ObjectMeta obj = store_.Get(idx);
     if (ObjectDemandMultiplier(obj.pattern, obj.injected_at_ms, utc_ms,
                                representative_tz_hours_) > 0.0) {
       return idx;
@@ -237,23 +261,6 @@ double Catalog::DemandMassAt(std::int64_t utc_ms) const {
                          [static_cast<std::size_t>(hour)];
   }
   return total;
-}
-
-std::array<std::size_t, trace::kNumContentClasses> Catalog::CountsByClass()
-    const {
-  std::array<std::size_t, trace::kNumContentClasses> counts{};
-  for (const auto& obj : objects_) {
-    ++counts[static_cast<std::size_t>(obj.content_class)];
-  }
-  return counts;
-}
-
-std::array<std::size_t, kNumPatternTypes> Catalog::CountsByPattern() const {
-  std::array<std::size_t, kNumPatternTypes> counts{};
-  for (const auto& obj : objects_) {
-    ++counts[static_cast<std::size_t>(obj.pattern.type)];
-  }
-  return counts;
 }
 
 }  // namespace atlas::synth

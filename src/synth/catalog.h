@@ -6,6 +6,14 @@
 // concrete file type, size, static popularity weight, injection time, and a
 // temporal pattern. The catalog also precomputes the per-pattern hourly
 // demand masses used for time-aware object sampling.
+//
+// Storage is memory-bounded: object records live in a ShardStore that
+// keeps the table resident while it fits the profile's synth-table budget
+// and switches to lazily replayed RNG-snapshot shards past it (the
+// sampling machinery — per-pattern alias tables, hourly masses, aggregate
+// counts — stays resident in both modes; it is what SampleObject reads on
+// every draw). object() therefore returns by value; stream the catalog
+// with ForEachObject instead of holding the table.
 #pragma once
 
 #include <array>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "stats/sampler.h"
+#include "synth/shard_store.h"
 #include "synth/site_profile.h"
 #include "synth/temporal.h"
 #include "trace/record.h"
@@ -34,14 +43,29 @@ struct ObjectMeta {
   PatternParams pattern;
 };
 
+// Objects per lazy catalog shard (~1.1 MB of ObjectMeta per shard).
+inline constexpr std::size_t kCatalogShardItems = 8192;
+
 class Catalog {
  public:
-  // Builds a catalog for `profile`. All randomness comes from `rng`.
+  // Builds a catalog for `profile`. All randomness comes from `rng`; the
+  // stream is consumed identically whether the store stays resident or
+  // goes lazy, so everything downstream of the catalog is budget-invariant.
   Catalog(const SiteProfile& profile, util::Rng& rng);
 
-  const std::vector<ObjectMeta>& objects() const { return objects_; }
-  std::size_t size() const { return objects_.size(); }
-  const ObjectMeta& object(std::size_t i) const { return objects_.at(i); }
+  std::size_t size() const { return store_.size(); }
+  // By value: lazy shards are evictable, so references into them cannot be
+  // handed out. `const auto& obj = catalog.object(i)` stays valid through
+  // lifetime extension.
+  ObjectMeta object(std::size_t i) const { return store_.Get(i); }
+
+  // Streams every object in index order as fn(index, const ObjectMeta&);
+  // peak extra memory is one shard. This replaces handing out the whole
+  // table (`objects()`), which a lazy catalog cannot do.
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    store_.ForEach(fn);
+  }
 
   // Draws an object index with probability proportional to
   //   popularity_weight * ObjectDemandMultiplier(t)
@@ -52,16 +76,33 @@ class Catalog {
   // Total demand mass at an hour (for calibration / debugging).
   double DemandMassAt(std::int64_t utc_ms) const;
 
-  // Aggregate stats for reports.
-  std::array<std::size_t, trace::kNumContentClasses> CountsByClass() const;
-  std::array<std::size_t, kNumPatternTypes> CountsByPattern() const;
+  // Aggregate stats for reports (accumulated during the build pass).
+  std::array<std::size_t, trace::kNumContentClasses> CountsByClass() const {
+    return counts_by_class_;
+  }
+  std::array<std::size_t, kNumPatternTypes> CountsByPattern() const {
+    return counts_by_pattern_;
+  }
 
   // The timezone phase the catalog's diurnal patterns were generated
   // against (demand-weighted mean user offset).
   double representative_tz_hours() const { return representative_tz_hours_; }
 
+  // True when the table exceeded its budget and went lazy (scale tests).
+  bool lazy() const { return store_.lazy(); }
+  const ShardStore<ObjectMeta>& store() const { return store_; }
+
  private:
-  std::vector<ObjectMeta> objects_;
+  // Generates object `i` from `rng`: a pure function of the stream state,
+  // profile, and the object's shuffled Zipf rank — both the build pass and
+  // the lazy replay run exactly this.
+  ObjectMeta GenerateObject(std::size_t i, util::Rng& rng) const;
+
+  SiteProfile profile_;  // kept for lazy replay
+  ShardStore<ObjectMeta> store_;
+  // Shuffled Zipf rank per object; freed when the store stays resident
+  // (replay is the only consumer after construction).
+  std::vector<std::uint32_t> ranks_;
   // Per pattern type: member object indices plus an alias table over their
   // static weights.
   struct PatternGroup {
@@ -74,6 +115,8 @@ class Catalog {
   // Hourly demand mass per pattern group across the week.
   std::array<std::array<double, util::kHoursPerWeek>, kNumPatternTypes>
       hourly_mass_{};
+  std::array<std::size_t, trace::kNumContentClasses> counts_by_class_{};
+  std::array<std::size_t, kNumPatternTypes> counts_by_pattern_{};
   double representative_tz_hours_ = 0.0;
 };
 

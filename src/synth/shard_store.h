@@ -1,0 +1,198 @@
+// Memory-bounded storage for deterministically generated record tables.
+//
+// The object catalog and the user table are pure functions of (profile,
+// RNG stream): every record is produced by a fixed draw sequence. Below a
+// byte budget a ShardStore keeps the whole table resident — the layout the
+// pipeline always had, zero overhead. Above the budget it keeps only the
+// RNG snapshot taken at each shard boundary during the one sequential
+// build pass, and rematerializes a shard's records on demand by replaying
+// the generation code from that snapshot (util::Rng::Snapshot captures the
+// complete stream state, including the cached Box-Muller variate, so the
+// replay is draw-for-draw identical). Peak memory is then bounded by the
+// LRU cache of active shards instead of the total population.
+//
+// Determinism contract: the build pass consumes the owning RNG identically
+// in both modes (BeforeItem only *reads* the stream state), and a replayed
+// record is bit-identical to the one the build pass produced — so traces,
+// reports, and checkpoints never depend on the budget. tests/scale_test.cc
+// proves both properties against the pinned golden digests.
+//
+// Thread safety: Get() and ForEach() are safe to call concurrently after
+// EndBuild — the lazy cache is mutex-guarded; resident reads are lock-free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+
+namespace atlas::synth {
+
+// Preallocation clamp for the build pass (same idiom as the trace reader's
+// header-count clamp): a hostile or huge population must not OOM on
+// reserve() before generation starts — the vector still grows to the real
+// size, it just does so incrementally past the clamp.
+inline constexpr std::size_t kMaxPreallocItems = 1u << 20;
+
+template <typename T>
+class ShardStore {
+ public:
+  // Regenerates shard `shard`'s records into `out` (in index order) from
+  // `rng`, which has been restored to the snapshot taken when the build
+  // pass reached the shard's first item.
+  using ReplayFn =
+      std::function<void(std::size_t shard, util::Rng& rng, std::vector<T>& out)>;
+
+  ShardStore() = default;
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  // Starts a build of `total` items in shards of `shard_items`. The store
+  // goes lazy when the resident table would exceed `budget_bytes`; the lazy
+  // cache then holds at most max(2, budget_bytes / shard_bytes) shards.
+  void BeginBuild(std::size_t total, std::size_t shard_items,
+                  std::uint64_t budget_bytes) {
+    total_ = total;
+    shard_items_ = std::max<std::size_t>(1, shard_items);
+    lazy_ = static_cast<std::uint64_t>(total) * sizeof(T) > budget_bytes;
+    if (lazy_) {
+      const std::uint64_t shard_bytes =
+          static_cast<std::uint64_t>(shard_items_) * sizeof(T);
+      max_cached_shards_ = std::max<std::size_t>(
+          2, static_cast<std::size_t>(budget_bytes / std::max<std::uint64_t>(
+                                                         1, shard_bytes)));
+      snapshots_.reserve(
+          std::min((total_ + shard_items_ - 1) / shard_items_,
+                   kMaxPreallocItems));
+    } else {
+      items_.reserve(std::min(total_, kMaxPreallocItems));
+    }
+  }
+
+  // Called with the owning RNG immediately before item `i` is generated;
+  // records the shard-boundary snapshots the lazy replay starts from. Reads
+  // the stream state only — the build consumes `rng` identically whether or
+  // not the store is lazy.
+  void BeforeItem(std::size_t i, const util::Rng& rng) {
+    if (lazy_ && i % shard_items_ == 0) {
+      snapshots_.push_back(rng.TakeSnapshot());
+    }
+  }
+
+  void Append(const T& item) {
+    if (!lazy_) items_.push_back(item);
+  }
+
+  void EndBuild(ReplayFn replay) { replay_ = std::move(replay); }
+
+  std::size_t size() const { return total_; }
+  bool lazy() const { return lazy_; }
+  std::size_t shard_items() const { return shard_items_; }
+  std::size_t shard_count() const {
+    return total_ == 0 ? 0 : (total_ + shard_items_ - 1) / shard_items_;
+  }
+  std::size_t max_cached_shards() const { return max_cached_shards_; }
+
+  // First item index of `shard` / one past its last item.
+  std::size_t ShardBegin(std::size_t shard) const {
+    return shard * shard_items_;
+  }
+  std::size_t ShardEnd(std::size_t shard) const {
+    return std::min(total_, (shard + 1) * shard_items_);
+  }
+
+  // Returns item `i` by value: lazy shards are evictable, so references
+  // into them cannot outlive the call. `const T& x = store.Get(i)` remains
+  // valid through lifetime extension of the returned temporary.
+  T Get(std::size_t i) const {
+    if (!lazy_) return items_[i];
+    const std::size_t shard = i / shard_items_;
+    util::MutexLock lock(mu_);
+    return CachedShardLocked(shard)[i - shard * shard_items_];
+  }
+
+  // Streams every item in index order — the bounded-memory replacement for
+  // handing out the whole table. `fn(index, item)` sees each shard
+  // materialized at most once; peak extra memory is one shard.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (!lazy_) {
+      for (std::size_t i = 0; i < items_.size(); ++i) fn(i, items_[i]);
+      return;
+    }
+    std::vector<T> scratch;
+    for (std::size_t s = 0; s < shard_count(); ++s) {
+      scratch.clear();
+      Replay(s, scratch);
+      const std::size_t base = ShardBegin(s);
+      for (std::size_t j = 0; j < scratch.size(); ++j) fn(base + j, scratch[j]);
+    }
+  }
+
+  // Observability for the bounded-memory tests.
+  std::size_t cached_shards() const {
+    util::MutexLock lock(mu_);
+    return cache_.size();
+  }
+  std::uint64_t materializations() const {
+    util::MutexLock lock(mu_);
+    return materializations_;
+  }
+
+ private:
+  void Replay(std::size_t shard, std::vector<T>& out) const {
+    util::Rng rng;
+    rng.RestoreSnapshot(snapshots_[shard]);
+    out.reserve(ShardEnd(shard) - ShardBegin(shard));
+    replay_(shard, rng, out);
+  }
+
+  const std::vector<T>& CachedShardLocked(std::size_t shard) const
+      ATLAS_REQUIRES(mu_) {
+    auto it = cache_.find(shard);
+    if (it != cache_.end()) {
+      it->second.last_used = ++use_clock_;
+      return it->second.items;
+    }
+    if (cache_.size() >= max_cached_shards_) {
+      // Evict the least recently used shard. The cache is a handful of
+      // entries, so a linear scan beats maintaining an intrusive list.
+      auto lru = cache_.begin();
+      for (auto c = cache_.begin(); c != cache_.end(); ++c) {
+        if (c->second.last_used < lru->second.last_used) lru = c;
+      }
+      cache_.erase(lru);
+    }
+    CacheEntry entry;
+    entry.last_used = ++use_clock_;
+    Replay(shard, entry.items);
+    ++materializations_;
+    return cache_.emplace(shard, std::move(entry)).first->second.items;
+  }
+
+  std::size_t total_ = 0;
+  std::size_t shard_items_ = 1;
+  bool lazy_ = false;
+  std::size_t max_cached_shards_ = 0;
+  // Resident mode: the whole table. Lazy mode: empty.
+  std::vector<T> items_;
+  // Lazy mode: one RNG snapshot per shard; immutable after the build pass.
+  std::vector<util::Rng::Snapshot> snapshots_;
+  ReplayFn replay_;
+
+  struct CacheEntry {
+    std::vector<T> items;
+    std::uint64_t last_used = 0;
+  };
+  mutable util::Mutex mu_;
+  mutable std::unordered_map<std::size_t, CacheEntry> cache_
+      ATLAS_GUARDED_BY(mu_);
+  mutable std::uint64_t use_clock_ ATLAS_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t materializations_ ATLAS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace atlas::synth

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace atlas::synth {
 namespace {
@@ -10,26 +12,42 @@ namespace {
 // log of a lognormal's median gives mu directly: median = exp(mu).
 double MuFromMedian(double median) { return std::log(median); }
 
-std::size_t ScaleCount(std::size_t n, double scale, std::size_t floor_value) {
-  const auto scaled = static_cast<std::size_t>(
-      std::llround(static_cast<double>(n) * scale));
+// Scales a population count, clamping up to `floor_value` so tiny scales
+// never truncate a population to zero, and failing loudly when the scaled
+// count would overflow the uint32 index range the event arrays use.
+std::uint64_t ScaleCount64(std::uint64_t n, double scale,
+                           std::uint64_t floor_value, const char* what,
+                           std::uint64_t cap) {
+  const double scaled_d = std::llround(static_cast<double>(n) * scale);
+  const auto scaled = static_cast<std::uint64_t>(std::max(0.0, scaled_d));
+  if (scaled > cap) {
+    throw std::overflow_error(std::string("SiteProfile: scaled ") + what +
+                              " " + std::to_string(scaled) + " exceeds cap " +
+                              std::to_string(cap));
+  }
   return std::max(scaled, floor_value);
 }
 
-std::uint64_t ScaleCount64(std::uint64_t n, double scale,
-                           std::uint64_t floor_value) {
-  const auto scaled =
-      static_cast<std::uint64_t>(std::llround(static_cast<double>(n) * scale));
-  return std::max(scaled, floor_value);
+std::size_t ScaleCount(std::size_t n, double scale, std::size_t floor_value,
+                       const char* what) {
+  // Object/user indices are uint32 fields in RequestEvent; fail the
+  // factory, not the first narrowing cast five layers down.
+  return static_cast<std::size_t>(
+      ScaleCount64(n, scale, floor_value, what,
+                   std::numeric_limits<std::uint32_t>::max()));
 }
 
 void ApplyScale(SiteProfile& p, double scale) {
-  if (scale <= 0.0 || scale > 1.0) {
-    throw std::invalid_argument("SiteProfile: scale must be in (0, 1]");
+  if (!std::isfinite(scale) || scale <= 0.0 || scale > kMaxProfileScale) {
+    throw std::invalid_argument(
+        "SiteProfile: scale must be a finite value in (0, " +
+        std::to_string(kMaxProfileScale) + "]");
   }
-  p.num_objects = ScaleCount(p.num_objects, scale, 50);
-  p.num_users = ScaleCount(p.num_users, scale, 20);
-  p.total_requests = ScaleCount64(p.total_requests, scale, 500);
+  p.num_objects = ScaleCount(p.num_objects, scale, 50, "num_objects");
+  p.num_users = ScaleCount(p.num_users, scale, 20, "num_users");
+  p.total_requests =
+      ScaleCount64(p.total_requests, scale, 500, "total_requests",
+                   std::numeric_limits<std::uint64_t>::max() / 2);
 }
 
 }  // namespace
@@ -106,6 +124,18 @@ void SiteProfile::Validate() const {
   if (name.empty()) throw std::invalid_argument("SiteProfile: empty name");
   if (num_objects == 0 || num_users == 0 || total_requests == 0) {
     throw std::invalid_argument("SiteProfile: zero-sized population");
+  }
+  // Hand-built profiles get the same index-range guarantee the scaled
+  // factories enforce: every object/user index fits the events' uint32
+  // fields, so the CheckedIndexU32 conversions downstream cannot fire.
+  constexpr std::uint64_t kMaxPopulation =
+      std::numeric_limits<std::uint32_t>::max();
+  if (num_objects > kMaxPopulation || num_users > kMaxPopulation) {
+    throw std::overflow_error(
+        "SiteProfile: population exceeds the uint32 index range");
+  }
+  if (synth_table_budget_bytes == 0) {
+    throw std::invalid_argument("SiteProfile: synth_table_budget_bytes == 0");
   }
   double mix = 0.0;
   for (double f : object_class_mix) {

@@ -139,12 +139,24 @@ struct SiteProfile {
   double bad_range_rate = 0.0015;
   double beacon_rate = 0.002;
 
+  // --- memory (scale >= 1 runs) ---------------------------------------------
+  // Byte budget for the resident synthetic tables, split evenly between the
+  // object catalog and the user table. A population whose table would
+  // exceed its half switches to lazily rematerialized RNG-snapshot shards
+  // (synth/shard_store.h) with byte-identical output; the default keeps
+  // every paper-scale run fully resident. Must be > 0.
+  std::uint64_t synth_table_budget_bytes = 256ull << 20;
+
   void Validate() const;
 
   // The paper's five sites plus a non-adult control profile, calibrated to
-  // the figures cited in each factory's comment. `scale` in (0, 1] shrinks
-  // objects/users/requests proportionally (1.0 = paper-sized five-site
-  // study; benches default to a laptop-friendly scale).
+  // the figures cited in each factory's comment. `scale` in
+  // (0, kMaxProfileScale] scales objects/users/requests proportionally:
+  // 1.0 = the paper-sized five-site study, > 1 extrapolates past it (the
+  // ROADMAP's 80M-user direction), and tiny values are clamped to small
+  // population floors instead of truncating to zero. Out-of-range,
+  // non-finite, or uint32-overflowing results throw (std::invalid_argument
+  // / std::overflow_error) — never silently wrap.
   static SiteProfile V1(double scale = 1.0);
   static SiteProfile V2(double scale = 1.0);
   static SiteProfile P1(double scale = 1.0);
@@ -155,5 +167,11 @@ struct SiteProfile {
   // All five adult sites, in paper order.
   static std::vector<SiteProfile> PaperAdultSites(double scale = 1.0);
 };
+
+// Largest supported population scale. 16x the paper's five-site study is
+// ~150M logical requests/week — past that, object/user indices approach
+// the uint32 event-field range and the floors/caps need re-auditing, so
+// the factories fail loudly instead of extrapolating silently.
+inline constexpr double kMaxProfileScale = 16.0;
 
 }  // namespace atlas::synth

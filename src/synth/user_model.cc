@@ -1,5 +1,6 @@
 #include "synth/user_model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/hash.h"
@@ -67,35 +68,54 @@ Continent ContinentFromTzQuarterHours(std::int8_t tz_quarter_hours) {
   return Continent::kNorthAmerica;
 }
 
-UserPopulation::UserPopulation(const SiteProfile& profile, util::Rng& rng) {
-  profile.Validate();
+UserInfo UserPopulation::GenerateUser(util::Rng& rng) const {
   const auto& bank = trace::UaBank::Instance();
-  users_.reserve(profile.num_users);
+  const std::vector<double> device_weights(profile_.device_mix.begin(),
+                                           profile_.device_mix.end());
+  const std::vector<double> continent_weights(profile_.continent_mix.begin(),
+                                              profile_.continent_mix.end());
+  UserInfo u;
+  u.user_id = util::Mix64(rng.Next() | 1);
+  u.device = static_cast<trace::DeviceType>(rng.NextWeighted(device_weights));
+  const auto ua_ids = bank.IdsForDevice(u.device);
+  u.user_agent_id = ua_ids[rng.NextBounded(ua_ids.size())];
+  u.continent = static_cast<Continent>(rng.NextWeighted(continent_weights));
+  const auto& tz_choices = TzChoicesFor(u.continent);
+  std::vector<double> tz_w;
+  tz_w.reserve(tz_choices.size());
+  for (const auto& c : tz_choices) tz_w.push_back(c.weight);
+  u.tz_offset_quarter_hours = tz_choices[rng.NextWeighted(tz_w)].quarter_hours;
+  u.activity = rng.NextPareto(1.0, profile_.user_activity_alpha);
+  u.incognito = rng.NextBool(profile_.incognito_rate);
+  return u;
+}
 
-  const std::vector<double> device_weights(profile.device_mix.begin(),
-                                           profile.device_mix.end());
-  const std::vector<double> continent_weights(profile.continent_mix.begin(),
-                                              profile.continent_mix.end());
+UserPopulation::UserPopulation(const SiteProfile& profile, util::Rng& rng)
+    : profile_(profile) {
+  profile.Validate();
+  const std::size_t n = profile.num_users;
+
+  // The user table's half of the synth-table budget (the catalog gets the
+  // other half; see SiteProfile::synth_table_budget_bytes).
+  store_.BeginBuild(n, kUserShardItems, profile.synth_table_budget_bytes / 2);
 
   std::vector<double> activities;
-  activities.reserve(profile.num_users);
-  for (std::size_t i = 0; i < profile.num_users; ++i) {
-    UserInfo u;
-    u.user_id = util::Mix64(rng.Next() | 1);
-    u.device = static_cast<trace::DeviceType>(rng.NextWeighted(device_weights));
-    const auto ua_ids = bank.IdsForDevice(u.device);
-    u.user_agent_id = ua_ids[rng.NextBounded(ua_ids.size())];
-    u.continent = static_cast<Continent>(rng.NextWeighted(continent_weights));
-    const auto& tz_choices = TzChoicesFor(u.continent);
-    std::vector<double> tz_w;
-    tz_w.reserve(tz_choices.size());
-    for (const auto& c : tz_choices) tz_w.push_back(c.weight);
-    u.tz_offset_quarter_hours = tz_choices[rng.NextWeighted(tz_w)].quarter_hours;
-    u.activity = rng.NextPareto(1.0, profile.user_activity_alpha);
-    u.incognito = rng.NextBool(profile.incognito_rate);
+  activities.reserve(std::min(n, kMaxPreallocItems));
+  for (std::size_t i = 0; i < n; ++i) {
+    store_.BeforeItem(i, rng);
+    const UserInfo u = GenerateUser(rng);
+    store_.Append(u);
     activities.push_back(u.activity);
-    users_.push_back(u);
+    ++device_counts_[static_cast<std::size_t>(u.device)];
   }
+  store_.EndBuild([this](std::size_t shard, util::Rng& replay_rng,
+                         std::vector<UserInfo>& out) {
+    const std::size_t count =
+        store_.ShardEnd(shard) - store_.ShardBegin(shard);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(GenerateUser(replay_rng));
+    }
+  });
   activity_alias_ = std::make_unique<stats::AliasTable>(activities);
 }
 
@@ -106,11 +126,11 @@ std::size_t UserPopulation::SampleUser(util::Rng& rng) const {
 std::array<double, trace::kNumDeviceTypes> UserPopulation::DeviceShares()
     const {
   std::array<double, trace::kNumDeviceTypes> shares{};
-  if (users_.empty()) return shares;
-  for (const auto& u : users_) {
-    shares[static_cast<std::size_t>(u.device)] += 1.0;
+  if (store_.size() == 0) return shares;
+  for (std::size_t d = 0; d < shares.size(); ++d) {
+    shares[d] = static_cast<double>(device_counts_[d]) /
+                static_cast<double>(store_.size());
   }
-  for (auto& s : shares) s /= static_cast<double>(users_.size());
   return shares;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "stats/sampler.h"
+#include "synth/shard_store.h"
 #include "synth/site_profile.h"
 #include "trace/record.h"
 #include "trace/useragent.h"
@@ -47,23 +48,50 @@ struct UserInfo {
   bool incognito = false;
 };
 
+// Users per lazy population shard (~1 MB of UserInfo per shard).
+inline constexpr std::size_t kUserShardItems = 32768;
+
 class UserPopulation {
  public:
+  // All randomness comes from `rng`; the stream is consumed identically
+  // whether the table stays resident (fits its half of the profile's
+  // synth-table budget) or switches to lazily replayed RNG-snapshot shards.
   UserPopulation(const SiteProfile& profile, util::Rng& rng);
 
-  std::size_t size() const { return users_.size(); }
-  const UserInfo& user(std::size_t i) const { return users_.at(i); }
-  const std::vector<UserInfo>& users() const { return users_; }
+  std::size_t size() const { return store_.size(); }
+  // By value: lazy shards are evictable, so references into them cannot be
+  // handed out. `const auto& u = users.user(i)` stays valid through
+  // lifetime extension.
+  UserInfo user(std::size_t i) const { return store_.Get(i); }
+
+  // Streams every user in index order as fn(index, const UserInfo&); peak
+  // extra memory is one shard. This replaces handing out the whole table
+  // (`users()`), which a lazy population cannot do.
+  template <typename Fn>
+  void ForEachUser(Fn&& fn) const {
+    store_.ForEach(fn);
+  }
 
   // Draws a user index proportionally to activity.
   std::size_t SampleUser(util::Rng& rng) const;
 
-  // Fraction of users per device type (ground truth for Fig. 4 validation).
+  // Fraction of users per device type (ground truth for Fig. 4 validation;
+  // accumulated during the build pass).
   std::array<double, trace::kNumDeviceTypes> DeviceShares() const;
 
+  // True when the table exceeded its budget and went lazy (scale tests).
+  bool lazy() const { return store_.lazy(); }
+  const ShardStore<UserInfo>& store() const { return store_; }
+
  private:
-  std::vector<UserInfo> users_;
+  UserInfo GenerateUser(util::Rng& rng) const;
+
+  SiteProfile profile_;  // kept for lazy replay
+  ShardStore<UserInfo> store_;
+  // Resident regardless of mode: SampleUser must weight the whole
+  // population (~24 bytes/user, counted against the budget in DESIGN.md).
   std::unique_ptr<stats::AliasTable> activity_alias_;
+  std::array<std::size_t, trace::kNumDeviceTypes> device_counts_{};
 };
 
 }  // namespace atlas::synth

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/checked.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/par.h"
@@ -14,6 +15,10 @@ namespace atlas::synth {
 namespace {
 // Layout of the generator's checkpoint blob (fingerprint + RNG stream).
 constexpr std::uint32_t kWorkloadStateVersion = 1;
+
+// Event-buffer preallocation clamp (the PR 2 trace_io idiom): a hostile or
+// huge logical budget must not OOM on reserve() before generation starts.
+constexpr std::uint64_t kMaxPreallocEvents = 1u << 20;
 }  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const SiteProfile& profile,
@@ -34,8 +39,8 @@ void WorkloadGenerator::BuildShards() {
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     GenShard shard;
-    shard.user_lo = static_cast<std::uint32_t>(s * n / shard_count);
-    shard.user_hi = static_cast<std::uint32_t>((s + 1) * n / shard_count);
+    shard.user_lo = util::CheckedIndexU32(s * n / shard_count, "user");
+    shard.user_hi = util::CheckedIndexU32((s + 1) * n / shard_count, "user");
     std::vector<double> activities;
     activities.reserve(shard.user_hi - shard.user_lo);
     for (std::uint32_t u = shard.user_lo; u < shard.user_hi; ++u) {
@@ -77,7 +82,8 @@ RequestEvent WorkloadGenerator::MakeRequest(
     }
   }
   if (!repeated) {
-    ev.object_index = static_cast<std::uint32_t>(catalog_.SampleObject(t, rng));
+    ev.object_index = util::CheckedIndexU32(catalog_.SampleObject(t, rng),
+                                            "object");
     // Only video content is sticky enough to adopt (Fig. 14: image objects
     // rarely exceed 10 requests per user; video objects frequently do).
     const auto& obj = catalog_.object(ev.object_index);
@@ -127,14 +133,16 @@ std::vector<RequestEvent> WorkloadGenerator::GenerateShard(
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> favorites;
 
   std::vector<RequestEvent> events;
-  events.reserve(budget + budget / 8);
+  events.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(budget + budget / 8, kMaxPreallocEvents)));
 
   const double geom_p = 1.0 / profile_.mean_requests_per_session;
   const double iat_mu = std::log(profile_.iat_median_s);
 
   while (events.size() < budget) {
-    const auto user_index =
-        shard.user_lo + static_cast<std::uint32_t>(shard.user_alias->Sample(rng));
+    const std::uint32_t user_index =
+        shard.user_lo +
+        util::CheckedIndexU32(shard.user_alias->Sample(rng), "user");
     const UserInfo& user = users_.user(user_index);
 
     // Session start: local-time draw from the site curve, converted to UTC.
@@ -193,7 +201,8 @@ std::vector<RequestEvent> WorkloadGenerator::Generate(
   // Deterministic merge: concatenate in shard order, then stable-sort by
   // timestamp. Both steps are independent of the thread count.
   std::vector<RequestEvent> events;
-  events.reserve(budget);
+  events.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(budget, kMaxPreallocEvents)));
   for (auto& shard_events : per_shard) {
     events.insert(events.end(), shard_events.begin(), shard_events.end());
     shard_events.clear();
@@ -217,7 +226,7 @@ double WorkloadGenerator::EstimateRecordsPerRequest(
   // ceil(watched_bytes / chunk) records; everything else stays one record.
   double weight_total = 0.0;
   double records = 0.0;
-  for (const auto& obj : catalog_.objects()) {
+  catalog_.ForEachObject([&](std::size_t, const ObjectMeta& obj) {
     const double w = obj.popularity_weight;
     weight_total += w;
     if (obj.content_class == trace::ContentClass::kVideo) {
@@ -228,7 +237,7 @@ double WorkloadGenerator::EstimateRecordsPerRequest(
     } else {
       records += w;
     }
-  }
+  });
   return weight_total > 0.0 ? records / weight_total : 1.0;
 }
 

@@ -1,0 +1,29 @@
+// Checked narrowing conversions.
+//
+// Object and user indices travel through the pipeline as uint32_t (half the
+// footprint of size_t in the event arrays, which dominate generation
+// memory). Populations are validated to fit 32 bits (SiteProfile::Validate),
+// so a narrowing that would truncate is always a logic error upstream —
+// these helpers turn the silent wrap the old static_casts allowed into an
+// immediate, descriptive failure. atlas-lint's `unchecked-index-cast` rule
+// keeps raw static_cast<uint32_t> out of src/synth.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace atlas::util {
+
+// Narrows a 64-bit index to uint32_t, throwing std::overflow_error (with
+// `what` naming the index) instead of wrapping when it does not fit.
+inline std::uint32_t CheckedIndexU32(std::uint64_t v, const char* what) {
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error(std::string(what) + " index " +
+                              std::to_string(v) + " exceeds uint32 range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace atlas::util

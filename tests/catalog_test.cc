@@ -24,7 +24,8 @@ TEST(CatalogTest, SizeMatchesProfile) {
 TEST(CatalogTest, UrlHashesUnique) {
   const auto catalog = MakeCatalog(SiteProfile::P1(0.05));
   std::set<std::uint64_t> hashes;
-  for (const auto& obj : catalog.objects()) hashes.insert(obj.url_hash);
+  catalog.ForEachObject(
+      [&](std::size_t, const ObjectMeta& obj) { hashes.insert(obj.url_hash); });
   EXPECT_EQ(hashes.size(), catalog.size());
 }
 
@@ -39,9 +40,9 @@ TEST(CatalogTest, ClassMixMatchesProfile) {
 
 TEST(CatalogTest, FileTypesAgreeWithClasses) {
   const auto catalog = MakeCatalog(SiteProfile::V1(0.05));
-  for (const auto& obj : catalog.objects()) {
+  catalog.ForEachObject([](std::size_t, const ObjectMeta& obj) {
     EXPECT_EQ(trace::ClassOf(obj.file_type), obj.content_class);
-  }
+  });
 }
 
 TEST(CatalogTest, PatternMixRoughlyMatches) {
@@ -50,12 +51,12 @@ TEST(CatalogTest, PatternMixRoughlyMatches) {
   // Count video-object patterns; compare against the profile's video mix.
   std::array<double, kNumPatternTypes> counts{};
   double video_total = 0;
-  for (const auto& obj : catalog.objects()) {
+  catalog.ForEachObject([&](std::size_t, const ObjectMeta& obj) {
     if (obj.content_class == trace::ContentClass::kVideo) {
       ++counts[static_cast<std::size_t>(obj.pattern.type)];
       ++video_total;
     }
-  }
+  });
   ASSERT_GT(video_total, 100);
   for (int t = 0; t < kNumPatternTypes; ++t) {
     EXPECT_NEAR(counts[static_cast<std::size_t>(t)] / video_total,
@@ -70,31 +71,31 @@ TEST(CatalogTest, InjectionSplitMatchesPreexistingFraction) {
   profile.preexisting_fraction = 0.5;
   const auto catalog = MakeCatalog(profile);
   double preexisting = 0;
-  for (const auto& obj : catalog.objects()) {
+  catalog.ForEachObject([&](std::size_t, const ObjectMeta& obj) {
     if (obj.injected_at_ms <= 0) ++preexisting;
     EXPECT_LT(obj.injected_at_ms, util::kMillisPerWeek);
     EXPECT_GE(obj.injected_at_ms, -3 * util::kMillisPerDay);
-  }
+  });
   EXPECT_NEAR(preexisting / static_cast<double>(catalog.size()), 0.5, 0.05);
 }
 
 TEST(CatalogTest, SizesWithinModelBounds) {
   const auto profile = SiteProfile::V1(0.05);
   const auto catalog = MakeCatalog(profile);
-  for (const auto& obj : catalog.objects()) {
+  catalog.ForEachObject([](std::size_t, const ObjectMeta& obj) {
     EXPECT_GT(obj.size_bytes, 0u);
     if (obj.content_class == trace::ContentClass::kImage) {
       EXPECT_LE(obj.size_bytes, 2e6);  // image model caps at 1.5 MB
     }
-  }
+  });
 }
 
 TEST(CatalogTest, DiurnalVideosSmallerThanLongLived) {
   // Paper §IV-B: diurnal videos are smaller; long-lived are the largest.
   const auto catalog = MakeCatalog(SiteProfile::V1(0.3), 9);
   double diurnal_sum = 0, diurnal_n = 0, long_sum = 0, long_n = 0;
-  for (const auto& obj : catalog.objects()) {
-    if (obj.content_class != trace::ContentClass::kVideo) continue;
+  catalog.ForEachObject([&](std::size_t, const ObjectMeta& obj) {
+    if (obj.content_class != trace::ContentClass::kVideo) return;
     if (obj.pattern.type == PatternType::kDiurnal) {
       diurnal_sum += static_cast<double>(obj.size_bytes);
       ++diurnal_n;
@@ -102,7 +103,7 @@ TEST(CatalogTest, DiurnalVideosSmallerThanLongLived) {
       long_sum += static_cast<double>(obj.size_bytes);
       ++long_n;
     }
-  }
+  });
   ASSERT_GT(diurnal_n, 50);
   ASSERT_GT(long_n, 50);
   EXPECT_GT(long_sum / long_n, diurnal_sum / diurnal_n);

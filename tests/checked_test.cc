@@ -1,0 +1,34 @@
+#include "util/checked.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace atlas::util {
+namespace {
+
+TEST(CheckedIndexU32Test, PassesThroughTheFullRange) {
+  EXPECT_EQ(CheckedIndexU32(0, "test"), 0u);
+  EXPECT_EQ(CheckedIndexU32(12345, "test"), 12345u);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(CheckedIndexU32(kMax, "test"), kMax);
+}
+
+TEST(CheckedIndexU32Test, ThrowsLoudlyPastTheRange) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_THROW(CheckedIndexU32(kMax + 1, "object"), std::overflow_error);
+  EXPECT_THROW(CheckedIndexU32(std::numeric_limits<std::uint64_t>::max(),
+                               "user"),
+               std::overflow_error);
+  // The message names the index kind, so an overflow is actionable.
+  try {
+    CheckedIndexU32(kMax + 1, "object");
+    FAIL() << "expected std::overflow_error";
+  } catch (const std::overflow_error& e) {
+    EXPECT_NE(std::string(e.what()).find("object"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace atlas::util

@@ -386,5 +386,61 @@ TEST(KillResumeTest, BlockSinkRunResumesToGoldenBytes) {
   std::remove(ckpt_path.c_str());
 }
 
+// Lazy-shard runs are crash-consistent too — and the synth-table budget is
+// a pure execution knob, deliberately excluded from the scenario
+// fingerprint: a run killed with its tables forced into lazy RNG-snapshot
+// shards resumes against a *resident* reconstruction (and vice versa) and
+// still reproduces the golden bytes exactly.
+TEST(KillResumeTest, LazyShardRunResumesAcrossBudgetsToGoldenBytes) {
+  util::SetLogLevel(util::LogLevel::kWarn);
+  constexpr int kThreads = 2;
+  constexpr std::uint64_t kKill = 60;
+  // {budget at kill, budget at resume}: lazy->resident and resident->lazy.
+  constexpr std::uint64_t kLazyBudget = 1u << 16;
+  constexpr std::uint64_t kResidentBudget = 256ULL << 20;
+  const std::uint64_t budget_pairs[][2] = {
+      {kLazyBudget, kResidentBudget},
+      {kResidentBudget, kLazyBudget},
+  };
+
+  for (const auto& budgets : budget_pairs) {
+    const std::string tag = budgets[0] == kLazyBudget ? "_l2r" : "_r2l";
+    const std::string path = ::testing::TempDir() + "/atlas_kr_lazy" + tag + ".v2";
+    const std::string ckpt_path =
+        ::testing::TempDir() + "/atlas_kr_lazy" + tag + ".ckpt";
+
+    auto sites = synth::SiteProfile::PaperAdultSites(0.01);
+    {
+      for (auto& site : sites) site.synth_table_budget_bytes = budgets[0];
+      std::ofstream out(path, std::ios::binary);
+      trace::TraceWriter writer(out);
+      trace::WriterSink sink(writer);
+      cdn::CheckpointOptions opts;
+      opts.every_epochs = 1;
+      opts.path = ckpt_path;
+      opts.save_extra = [&](ckpt::Writer& w) { writer.SaveState(w); };
+      opts.after_save = [](std::uint64_t done) { return done < kKill; };
+      cdn::StreamScenario(sites, GoldenConfig(), 42, sink, kThreads, opts);
+    }
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    torn << "TORN-TAIL-GARBAGE";
+    torn.close();
+
+    for (auto& site : sites) site.synth_table_budget_bytes = budgets[1];
+    auto snapshot = ckpt::ReadCheckpointFile(ckpt_path);
+    trace::ResumedTraceFile resumed(path, snapshot);
+    trace::WriterSink sink(resumed.writer());
+    cdn::CheckpointOptions opts;
+    opts.resume = &snapshot;
+    cdn::StreamScenario(sites, GoldenConfig(), 42, sink, kThreads, opts);
+    resumed.writer().Finish();
+    EXPECT_EQ(resumed.writer().written(), kGoldenRecords) << tag;
+    EXPECT_EQ(util::Fnv1a64(ReadFileBytes(path)), kGoldenV2Digest) << tag;
+
+    std::remove(path.c_str());
+    std::remove(ckpt_path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace atlas

@@ -1,0 +1,12 @@
+// Fixture: unchecked-index-cast fires on lines 8 and 9 (both spellings of
+// the narrowing cast). Line 11 must NOT fire: CheckedIndexU32 is the
+// sanctioned conversion. Line 12 must NOT fire: widening casts are fine.
+#include <cstdint>
+
+std::uint64_t Sample();
+
+std::uint32_t a = static_cast<std::uint32_t>(Sample());
+std::uint32_t b = static_cast<uint32_t>(Sample());
+
+std::uint32_t c = CheckedIndexU32(Sample(), "object");
+std::uint64_t d = static_cast<std::uint64_t>(42);

@@ -120,6 +120,14 @@ TEST(LintCorpusTest, UnorderedIter) {
                  {{11, "unordered-iter"}});
 }
 
+TEST(LintCorpusTest, UncheckedIndexCast) {
+  ExpectFindings("unchecked_index_cast.cc", "src/synth/fixture.cc",
+                 {{8, "unchecked-index-cast"}, {9, "unchecked-index-cast"}});
+  // The rule is scoped to the synth layer: the same content elsewhere is
+  // clean (the cdn/analysis layers have their own 64-bit counter rule).
+  ExpectFindings("unchecked_index_cast.cc", "src/util/fixture.cc", {});
+}
+
 TEST(LintCorpusTest, AllowPragmaSuppresses) {
   ExpectFindings("allow_suppression.cc", "src/synth/fixture.cc", {});
 }
@@ -212,7 +220,7 @@ TEST(LintRegistryTest, RuleNamesAreCompleteAndCovered) {
       "nondet-system-clock",  "raw-new-delete",     "narrow-byte-counter",
       "raw-std-mutex",        "mutex-unannotated",  "missing-pragma-once",
       "unordered-iter",       "tracebuffer-in-cdn", "ckpt-unversioned-blob",
-      "perrecord-in-hotpath",
+      "perrecord-in-hotpath", "unchecked-index-cast",
   };
   const auto names = RuleNames();
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);

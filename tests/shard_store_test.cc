@@ -1,0 +1,142 @@
+// Unit tests for synth::ShardStore: the two storage modes must be
+// observationally identical, the lazy replay must be draw-for-draw exact,
+// and concurrent Get() must be safe (this file runs under the sanitize
+// label's TSan build via scale_test).
+#include "synth/shard_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace atlas::synth {
+namespace {
+
+// A table whose records are raw RNG draws: any replay misalignment (a
+// missed snapshot, an off-by-one shard boundary, a stray draw) changes
+// every subsequent value.
+struct Record {
+  std::uint64_t value = 0;
+  double gaussian = 0.0;
+};
+
+Record GenerateRecord(util::Rng& rng) {
+  Record r;
+  r.value = rng.Next();
+  // NextGaussian caches its Box-Muller pair, so the snapshot must carry
+  // the cached variate for replay to stay aligned.
+  r.gaussian = rng.NextGaussian();
+  return r;
+}
+
+// Builds a store over `total` records; `budget_bytes` selects the mode.
+void Build(ShardStore<Record>& store, std::size_t total,
+           std::size_t shard_items, std::uint64_t budget_bytes,
+           std::uint64_t seed, std::vector<Record>* expect = nullptr) {
+  util::Rng rng(seed);
+  store.BeginBuild(total, shard_items, budget_bytes);
+  for (std::size_t i = 0; i < total; ++i) {
+    store.BeforeItem(i, rng);
+    const Record r = GenerateRecord(rng);
+    store.Append(r);
+    if (expect != nullptr) expect->push_back(r);
+  }
+  store.EndBuild([&store](std::size_t shard, util::Rng& replay_rng,
+                          std::vector<Record>& out) {
+    const std::size_t count =
+        store.ShardEnd(shard) - store.ShardBegin(shard);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(GenerateRecord(replay_rng));
+    }
+  });
+}
+
+TEST(ShardStoreTest, ResidentModeKeepsEverything) {
+  ShardStore<Record> store;
+  std::vector<Record> expect;
+  Build(store, 1000, 64, /*budget_bytes=*/1u << 20, 42, &expect);
+  EXPECT_FALSE(store.lazy());
+  EXPECT_EQ(store.size(), 1000u);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(store.Get(i).value, expect[i].value);
+  }
+  EXPECT_EQ(store.materializations(), 0u);
+}
+
+TEST(ShardStoreTest, LazyReplayIsDrawForDrawExact) {
+  ShardStore<Record> store;
+  std::vector<Record> expect;
+  // 1000 records * 16 B >> 256 B: lazy, with a tiny two-shard cache.
+  Build(store, 1000, 64, /*budget_bytes=*/256, 42, &expect);
+  ASSERT_TRUE(store.lazy());
+  EXPECT_EQ(store.shard_count(), (1000u + 63) / 64);
+  EXPECT_EQ(store.max_cached_shards(), 2u);
+
+  // Random access across all shards (forces evictions).
+  util::Rng access(7);
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t idx = access.NextBounded(store.size());
+    const Record got = store.Get(idx);
+    ASSERT_EQ(got.value, expect[idx].value) << idx;
+    ASSERT_EQ(got.gaussian, expect[idx].gaussian) << idx;
+    ASSERT_LE(store.cached_shards(), store.max_cached_shards());
+  }
+  EXPECT_GT(store.materializations(), store.shard_count());
+
+  // ForEach streams in index order without disturbing the cache contract.
+  std::size_t next = 0;
+  store.ForEach([&](std::size_t i, const Record& r) {
+    ASSERT_EQ(i, next++);
+    ASSERT_EQ(r.value, expect[i].value);
+  });
+  EXPECT_EQ(next, expect.size());
+}
+
+TEST(ShardStoreTest, LazyAndResidentAgreeFromTheSameSeed) {
+  ShardStore<Record> resident, lazy;
+  Build(resident, 500, 32, 1u << 20, 99);
+  Build(lazy, 500, 32, 128, 99);
+  ASSERT_FALSE(resident.lazy());
+  ASSERT_TRUE(lazy.lazy());
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(resident.Get(i).value, lazy.Get(i).value) << i;
+    EXPECT_EQ(resident.Get(i).gaussian, lazy.Get(i).gaussian) << i;
+  }
+}
+
+TEST(ShardStoreTest, ShardBoundsPartitionTheTable) {
+  ShardStore<Record> store;
+  Build(store, 130, 64, 128, 1);
+  ASSERT_TRUE(store.lazy());
+  ASSERT_EQ(store.shard_count(), 3u);
+  EXPECT_EQ(store.ShardBegin(0), 0u);
+  EXPECT_EQ(store.ShardEnd(0), 64u);
+  EXPECT_EQ(store.ShardBegin(2), 128u);
+  EXPECT_EQ(store.ShardEnd(2), 130u);  // short tail shard
+}
+
+TEST(ShardStoreTest, ConcurrentLazyGetsAreConsistent) {
+  ShardStore<Record> store;
+  std::vector<Record> expect;
+  Build(store, 2000, 64, 256, 23, &expect);
+  ASSERT_TRUE(store.lazy());
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&store, &expect, w] {
+      util::Rng access(100 + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < 2000; ++i) {
+        const std::size_t idx = access.NextBounded(store.size());
+        const Record got = store.Get(idx);
+        ASSERT_EQ(got.value, expect[idx].value);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace
+}  // namespace atlas::synth

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/rng.h"
 
 namespace atlas::synth {
@@ -129,8 +132,30 @@ TEST(SiteProfileTest, VideoSitesMoreAddictive) {
 
 TEST(SiteProfileTest, ScaleOutOfRangeThrows) {
   EXPECT_THROW(SiteProfile::V1(0.0), std::invalid_argument);
-  EXPECT_THROW(SiteProfile::V1(1.5), std::invalid_argument);
   EXPECT_THROW(SiteProfile::V1(-1.0), std::invalid_argument);
+  EXPECT_THROW(SiteProfile::V1(kMaxProfileScale * 2), std::invalid_argument);
+  EXPECT_THROW(SiteProfile::V1(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(SiteProfile::V1(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(SiteProfileTest, ScaleAboveOneExtrapolates) {
+  // Scale > 1 is the paper-scale regime: populations keep growing linearly
+  // instead of truncating or silently overflowing.
+  const auto base = SiteProfile::V1(1.0);
+  const auto big = SiteProfile::V1(5.0);
+  EXPECT_NO_THROW(big.Validate());
+  EXPECT_NEAR(static_cast<double>(big.num_objects),
+              5.0 * static_cast<double>(base.num_objects),
+              static_cast<double>(base.num_objects) * 0.01 + 1.0);
+  EXPECT_NEAR(static_cast<double>(big.num_users),
+              5.0 * static_cast<double>(base.num_users),
+              static_cast<double>(base.num_users) * 0.01 + 1.0);
+  EXPECT_NEAR(static_cast<double>(big.total_requests),
+              5.0 * static_cast<double>(base.total_requests),
+              static_cast<double>(base.total_requests) * 0.01 + 1.0);
+  EXPECT_EQ(SiteProfile::V1(kMaxProfileScale).num_objects,
+            static_cast<std::uint32_t>(kMaxProfileScale) * base.num_objects);
 }
 
 TEST(SiteProfileTest, PaperAdultSitesOrder) {

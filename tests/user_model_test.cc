@@ -20,7 +20,8 @@ TEST(UserPopulationTest, SizeMatchesProfile) {
 TEST(UserPopulationTest, UserIdsUnique) {
   const auto users = MakeUsers(SiteProfile::P1(0.05));
   std::set<std::uint64_t> ids;
-  for (const auto& u : users.users()) ids.insert(u.user_id);
+  users.ForEachUser(
+      [&](std::size_t, const UserInfo& u) { ids.insert(u.user_id); });
   EXPECT_EQ(ids.size(), users.size());
 }
 
@@ -37,15 +38,15 @@ TEST(UserPopulationTest, DeviceSharesMatchProfile) {
 TEST(UserPopulationTest, UaStringsMatchAssignedDevice) {
   const auto users = MakeUsers(SiteProfile::S1(0.02));
   const auto& bank = trace::UaBank::Instance();
-  for (const auto& u : users.users()) {
+  users.ForEachUser([&](std::size_t, const UserInfo& u) {
     EXPECT_EQ(trace::ParseUserAgent(bank.String(u.user_agent_id)).device,
               u.device);
-  }
+  });
 }
 
 TEST(UserPopulationTest, TimezonesConsistentWithContinent) {
   const auto users = MakeUsers(SiteProfile::V1(0.02));
-  for (const auto& u : users.users()) {
+  users.ForEachUser([](std::size_t, const UserInfo& u) {
     const double h = u.tz_offset_quarter_hours / 4.0;
     switch (u.continent) {
       case Continent::kNorthAmerica:
@@ -65,7 +66,7 @@ TEST(UserPopulationTest, TimezonesConsistentWithContinent) {
         EXPECT_LE(h, -3.0);
         break;
     }
-  }
+  });
 }
 
 TEST(UserPopulationTest, IncognitoRateRespected) {
@@ -73,18 +74,20 @@ TEST(UserPopulationTest, IncognitoRateRespected) {
   profile.incognito_rate = 0.75;
   const auto users = MakeUsers(profile);
   double incognito = 0;
-  for (const auto& u : users.users()) incognito += u.incognito ? 1 : 0;
+  users.ForEachUser([&](std::size_t, const UserInfo& u) {
+    incognito += u.incognito ? 1 : 0;
+  });
   EXPECT_NEAR(incognito / static_cast<double>(users.size()), 0.75, 0.02);
 }
 
 TEST(UserPopulationTest, ActivityIsHeavyTailed) {
   const auto users = MakeUsers(SiteProfile::V1(0.1));
   double max_activity = 0, sum = 0;
-  for (const auto& u : users.users()) {
+  users.ForEachUser([&](std::size_t, const UserInfo& u) {
     EXPECT_GE(u.activity, 1.0);  // Pareto scale 1
     max_activity = std::max(max_activity, u.activity);
     sum += u.activity;
-  }
+  });
   // The heaviest user dwarfs the mean.
   EXPECT_GT(max_activity, 10.0 * sum / static_cast<double>(users.size()));
 }
@@ -109,11 +112,11 @@ TEST(UserPopulationTest, SampleUserWeightedByActivity) {
 TEST(ContinentTest, FromTzRoundTrip) {
   // Every generated user's tz maps back to their continent.
   const auto users = MakeUsers(SiteProfile::P2(0.05), 7);
-  for (const auto& u : users.users()) {
+  users.ForEachUser([](std::size_t, const UserInfo& u) {
     EXPECT_EQ(ContinentFromTzQuarterHours(u.tz_offset_quarter_hours),
               u.continent)
         << "offset " << static_cast<int>(u.tz_offset_quarter_hours);
-  }
+  });
 }
 
 TEST(ContinentTest, Names) {

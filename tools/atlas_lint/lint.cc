@@ -245,6 +245,7 @@ class FileLinter {
   void CheckMutexAnnotations();
   void CheckPragmaOnce();
   void CheckUnorderedIteration();
+  void CheckUncheckedIndexCast();
   void CheckTraceBufferInCdn();
   void CheckPerRecordInHotPath();
   void CheckCkptUnversionedBlob();
@@ -389,6 +390,21 @@ void FileLinter::CheckPragmaOnce() {
     if (std::regex_search(scrubbed_.code[i], kPragmaOnce)) return;
   }
   Report(1, "missing-pragma-once", "header is missing #pragma once");
+}
+
+void FileLinter::CheckUncheckedIndexCast() {
+  // Population sizes in src/synth/ are validated against the uint32 index
+  // range, but intermediate products (shard offsets, scaled counts, sampled
+  // indices) are 64-bit: a silent static_cast<uint32_t> truncates exactly
+  // when a scale-up makes it matter. util::CheckedIndexU32 (util/checked.h)
+  // is the loud equivalent.
+  if (!StartsWith(path_, "src/synth/")) return;
+  static const std::regex kNarrowCast(
+      R"(static_cast<\s*(?:std::)?uint32_t\s*>)");
+  ForbidPattern(kNarrowCast, "unchecked-index-cast",
+                "silent narrowing cast to uint32_t in the synth layer; use "
+                "util::CheckedIndexU32 (util/checked.h) so an over-scaled "
+                "population throws instead of wrapping");
 }
 
 void FileLinter::CheckTraceBufferInCdn() {
@@ -605,6 +621,7 @@ std::vector<Finding> FileLinter::Run() {
   CheckMutexAnnotations();
   CheckPragmaOnce();
   CheckUnorderedIteration();
+  CheckUncheckedIndexCast();
   CheckTraceBufferInCdn();
   CheckPerRecordInHotPath();
   CheckCkptUnversionedBlob();
@@ -666,8 +683,8 @@ std::vector<std::string> RuleNames() {
   return {"nondet-random-device", "nondet-rand", "nondet-time",
           "nondet-system-clock", "raw-new-delete", "narrow-byte-counter",
           "raw-std-mutex", "mutex-unannotated", "missing-pragma-once",
-          "unordered-iter", "tracebuffer-in-cdn", "perrecord-in-hotpath",
-          "ckpt-unversioned-blob"};
+          "unordered-iter", "unchecked-index-cast", "tracebuffer-in-cdn",
+          "perrecord-in-hotpath", "ckpt-unversioned-blob"};
 }
 
 std::string FormatFinding(const Finding& f) {

@@ -33,6 +33,12 @@
 //                                         implementation-defined, so the
 //                                         accumulation must be proven
 //                                         order-insensitive and annotated.
+//   unchecked-index-cast  src/synth/      static_cast<uint32_t> is banned
+//                                         in the synth layer; population
+//                                         indices narrow through
+//                                         util::CheckedIndexU32
+//                                         (util/checked.h), which throws on
+//                                         overflow instead of wrapping.
 //   tracebuffer-in-cdn    src/cdn/        trace::TraceBuffer declarations
 //                                         and by-value returns are banned
 //                                         in the simulator: records stream

@@ -40,6 +40,7 @@
 // byte-identical to an uninterrupted run. `analyze --checkpoint-every N`
 // does the same for the analysis pass (cursor = records consumed).
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -384,6 +385,10 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
                      "resume a killed run from this snapshot: the torn "
                      "output is truncated back to the snapshot's flushed "
                      "prefix and the run continues byte-identically");
+  flags.DefineInt("synth-budget-mb", 0,
+                  "per-site synth-table byte budget in MB (0 = profile "
+                  "default, 256); catalogs/user tables past it switch to "
+                  "lazy RNG-snapshot shards — trace-invariant");
   flags.Parse(argc, argv);
   util::SetLogLevel(util::LogLevel::kWarn);
   const std::int64_t epoch_min = flags.GetInt("epoch-min");
@@ -433,10 +438,49 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
   }
   ckpt_options.save_extra = [&](ckpt::Writer& w) { writer->SaveState(w); };
 
+  // Progress/ETA on the checkpoint cadence: each committed snapshot reports
+  // how far into the simulated week the run is and extrapolates the wall
+  // time remaining. Long scale>=1 runs are no longer silent.
+  const std::uint64_t total_epochs = static_cast<std::uint64_t>(
+      (util::kMillisPerWeek + config.epoch_ms - 1) / config.epoch_ms);
+  const auto started = std::chrono::steady_clock::now();
+  if (every > 0) {
+    ckpt_options.after_save = [&](std::uint64_t barriers_done) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      const double frac = total_epochs == 0
+                              ? 1.0
+                              : static_cast<double>(barriers_done) /
+                                    static_cast<double>(total_epochs);
+      const double eta_s =
+          frac > 0.0 ? elapsed_s * (1.0 - frac) / frac : 0.0;
+      std::cerr << "checkpoint @ epoch " << barriers_done << "/"
+                << total_epochs << " (" << util::FormatPercent(frac, 0)
+                << "), " << writer->written() << " records, elapsed "
+                << static_cast<std::uint64_t>(elapsed_s) << "s, eta "
+                << static_cast<std::uint64_t>(eta_s) << "s\n";
+      return true;
+    };
+  }
+
+  auto sites = synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale"));
+  const std::int64_t budget_mb = flags.GetInt("synth-budget-mb");
+  if (budget_mb < 0) {
+    std::cerr << "--synth-budget-mb must be >= 0\n";
+    return 2;
+  }
+  if (budget_mb > 0) {
+    for (auto& site : sites) {
+      site.synth_table_budget_bytes =
+          static_cast<std::uint64_t>(budget_mb) << 20;
+    }
+  }
+
   trace::WriterSink sink(*writer);
   const auto result = cdn::StreamScenario(
-      synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale")), config,
-      static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
+      sites, config, static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
       static_cast<int>(flags.GetInt("threads")), ckpt_options);
   writer->Finish();
 
