@@ -14,8 +14,11 @@
 #   build-ubsan      -DATLAS_SANITIZE=undefined, full ctest suite
 #
 # atlas-lint runs inside the default suite (`ctest -L lint`): the lint_tree
-# test re-lints the live tree and lint_test proves every rule fires on its
-# tests/lint_corpus/ fixture. With a Clang toolchain
+# test re-lints the live tree against the checked-in .lint-baseline and
+# lint_test proves every rule — per-file and cross-TU — fires on its
+# tests/lint_corpus/ fixture. The standalone invocation below also emits
+# build/atlas-lint.sarif, the artifact CI uploads to GitHub code scanning.
+# With a Clang toolchain
 # (CC=clang CXX=clang++ scripts/check.sh) the default build also gets
 # -DATLAS_WERROR_THREAD_SAFETY=ON and the thread_safety_compile_fail test.
 set -euo pipefail
@@ -48,8 +51,9 @@ fi
 
 configure_and_test build "" "${DEFAULT_FLAGS[@]+"${DEFAULT_FLAGS[@]}"}"
 
-echo "=== atlas-lint (standalone) ==="
-./build/tools/atlas_lint/atlas-lint --root .
+echo "=== atlas-lint (standalone, baseline + SARIF) ==="
+./build/tools/atlas_lint/atlas-lint --root . \
+  --baseline .lint-baseline --sarif build/atlas-lint.sarif
 
 if [[ "${MODE}" == quick ]]; then
   echo "check.sh quick: OK"

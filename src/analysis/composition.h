@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <string>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "trace/block.h"
 #include "trace/trace_buffer.h"
 #include "util/flat_hash.h"

@@ -11,7 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "stats/ecdf.h"
 #include "stats/powerlaw.h"
 #include "trace/block.h"

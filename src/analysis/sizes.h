@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "stats/ecdf.h"
 #include "trace/block.h"
 #include "trace/trace_buffer.h"

@@ -7,7 +7,7 @@
 // Ecdf is un-finalized, exactly like one rebuilt by replaying the stream.
 #pragma once
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "stats/ecdf.h"
 #include "stats/timeseries.h"
 

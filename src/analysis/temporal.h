@@ -10,7 +10,7 @@
 #include <array>
 #include <string>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "stats/timeseries.h"
 #include "trace/block.h"
 #include "trace/trace_buffer.h"

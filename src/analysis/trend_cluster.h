@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "cluster/dtw.h"
 #include "cluster/linkage.h"
 #include "cluster/medoid.h"

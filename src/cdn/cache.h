@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "trace/record.h"
 
 namespace atlas::cdn {

@@ -12,7 +12,7 @@
 #include "cdn/browser_cache.h"
 #include "cdn/chunking.h"
 #include "cdn/push.h"
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "trace/content_class.h"
 #include "trace/wire_format.h"
 #include "util/hash.h"

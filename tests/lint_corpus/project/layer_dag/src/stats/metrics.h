@@ -1,0 +1,4 @@
+#pragma once
+#include "synth/gen.h"
+#include "util/base.h"
+inline int Metric() { return Gen() + Base(); }

@@ -1,0 +1,2 @@
+#include "stats/metrics.h"
+int Use() { return Metric(); }

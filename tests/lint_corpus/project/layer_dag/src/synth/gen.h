@@ -1,0 +1,2 @@
+#pragma once
+inline int Gen() { return 2; }

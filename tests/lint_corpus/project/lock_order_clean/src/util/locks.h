@@ -1,0 +1,9 @@
+#pragma once
+struct Pair {
+  Mutex a_;
+  Mutex b_;
+  int xa_ ATLAS_GUARDED_BY(a_) = 0;
+  int xb_ ATLAS_GUARDED_BY(b_) = 0;
+  void AcquireOne();
+  void AcquireTwo();
+};

@@ -1,0 +1,5 @@
+#include "util/locks.h"
+void Pair::AcquireOne() {
+  MutexLock la(a_);
+  MutexLock lb(b_);
+}

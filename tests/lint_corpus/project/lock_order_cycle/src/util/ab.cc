@@ -1,0 +1,5 @@
+#include "util/locks.h"
+void Pair::AcquireAB() {
+  MutexLock la(a_);
+  MutexLock lb(b_);
+}

@@ -1,0 +1,5 @@
+#include "util/locks.h"
+void Pair::AcquireBA() {
+  MutexLock lb(b_);
+  MutexLock la(a_);
+}

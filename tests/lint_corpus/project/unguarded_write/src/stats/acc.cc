@@ -1,0 +1,11 @@
+#include "stats/acc.h"
+#include "util/par.h"
+void Acc::Accumulate(const std::vector<long>& rows) {
+  util::ParallelFor(rows.size(), [&](std::size_t i) {
+    total_ += rows[i];
+    guarded_ += rows[i];
+    hits_ += 1;
+    // atlas-lint: allow(unguarded-parallel-write)  profiling-only counter
+    relaxed_ += rows[i];
+  });
+}

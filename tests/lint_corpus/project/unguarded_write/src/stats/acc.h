@@ -1,0 +1,11 @@
+#pragma once
+#include <atomic>
+#include <vector>
+struct Acc {
+  Mutex mu_;
+  long total_ = 0;
+  long guarded_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::atomic<long> hits_{0};
+  long relaxed_ = 0;
+  void Accumulate(const std::vector<long>& rows);
+};

@@ -1,0 +1,11 @@
+// Lexer regression: raw string literal bodies are scrubbed. Every banned
+// token below lives inside a raw string and must not fire; the real calls
+// on the last code line prove the lexer resumed after each delimiter.
+const char* kPlain = R"(rand() std::random_device new delete)";
+const char* kDelim = R"sql(time(nullptr) ")" still inside )sql";
+const char* kWide = LR"(system_clock srand(7))";
+const char* kMulti = R"(first line
+rand() second line)";
+const char* kGlued = FOUR"(x";
+int Fixture() { int* p = new int(1); delete p; return rand(); }
+const char* kTail = "y)";

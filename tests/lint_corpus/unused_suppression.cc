@@ -1,0 +1,8 @@
+// Suppression hygiene: a pragma that stops suppressing anything is itself
+// a finding, so stale escape hatches cannot accumulate in the tree.
+int Used() {
+  return rand();  // atlas-lint: allow(nondet-rand)  deliberate in fixture
+}
+// atlas-lint: allow(nondet-rand)  nothing below calls rand anymore
+int Stale() { return 7; }
+int Unknown() { return 8; }  // atlas-lint: allow(not-a-rule)

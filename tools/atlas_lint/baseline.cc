@@ -1,0 +1,75 @@
+#include "atlas_lint/baseline.h"
+
+#include <sstream>
+
+namespace atlas::lint {
+
+Baseline ParseBaseline(const std::string& text,
+                       std::vector<std::string>* errors) {
+  Baseline out;
+  std::istringstream in(text);
+  std::size_t lineno = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string file, rule;
+    std::size_t count = 0;
+    if (!(fields >> file >> rule >> count) || count == 0) {
+      if (errors != nullptr) {
+        errors->push_back("baseline line " + std::to_string(lineno) +
+                          ": expected '<file> <rule> <count>', got '" + line +
+                          "'");
+      }
+      continue;
+    }
+    out.counts[{file, rule}] += count;
+  }
+  return out;
+}
+
+std::string SerializeBaseline(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const Finding& f : findings) ++counts[{f.file, f.rule}];
+  std::string out =
+      "# atlas-lint baseline: frozen pre-existing findings, one\n"
+      "# '<file> <rule> <count>' per line. Regenerate with\n"
+      "#   atlas-lint --root . --write-baseline .lint-baseline\n"
+      "# and justify any count increase in the PR that makes it.\n";
+  for (const auto& [key, count] : counts) {
+    out += key.first + " " + key.second + " " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+BaselineResult ApplyBaseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline) {
+  BaselineResult result;
+  // Findings are sorted, so each (file, rule) bucket is contiguous in
+  // line order; count the bucket's prefix against the frozen allowance.
+  std::map<std::pair<std::string, std::string>, std::size_t> seen;
+  for (const Finding& f : findings) {
+    const auto key = std::make_pair(f.file, f.rule);
+    const std::size_t already = seen[key]++;
+    const auto it = baseline.counts.find(key);
+    const std::size_t allowance =
+        it == baseline.counts.end() ? 0 : it->second;
+    if (already >= allowance) result.fresh.push_back(f);
+  }
+  for (const auto& [key, count] : baseline.counts) {
+    const auto it = seen.find(key);
+    const std::size_t live = it == seen.end() ? 0 : it->second;
+    if (live < count) {
+      result.stale.push_back(
+          {key.first, 1, 1, "stale-baseline",
+           "baseline freezes " + std::to_string(count) + " '" + key.second +
+               "' finding(s) in this file but only " + std::to_string(live) +
+               " remain — the debt shrank; regenerate the baseline "
+               "(--write-baseline) so the ratchet tightens"});
+    }
+  }
+  return result;
+}
+
+}  // namespace atlas::lint

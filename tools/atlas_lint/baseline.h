@@ -1,0 +1,53 @@
+// .lint-baseline support: freeze pre-existing violations so that only
+// *new* findings fail the build, while the frozen debt stays visible and
+// ratchets down.
+//
+// Format (one entry per line, sorted, '#' comments allowed):
+//
+//   <file> <rule> <count>
+//
+// Counts — not line numbers — key the entries, so unrelated edits that
+// shift a frozen finding up or down a few lines do not invalidate the
+// baseline. ApplyBaseline splits live findings into:
+//   fresh  findings beyond the baselined count for their (file, rule) —
+//          these fail the build;
+//   stale  synthetic stale-baseline findings for entries whose count
+//          exceeds the live findings — the debt shrank, so the baseline
+//          must be regenerated (the ratchet only ever tightens).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atlas_lint/diagnostics.h"
+
+namespace atlas::lint {
+
+struct Baseline {
+  // (file, rule) -> frozen finding count.
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+};
+
+// Parses baseline text. Malformed lines are reported into `errors`.
+Baseline ParseBaseline(const std::string& text,
+                       std::vector<std::string>* errors = nullptr);
+
+// Serializes findings as baseline text (sorted, stable).
+std::string SerializeBaseline(const std::vector<Finding>& findings);
+
+struct BaselineResult {
+  std::vector<Finding> fresh;  // beyond the baseline: new violations
+  std::vector<Finding> stale;  // stale-baseline entries: over-frozen debt
+};
+
+// `findings` must be sorted (FindingBefore). When a (file, rule) bucket
+// exceeds its baselined count, the *last* findings in the bucket are
+// reported fresh — deterministic, and biased toward the bottom of the
+// file where fresh code usually lands.
+BaselineResult ApplyBaseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline);
+
+}  // namespace atlas::lint

@@ -1,0 +1,73 @@
+// atlas-lint diagnostics layer: findings with line/column spans, the rule
+// catalog (id + summary, shared by --list-rules and SARIF rule metadata),
+// and the suppression-tracking sink every rule reports through.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atlas::lint {
+
+struct Finding {
+  std::string file;      // repo-relative path, '/'-separated
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based; 0 when the rule has no column info
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+// Sorts by (file, line, col, rule) — the canonical output order.
+bool FindingBefore(const Finding& a, const Finding& b);
+
+// "path:line:col: [rule] message" (col omitted when 0) — clickable form.
+std::string FormatFinding(const Finding& f);
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;  // one line; becomes the SARIF shortDescription
+};
+
+// The full catalog, sorted by name. Includes the engine-level rules
+// (unused-suppression, stale-baseline) alongside the analysis rules.
+const std::vector<RuleInfo>& Rules();
+
+// Catalog names, in catalog order.
+std::vector<std::string> RuleNames();
+
+bool IsKnownRule(const std::string& rule);
+
+struct FileIndex;  // index.h
+
+// Collects findings for one file, honoring per-line allow(rule) pragmas
+// (same line, or in the contiguous comment block directly above)
+// and recording which pragmas actually suppressed something — the
+// unused-suppression rule consumes that record.
+class Sink {
+ public:
+  explicit Sink(const FileIndex& file) : file_(file) {}
+
+  void Report(std::size_t line, std::size_t col, const std::string& rule,
+              const std::string& message);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  // (allow line, rule) pairs that suppressed at least one finding.
+  const std::set<std::pair<std::size_t, std::string>>& used_allows() const {
+    return used_allows_;
+  }
+
+ private:
+  // Returns the line of the allow pragma covering (line, rule), or 0.
+  std::size_t AllowLineFor(std::size_t line, const std::string& rule) const;
+
+  const FileIndex& file_;
+  std::vector<Finding> findings_;
+  std::set<std::pair<std::size_t, std::string>> used_allows_;
+};
+
+}  // namespace atlas::lint

@@ -1,0 +1,187 @@
+#include "atlas_lint/lexer.h"
+
+#include <sstream>
+
+namespace atlas::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// True when the '"' at content[i] opens a raw string literal: the character
+// before it is the R of one of the raw-literal spellings (R, uR, UR, LR,
+// u8R) and that spelling is not the tail of a longer identifier.
+bool OpensRawString(const std::string& content, std::size_t i) {
+  if (i == 0 || content[i - 1] != 'R') return false;
+  std::size_t prefix = i - 1;  // first char of the encoding prefix
+  if (prefix > 0) {
+    const char p = content[prefix - 1];
+    if (p == 'u' || p == 'U' || p == 'L') {
+      prefix -= 1;
+    } else if (p == '8' && prefix > 1 && content[prefix - 2] == 'u') {
+      prefix -= 2;
+    }
+  }
+  return prefix == 0 || !IsIdentChar(content[prefix - 1]);
+}
+
+}  // namespace
+
+ScrubbedFile Scrub(const std::string& content) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  ScrubbedFile out;
+  out.code.emplace_back();
+  out.comment.emplace_back();
+  std::string code_line, comment_line;
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    // A backslash line continuation splices the next physical line onto
+    // this one *lexically* (the comment or string keeps going) while the
+    // physical line break remains: emit the break so line numbers stay
+    // aligned with the file, but do not touch the lexical state. Raw
+    // strings are the exception — inside them a backslash is literal text.
+    if (c == '\\' && next == '\n' && state != State::kRawString) {
+      out.code.push_back(code_line);
+      out.comment.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      ++i;  // consume the newline together with the backslash
+      continue;
+    }
+    if (c == '\n') {
+      out.code.push_back(code_line);
+      out.comment.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"' && OpensRawString(content, i)) {
+          // Raw string literal: R"delim( ... )delim". No escapes apply
+          // inside; only the exact )delim" closer ends it.
+          state = State::kRawString;
+          raw_delim.clear();
+          code_line += '"';
+          for (++i; i < n && content[i] != '(' && content[i] != '\n'; ++i) {
+            raw_delim += content[i];
+          }
+          if (i < n && content[i] == '\n') --i;  // malformed; resync on '\n'
+          // leave i at '('; the loop's ++i moves past it
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        comment_line += c;
+        code_line += ' ';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += ' ';
+          comment_line += '/';
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          code_line += '"';
+          i += close.size() - 1;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  out.code.push_back(code_line);
+  out.comment.push_back(comment_line);
+  return out;
+}
+
+std::set<std::string> ParseAllows(const std::string& comment) {
+  std::set<std::string> allowed;
+  static const std::string kTag = "atlas-lint: allow(";
+  std::size_t pos = comment.find(kTag);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(comment.substr(open, close - open));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) allowed.insert(rule.substr(b, e - b + 1));
+    }
+    pos = comment.find(kTag, close);
+  }
+  return allowed;
+}
+
+std::map<std::size_t, std::set<std::string>> CollectAllows(
+    const ScrubbedFile& scrubbed) {
+  std::map<std::size_t, std::set<std::string>> allows;
+  for (std::size_t i = 1; i < scrubbed.comment.size(); ++i) {
+    auto rules = ParseAllows(scrubbed.comment[i]);
+    if (!rules.empty()) allows[i] = std::move(rules);
+  }
+  return allows;
+}
+
+}  // namespace atlas::lint

@@ -1,0 +1,43 @@
+// atlas-lint phase-0 lexer: comment/string-aware scrubbing.
+//
+// Scrub() splits a C++ source file into two parallel per-line views:
+//   code[i]     line i with comments and string/char-literal bodies blanked
+//               out by spaces (so token regexes never match inside them);
+//               column positions are preserved exactly.
+//   comment[i]  the comment text on line i (where allow() pragmas live).
+//
+// Lexical subtleties the scrubber must get right (each has a regression
+// fixture under tests/lint_corpus/):
+//   - Raw string literals R"delim(...)delim", including the prefixed forms
+//     u8R / uR / UR / LR. An identifier that merely *ends* in R (kFOUR"...")
+//     is an ordinary string, not a raw one.
+//   - Backslash line continuations. A spliced line keeps its physical line
+//     break (line numbers must stay aligned with the file on disk) but the
+//     lexical state carries over: a `// comment \` continues commenting the
+//     next physical line, and a string may span the splice.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace atlas::lint {
+
+struct ScrubbedFile {
+  std::vector<std::string> code;     // [0] unused; lines are 1-based
+  std::vector<std::string> comment;  // comment text per line
+};
+
+ScrubbedFile Scrub(const std::string& content);
+
+// Parses suppression pragmas — "allow(rule-a, rule-b)" after the tool
+// prefix — out of comment text.
+std::set<std::string> ParseAllows(const std::string& comment);
+
+// All allow pragmas in a scrubbed file, keyed by 1-based line.
+std::map<std::size_t, std::set<std::string>> CollectAllows(
+    const ScrubbedFile& scrubbed);
+
+}  // namespace atlas::lint

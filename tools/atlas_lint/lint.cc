@@ -1,695 +1,86 @@
 #include "atlas_lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
-#include <tuple>
-#include <utility>
+#include <chrono>
+
+#include "atlas_lint/index.h"
+#include "atlas_lint/rules_file.h"
+#include "atlas_lint/rules_project.h"
+#include "util/par.h"
 
 namespace atlas::lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Lexing: split a file into per-line "code" (comments and string/char
-// literal bodies blanked out with spaces, so token regexes never match
-// inside them) and per-line comment text (where allow() pragmas live).
-// ---------------------------------------------------------------------------
-
-struct ScrubbedFile {
-  std::vector<std::string> code;      // [0] unused; lines are 1-based
-  std::vector<std::string> comment;   // comment text per line
-};
-
-ScrubbedFile Scrub(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  ScrubbedFile out;
-  out.code.emplace_back();
-  out.comment.emplace_back();
-  std::string code_line, comment_line;
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  const std::size_t n = content.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      out.code.push_back(code_line);
-      out.comment.push_back(comment_line);
-      code_line.clear();
-      comment_line.clear();
-      if (state == State::kLineComment) state = State::kCode;
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim"
-          state = State::kRawString;
-          raw_delim.clear();
-          code_line += '"';
-          for (++i; i < n && content[i] != '('; ++i) raw_delim += content[i];
-          // leave i at '('; the loop's ++i moves past it
-        } else if (c == '"') {
-          state = State::kString;
-          code_line += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        comment_line += c;
-        code_line += ' ';
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += ' ';
-          comment_line += '/';
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line += '"';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line += '\'';
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRawString: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (content.compare(i, close.size(), close) == 0) {
-          state = State::kCode;
-          code_line += '"';
-          i += close.size() - 1;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  out.code.push_back(code_line);
-  out.comment.push_back(comment_line);
-  return out;
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
-// Parses "atlas-lint: allow(rule-a, rule-b)" pragmas out of comment text.
-std::set<std::string> ParseAllows(const std::string& comment) {
-  std::set<std::string> allowed;
-  static const std::string kTag = "atlas-lint: allow(";
-  std::size_t pos = comment.find(kTag);
-  while (pos != std::string::npos) {
-    const std::size_t open = pos + kTag.size();
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) break;
-    std::stringstream list(comment.substr(open, close - open));
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      const auto b = rule.find_first_not_of(" \t");
-      const auto e = rule.find_last_not_of(" \t");
-      if (b != std::string::npos) allowed.insert(rule.substr(b, e - b + 1));
-    }
-    pos = comment.find(kTag, close);
+std::vector<Finding> RunRules(const ProjectIndex& index, int threads) {
+  std::vector<Sink> sinks;
+  sinks.reserve(index.files.size());
+  for (const FileIndex& f : index.files) sinks.emplace_back(f);
+  // Per-file rules are independent; fan out. Each shard writes only its
+  // own sink, so the result is a pure function of the file list.
+  util::ParallelFor(
+      index.files.size(),
+      [&](std::size_t i) { RunFileRules(index.files[i], sinks[i]); },
+      threads);
+  // Cross-TU rules run sequentially over the whole index (they are cheap
+  // relative to phase 1 and need global state: the include graph, the
+  // lock-order graph, the suppression-usage record).
+  RunProjectRules(index, sinks);
+  std::vector<Finding> findings;
+  for (const Sink& sink : sinks) {
+    findings.insert(findings.end(), sink.findings().begin(),
+                    sink.findings().end());
   }
-  return allowed;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool IsHeader(const std::string& path) {
-  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
-}
-
-bool InLibrary(const std::string& path) { return StartsWith(path, "src/"); }
-
-bool InLibraryOrTools(const std::string& path) {
-  return StartsWith(path, "src/") || StartsWith(path, "tools/");
-}
-
-// ---------------------------------------------------------------------------
-// Rule context and helpers.
-// ---------------------------------------------------------------------------
-
-class FileLinter {
- public:
-  FileLinter(const std::string& path, const std::string& content,
-             const std::string& decl_context)
-      : path_(path), scrubbed_(Scrub(content)) {
-    for (std::size_t i = 1; i < scrubbed_.comment.size(); ++i) {
-      auto allows = ParseAllows(scrubbed_.comment[i]);
-      if (!allows.empty()) allows_[i] = std::move(allows);
-    }
-    // Flattened code view for multi-line constructs (range-fors, template
-    // declarations). Newlines become spaces; line_of_ maps positions back.
-    for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-      for (char c : scrubbed_.code[i]) {
-        flat_ += c;
-        line_of_.push_back(i);
-      }
-      flat_ += ' ';
-      line_of_.push_back(i);
-    }
-    if (!decl_context.empty()) {
-      const ScrubbedFile ctx = Scrub(decl_context);
-      for (const std::string& line : ctx.code) {
-        decl_flat_ += line;
-        decl_flat_ += ' ';
-      }
-    }
-  }
-
-  std::vector<Finding> Run();
-
- private:
-  bool AllowedAt(std::size_t line, const std::string& rule) const {
-    auto it = allows_.find(line);
-    return it != allows_.end() && it->second.count(rule) > 0;
-  }
-
-  bool Allowed(std::size_t line, const std::string& rule) const {
-    if (AllowedAt(line, rule)) return true;
-    // A multi-line justification may carry the allow() on its first line:
-    // walk up through the contiguous block of comment-only lines directly
-    // above the finding.
-    for (std::size_t l = line; l > 1;) {
-      --l;
-      if (l >= scrubbed_.code.size()) break;
-      const bool comment_only =
-          scrubbed_.code[l].find_first_not_of(" \t") == std::string::npos &&
-          !scrubbed_.comment[l].empty();
-      if (!comment_only) break;
-      if (AllowedAt(l, rule)) return true;
-    }
-    return false;
-  }
-
-  void Report(std::size_t line, const std::string& rule,
-              const std::string& message) {
-    if (Allowed(line, rule)) return;
-    findings_.push_back({path_, line, rule, message});
-  }
-
-  // Applies `re` to every code line, reporting `rule` on match.
-  void ForbidPattern(const std::regex& re, const std::string& rule,
-                     const std::string& message) {
-    for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-      if (std::regex_search(scrubbed_.code[i], re)) Report(i, rule, message);
-    }
-  }
-
-  void CheckNondeterminism();
-  void CheckRawNewDelete();
-  void CheckNarrowByteCounter();
-  void CheckRawStdMutex();
-  void CheckMutexAnnotations();
-  void CheckPragmaOnce();
-  void CheckUnorderedIteration();
-  void CheckUncheckedIndexCast();
-  void CheckTraceBufferInCdn();
-  void CheckPerRecordInHotPath();
-  void CheckCkptUnversionedBlob();
-
-  std::string path_;
-  ScrubbedFile scrubbed_;
-  std::map<std::size_t, std::set<std::string>> allows_;
-  std::string flat_;
-  std::string decl_flat_;  // sibling-header code, declarations only
-  std::vector<std::size_t> line_of_;
-  std::vector<Finding> findings_;
-};
-
-void FileLinter::CheckNondeterminism() {
-  if (!InLibrary(path_)) return;
-  static const std::regex kRandomDevice(R"(\brandom_device\b)");
-  static const std::regex kRand(R"((^|[^\w:.>])s?rand\s*\()");
-  static const std::regex kTime(R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))");
-  static const std::regex kSystemClock(R"(\bsystem_clock\b)");
-  ForbidPattern(kRandomDevice, "nondet-random-device",
-                "std::random_device is nondeterministic; seed util::Rng / "
-                "util::ShardedRng from an explicit seed");
-  ForbidPattern(kRand, "nondet-rand",
-                "rand()/srand() are banned; use util::Rng");
-  ForbidPattern(kTime, "nondet-time",
-                "wall-clock time() is banned in library code; timestamps "
-                "come from the trace");
-  if (path_ != "src/util/time.h" && path_ != "src/util/time.cc") {
-    ForbidPattern(kSystemClock, "nondet-system-clock",
-                  "std::chrono::system_clock is banned outside util/time; "
-                  "library results must not depend on wall-clock reads");
-  }
-}
-
-void FileLinter::CheckRawNewDelete() {
-  if (!InLibraryOrTools(path_)) return;
-  static const std::regex kNew(R"(\bnew\b)");
-  static const std::regex kDelete(R"(\bdelete\b)");
-  for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-    const std::string& line = scrubbed_.code[i];
-    if (std::regex_search(line, kNew)) {
-      Report(i, "raw-new-delete",
-             "raw new is banned; use std::make_unique or a container");
-    }
-    std::smatch m;
-    if (std::regex_search(line, m, kDelete)) {
-      // `= delete` (deleted special members) is fine. The '=' may sit at
-      // the end of the previous line.
-      std::string before =
-          line.substr(0, static_cast<std::size_t>(m.position(0)));
-      if (before.find_last_not_of(" \t") == std::string::npos && i > 1) {
-        before = scrubbed_.code[i - 1];
-      }
-      const std::size_t last_pos = before.find_last_not_of(" \t");
-      const char last =
-          last_pos == std::string::npos ? '\0' : before[last_pos];
-      if (last != '=') {
-        Report(i, "raw-new-delete",
-               "raw delete is banned; use std::unique_ptr or a container");
-      }
-    }
-  }
-}
-
-void FileLinter::CheckNarrowByteCounter() {
-  if (!StartsWith(path_, "src/cdn/") && !StartsWith(path_, "src/analysis/")) {
-    return;
-  }
-  // Narrow or signed arithmetic types followed by an identifier whose name
-  // says it holds bytes or a size. 64-bit unsigned types (std::uint64_t,
-  // std::size_t, unsigned long long) pass.
-  static const std::regex kNarrowDecl(
-      R"re((?:^|[^\w:])()re"
-      R"re(unsigned\s+short|unsigned\s+char|unsigned\s+int|unsigned|signed|)re"
-      R"re(short|long\s+long|long|int|)re"
-      R"re((?:std::)?u?int(?:8|16|32)_t)re"
-      R"re()\s+(?:const\s+)?([A-Za-z_]\w*)\s*(?=[;,=){\[]))re");
-  static const std::regex kCounterName(R"([Bb]ytes|[Ss]ize)");
-  for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-    const std::string& line = scrubbed_.code[i];
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kNarrowDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const std::string type = (*it)[1].str();
-      const std::string name = (*it)[2].str();
-      // `unsigned long` / `unsigned long long` are 64-bit unsigned on LP64;
-      // the regex can match their trailing `long (long)` alone, so check
-      // the word right before the matched type.
-      static const std::regex kUnsignedTail(R"(\bunsigned\s*$)");
-      const std::string prefix =
-          line.substr(0, static_cast<std::size_t>(it->position(1)));
-      if (std::regex_search(prefix, kUnsignedTail)) continue;
-      if (std::regex_search(name, kCounterName)) {
-        Report(i, "narrow-byte-counter",
-               "byte/size counter '" + name + "' declared as '" + type +
-                   "'; byte accounting must use std::uint64_t (or "
-                   "std::size_t for in-memory sizes)");
-      }
-    }
-  }
-}
-
-void FileLinter::CheckRawStdMutex() {
-  if (!InLibraryOrTools(path_)) return;
-  if (path_ == "src/util/mutex.h") return;
-  static const std::regex kStdSync(
-      R"(std::(mutex|shared_mutex|recursive_mutex|timed_mutex|)"
-      R"(condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b)");
-  ForbidPattern(kStdSync, "raw-std-mutex",
-                "raw std synchronization types are invisible to Clang "
-                "-Wthread-safety; use util::Mutex / util::MutexLock / "
-                "util::CondVar from util/mutex.h");
-}
-
-void FileLinter::CheckMutexAnnotations() {
-  if (!InLibraryOrTools(path_)) return;
-  if (path_ == "src/util/mutex.h") return;
-  // A Mutex declaration (member or namespace-scope). `MutexLock lock(...)`
-  // does not match: \b requires the token to be exactly `Mutex`.
-  static const std::regex kMutexDecl(R"(\bMutex\s+([A-Za-z_]\w*)\s*[;={])");
-  for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(scrubbed_.code[i], m, kMutexDecl)) continue;
-    const std::string name = m[1].str();
-    const std::regex annotated(
-        R"(ATLAS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|)"
-        R"(EXCLUDES)\s*\([^)]*\b)" +
-        name + R"(\b[^)]*\))");
-    if (!std::regex_search(flat_, annotated)) {
-      Report(i, "mutex-unannotated",
-             "Mutex '" + name +
-                 "' guards nothing: annotate the state it protects with "
-                 "ATLAS_GUARDED_BY(" +
-                 name + ") (see util/thread_annotations.h)");
-    }
-  }
-}
-
-void FileLinter::CheckPragmaOnce() {
-  if (!IsHeader(path_)) return;
-  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
-  for (std::size_t i = 1; i < scrubbed_.code.size(); ++i) {
-    if (std::regex_search(scrubbed_.code[i], kPragmaOnce)) return;
-  }
-  Report(1, "missing-pragma-once", "header is missing #pragma once");
-}
-
-void FileLinter::CheckUncheckedIndexCast() {
-  // Population sizes in src/synth/ are validated against the uint32 index
-  // range, but intermediate products (shard offsets, scaled counts, sampled
-  // indices) are 64-bit: a silent static_cast<uint32_t> truncates exactly
-  // when a scale-up makes it matter. util::CheckedIndexU32 (util/checked.h)
-  // is the loud equivalent.
-  if (!StartsWith(path_, "src/synth/")) return;
-  static const std::regex kNarrowCast(
-      R"(static_cast<\s*(?:std::)?uint32_t\s*>)");
-  ForbidPattern(kNarrowCast, "unchecked-index-cast",
-                "silent narrowing cast to uint32_t in the synth layer; use "
-                "util::CheckedIndexU32 (util/checked.h) so an over-scaled "
-                "population throws instead of wrapping");
-}
-
-void FileLinter::CheckTraceBufferInCdn() {
-  if (!StartsWith(path_, "src/cdn/")) return;
-  // A TraceBuffer declaration (member, local, global) or by-value return
-  // type in the simulator materializes a whole trace in RAM — the sharded
-  // engine's contract is that records stream through trace::RecordSink.
-  // References and pointers (read-only views of caller-owned buffers) are
-  // fine and do not match.
-  static const std::regex kDeclOrReturn(
-      R"(\bTraceBuffer\s+[A-Za-z_][A-Za-z0-9_:]*\s*[;={(])");
-  ForbidPattern(kDeclOrReturn, "tracebuffer-in-cdn",
-                "trace::TraceBuffer members/returns are banned in src/cdn/; "
-                "emit records through trace::RecordSink (trace/sink.h) "
-                "instead of materializing a buffer");
-}
-
-void FileLinter::CheckUnorderedIteration() {
-  if (!InLibrary(path_)) return;
-  // Pass 1: names declared with an unordered container type anywhere in
-  // this file or its sibling header (members, locals, globals).
-  std::set<std::string> unordered_names;
-  static const std::regex kUnorderedType(
-      R"(std::unordered_(map|set|multimap|multiset)\s*<)");
-  for (const std::string* source : {&flat_, &decl_flat_}) {
-    const std::string& text = *source;
-    for (auto it = std::sregex_iterator(text.begin(), text.end(),
-                                        kUnorderedType);
-         it != std::sregex_iterator(); ++it) {
-      // Balance the template angle brackets, then read the declared name.
-      std::size_t pos = static_cast<std::size_t>(it->position(0)) +
-                        static_cast<std::size_t>(it->length(0));
-      int depth = 1;
-      while (pos < text.size() && depth > 0) {
-        if (text[pos] == '<') ++depth;
-        if (text[pos] == '>') --depth;
-        ++pos;
-      }
-      while (pos < text.size() &&
-             (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
-              text[pos] == '&' || text[pos] == '*')) {
-        ++pos;
-      }
-      if (text.compare(pos, 6, "const ") == 0) pos += 6;
-      std::string name;
-      while (pos < text.size() &&
-             (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
-              text[pos] == '_')) {
-        name += text[pos++];
-      }
-      while (pos < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-        ++pos;
-      }
-      // `std::unordered_map<...> Foo(` is a function decl, not state.
-      if (!name.empty() && (pos >= text.size() || text[pos] != '(')) {
-        unordered_names.insert(name);
-      }
-    }
-  }
-  if (unordered_names.empty()) return;
-
-  // Pass 2: range-based for loops whose range resolves to one of those
-  // names and whose body accumulates.
-  static const std::regex kFor(R"(\bfor\s*\()");
-  for (auto it = std::sregex_iterator(flat_.begin(), flat_.end(), kFor);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t pos = static_cast<std::size_t>(it->position(0)) +
-                      it->length(0);
-    const std::size_t for_line =
-        line_of_[static_cast<std::size_t>(it->position(0))];
-    // Find the range-for ':' at paren depth 1 (skipping '::').
-    int depth = 1;
-    std::size_t colon = std::string::npos;
-    std::size_t close = std::string::npos;
-    for (std::size_t p = pos; p < flat_.size(); ++p) {
-      const char c = flat_[p];
-      if (c == '(') ++depth;
-      if (c == ')') {
-        --depth;
-        if (depth == 0) {
-          close = p;
-          break;
-        }
-      }
-      if (c == ';') break;  // classic for loop
-      if (c == ':' && depth == 1 && colon == std::string::npos &&
-          (p + 1 >= flat_.size() || flat_[p + 1] != ':') &&
-          (p == 0 || flat_[p - 1] != ':')) {
-        colon = p;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    std::string range = flat_.substr(colon + 1, close - colon - 1);
-    range.erase(std::remove_if(range.begin(), range.end(),
-                               [](unsigned char c) {
-                                 return std::isspace(c) != 0;
-                               }),
-                range.end());
-    if (range.empty() || range.back() == ')') continue;  // call expression
-    // Last component of a member/scope chain.
-    const std::size_t cut = range.find_last_of(".>:");
-    const std::string base =
-        cut == std::string::npos ? range : range.substr(cut + 1);
-    if (unordered_names.count(base) == 0) continue;
-    // Loop body: braces (or single statement) after the closing paren.
-    std::size_t body_begin = close + 1;
-    while (body_begin < flat_.size() &&
-           std::isspace(static_cast<unsigned char>(flat_[body_begin])) != 0) {
-      ++body_begin;
-    }
-    std::size_t body_end = body_begin;
-    if (body_begin < flat_.size() && flat_[body_begin] == '{') {
-      int braces = 1;
-      for (body_end = body_begin + 1;
-           body_end < flat_.size() && braces > 0; ++body_end) {
-        if (flat_[body_end] == '{') ++braces;
-        if (flat_[body_end] == '}') --braces;
-      }
-    } else {
-      body_end = flat_.find(';', body_begin);
-      if (body_end == std::string::npos) body_end = flat_.size();
-    }
-    const std::string body = flat_.substr(body_begin, body_end - body_begin);
-    static const std::regex kAccumulate(
-        R"(\+=|\bpush_back\s*\(|\bemplace_back\s*\()");
-    if (std::regex_search(body, kAccumulate)) {
-      Report(for_line, "unordered-iter",
-             "iteration over unordered container '" + base +
-                 "' accumulates in implementation-defined order; sort the "
-                 "keys first or prove order-insensitivity and annotate "
-                 "with // atlas-lint: allow(unordered-iter)");
-    }
-  }
-}
-
-void FileLinter::CheckPerRecordInHotPath() {
-  if (!StartsWith(path_, "src/analysis/") && !StartsWith(path_, "src/cdn/")) {
-    return;
-  }
-  // A member call on the one-record-at-a-time adapters from trace/block.h.
-  // Requiring `.` or `->` before the name keeps declarations and free
-  // functions that merely share the name out of scope; matching on the
-  // flattened view catches calls split across lines.
-  static const std::regex kPerRecordCall(
-      R"((\.|->)\s*(NextRecord|PushRecord)\s*\()");
-  for (auto it =
-           std::sregex_iterator(flat_.begin(), flat_.end(), kPerRecordCall);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t at = static_cast<std::size_t>(it->position(2));
-    Report(line_of_[at], "perrecord-in-hotpath",
-           "per-record adapter call '" + (*it)[2].str() +
-               "()' in a hot-path layer; stream whole SoA RecordBlocks "
-               "(BlockSource::NextBlock / BlockSink::WriteBlock, "
-               "trace/block.h) — compatibility shims annotate with "
-               "// atlas-lint: allow(perrecord-in-hotpath)");
-  }
-}
-
-void FileLinter::CheckCkptUnversionedBlob() {
-  if (!InLibrary(path_)) return;
-  // The codec itself is the one place allowed to touch raw bytes.
-  if (StartsWith(path_, "src/ckpt/")) return;
-  // A SaveState-family *definition*: match the name, balance the parameter
-  // list, then skip trailing specifiers (const/final/override/noexcept) to
-  // the body '{'. Declarations and call sites end in ';', ',' or ')' and
-  // are skipped. Raw stream writes inside the body bypass the Writer's
-  // CRC-stamped, versioned section framing — a checkpoint written that way
-  // restores wrong-but-plausible after any layout change.
-  static const std::regex kSaveFn(R"(\bSave\w*State\s*\()");
-  static const std::regex kRawWrite(
-      R"((\.|->)\s*write\s*\(|\bfwrite\s*\()");
-  for (auto it = std::sregex_iterator(flat_.begin(), flat_.end(), kSaveFn);
-       it != std::sregex_iterator(); ++it) {
-    std::size_t pos = static_cast<std::size_t>(it->position(0)) +
-                      static_cast<std::size_t>(it->length(0));
-    int depth = 1;
-    while (pos < flat_.size() && depth > 0) {
-      if (flat_[pos] == '(') ++depth;
-      if (flat_[pos] == ')') --depth;
-      ++pos;
-    }
-    while (pos < flat_.size() && flat_[pos] != '{' && flat_[pos] != ';' &&
-           flat_[pos] != '=' && flat_[pos] != ',' && flat_[pos] != ')') {
-      ++pos;
-    }
-    if (pos >= flat_.size() || flat_[pos] != '{') continue;
-    const std::size_t body_begin = pos + 1;
-    int braces = 1;
-    std::size_t body_end = body_begin;
-    while (body_end < flat_.size() && braces > 0) {
-      if (flat_[body_end] == '{') ++braces;
-      if (flat_[body_end] == '}') --braces;
-      ++body_end;
-    }
-    const std::string body = flat_.substr(body_begin, body_end - body_begin);
-    for (auto w = std::sregex_iterator(body.begin(), body.end(), kRawWrite);
-         w != std::sregex_iterator(); ++w) {
-      const std::size_t at =
-          body_begin + static_cast<std::size_t>(w->position(0));
-      Report(line_of_[at], "ckpt-unversioned-blob",
-             "raw stream write inside a SaveState implementation; checkpoint "
-             "blobs must go through ckpt::Writer's typed, versioned section "
-             "API (see ckpt/checkpoint.h)");
-    }
-  }
-}
-
-std::vector<Finding> FileLinter::Run() {
-  CheckNondeterminism();
-  CheckRawNewDelete();
-  CheckNarrowByteCounter();
-  CheckRawStdMutex();
-  CheckMutexAnnotations();
-  CheckPragmaOnce();
-  CheckUnorderedIteration();
-  CheckUncheckedIndexCast();
-  CheckTraceBufferInCdn();
-  CheckPerRecordInHotPath();
-  CheckCkptUnversionedBlob();
-  std::sort(findings_.begin(), findings_.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  return std::move(findings_);
+  std::sort(findings.begin(), findings.end(), FindingBefore);
+  return findings;
 }
 
 }  // namespace
 
+ProjectReport LintIndexedProject(const ProjectIndex& index) {
+  ProjectReport report;
+  report.files_indexed = index.files.size();
+  const auto start = std::chrono::steady_clock::now();
+  report.findings = RunRules(index, 1);
+  report.rules_ms = MsSince(start);
+  return report;
+}
+
+ProjectReport LintProject(const std::string& root, int threads) {
+  ProjectReport report;
+  report.threads = util::ResolveThreads(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ProjectIndex index = BuildProjectIndex(root, threads);
+  report.index_ms = MsSince(t0);
+  report.files_indexed = index.files.size();
+  const auto t1 = std::chrono::steady_clock::now();
+  report.findings = RunRules(index, threads);
+  report.rules_ms = MsSince(t1);
+  return report;
+}
+
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& content,
                               const std::string& decl_context) {
-  return FileLinter(path, content, decl_context).Run();
-}
-
-std::vector<Finding> LintTree(const std::string& root) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const char* top : {"src", "tools"}) {
-    const fs::path dir = fs::path(root) / top;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
-        continue;
-      }
-      files.push_back(
-          fs::relative(entry.path(), root).generic_string());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  const auto slurp = [](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return buf.str();
-  };
-  std::vector<Finding> findings;
-  for (const std::string& rel : files) {
-    std::string context;
-    if (EndsWith(rel, ".cc") || EndsWith(rel, ".cpp")) {
-      const fs::path header =
-          fs::path(root) / fs::path(rel).replace_extension(".h");
-      if (fs::exists(header)) context = slurp(header);
-    }
-    auto file_findings = LintFile(rel, slurp(fs::path(root) / rel), context);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-  }
+  ProjectIndex index;
+  index.files.push_back(BuildFileIndex(path, content, decl_context));
+  index.by_path.emplace(path, 0);
+  std::vector<Sink> sinks;
+  sinks.emplace_back(index.files[0]);
+  RunFileRules(index.files[0], sinks[0]);
+  RunProjectRules(index, sinks);
+  std::vector<Finding> findings = sinks[0].findings();
+  std::sort(findings.begin(), findings.end(), FindingBefore);
   return findings;
 }
 
-std::vector<std::string> RuleNames() {
-  return {"nondet-random-device", "nondet-rand", "nondet-time",
-          "nondet-system-clock", "raw-new-delete", "narrow-byte-counter",
-          "raw-std-mutex", "mutex-unannotated", "missing-pragma-once",
-          "unordered-iter", "unchecked-index-cast", "tracebuffer-in-cdn",
-          "perrecord-in-hotpath", "ckpt-unversioned-blob"};
-}
-
-std::string FormatFinding(const Finding& f) {
-  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
-         f.message;
+std::vector<Finding> LintTree(const std::string& root) {
+  return LintProject(root).findings;
 }
 
 }  // namespace atlas::lint

@@ -1,101 +1,67 @@
 // atlas-lint: project-invariant static analysis for the ATLAS tree.
 //
-// A lightweight lexer (comment/string-aware, no libclang) plus a catalog of
-// ATLAS-specific rules. The rules defend the two properties the project
-// depends on: byte-exact determinism of the analysis pipeline at any thread
-// count, and correct 64-bit byte accounting in the CDN simulator.
+// A two-phase project analyzer (no libclang):
 //
-// Rule catalog (scopes are repo-relative path prefixes):
+//   phase 1  BuildProjectIndex (index.h) walks src/, tools/ and bench/
+//            and indexes every TU — scrubbed token view, #include edges,
+//            declared symbols, mutex declarations and MutexLock nesting
+//            sites, parallel-region lambdas — under util::ParallelFor,
+//            byte-stable at any thread count.
+//   phase 2  per-file rules (rules_file.h) and cross-TU project rules
+//            (rules_project.h: layer-dag, lock-order,
+//            unguarded-parallel-write, fp-accumulation-order,
+//            unused-suppression) run over the index.
 //
-//   nondet-random-device  src/            std::random_device is banned;
-//                                         seed Rng/ShardedRng explicitly.
-//   nondet-rand           src/            rand()/srand() are banned.
-//   nondet-time           src/            time(nullptr/NULL/0) is banned.
-//   nondet-system-clock   src/ except     wall-clock reads are banned in
-//                         util/time.*     library code.
-//   raw-new-delete        src/, tools/    no raw new/delete; use containers
-//                                         or std::unique_ptr.
-//   narrow-byte-counter   src/cdn/,       byte/size counters must be 64-bit
-//                         src/analysis/   unsigned (no int/long/u32 fields
-//                                         or locals named *bytes*/*size*).
-//   raw-std-mutex         src/, tools/    use util::Mutex / util::MutexLock /
-//                         except          util::CondVar so Clang
-//                         util/mutex.h    -Wthread-safety sees the locking.
-//   mutex-unannotated     src/, tools/    every Mutex must be referenced by
-//                                         at least one ATLAS_GUARDED_BY /
-//                                         ATLAS_REQUIRES / ... in its file.
-//   missing-pragma-once   all headers     every header starts with
-//                                         #pragma once.
-//   unordered-iter        src/            range-for over an unordered
-//                                         container that accumulates
-//                                         (+=, push_back) in the loop body:
-//                                         iteration order is
-//                                         implementation-defined, so the
-//                                         accumulation must be proven
-//                                         order-insensitive and annotated.
-//   unchecked-index-cast  src/synth/      static_cast<uint32_t> is banned
-//                                         in the synth layer; population
-//                                         indices narrow through
-//                                         util::CheckedIndexU32
-//                                         (util/checked.h), which throws on
-//                                         overflow instead of wrapping.
-//   tracebuffer-in-cdn    src/cdn/        trace::TraceBuffer declarations
-//                                         and by-value returns are banned
-//                                         in the simulator: records stream
-//                                         through trace::RecordSink, never
-//                                         through a materialized buffer
-//                                         (references/pointers are fine).
-//   perrecord-in-hotpath  src/analysis/,  calls to the one-record-at-a-time
-//                         src/cdn/        adapters (NextRecord / PushRecord,
-//                                         trace/block.h) are banned in the
-//                                         hot analysis/simulation layers:
-//                                         records move as SoA RecordBlocks
-//                                         (BlockSource / BlockSink) there;
-//                                         compatibility shims annotate.
-//   ckpt-unversioned-blob src/ except     SaveState implementations must
-//                         src/ckpt/       serialize through ckpt::Writer's
-//                                         typed, versioned section API; raw
-//                                         .write()/fwrite() bypasses the
-//                                         CRC + version framing and restores
-//                                         wrong-but-plausible after layout
-//                                         changes.
+// Diagnostics carry line/column spans (diagnostics.h), serialize to SARIF
+// 2.1.0 for GitHub code scanning (sarif.h), and can be frozen with a
+// checked-in .lint-baseline so only new violations fail (baseline.h).
 //
-// Suppression: append `// atlas-lint: allow(<rule>[, <rule>...])  <reason>`
-// on the offending line or in the comment block directly above it.
+// The rule catalog lives in diagnostics.cc (Rules()); scopes and the
+// architectural layer DAG are documented in DESIGN.md §6.
+//
+// Suppression: append an allow pragma — `allow(<rule>)` after the tool
+// prefix in a comment, followed by a reason — on the offending line or in
+// the comment block directly above it. An
+// allow that stops suppressing anything becomes an unused-suppression
+// finding itself, so stale escapes cannot accumulate.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "atlas_lint/baseline.h"
+#include "atlas_lint/diagnostics.h"
+#include "atlas_lint/index.h"
+#include "atlas_lint/sarif.h"
+
 namespace atlas::lint {
 
-struct Finding {
-  std::string file;  // repo-relative path, '/'-separated
-  std::size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-
-  bool operator==(const Finding&) const = default;
+struct ProjectReport {
+  std::vector<Finding> findings;  // sorted by (file, line, col, rule)
+  std::size_t files_indexed = 0;
+  double index_ms = 0;  // phase-1 wall time
+  double rules_ms = 0;  // phase-2 wall time
+  int threads = 1;
 };
 
+// Lints every .h/.cc under root/{src,tools,bench}. threads <= 0 means
+// util::DefaultThreads(). Output is byte-identical at any thread count.
+ProjectReport LintProject(const std::string& root, int threads = 0);
+
+// Lints an already-indexed project (fixture trees in tests).
+ProjectReport LintIndexedProject(const ProjectIndex& index);
+
 // Lints a single file. `path` is the repo-relative path ('/'-separated); it
-// selects which rules apply. `content` is the file's full text.
-// `decl_context` is optional extra source whose declarations count when
-// resolving names (LintTree passes the sibling header of each .cc, so
-// `for (auto& kv : member_)` sees members declared in the header).
+// selects which rules apply. `decl_context` is optional extra source whose
+// declarations count when resolving names (the sibling header of a .cc).
+// Cross-TU rules run degraded to single-file scope (layer-dag still checks
+// the file's own include edges; lock-order sees this file's nestings).
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& content,
                               const std::string& decl_context = "");
 
-// Walks src/ and tools/ under `root` (sorted, deterministic) and lints every
-// .h/.cc file. Returns findings sorted by (file, line, rule).
+// Compatibility wrapper: LintProject(root).findings.
 std::vector<Finding> LintTree(const std::string& root);
-
-// All rule identifiers, for --list-rules and test coverage checks.
-std::vector<std::string> RuleNames();
-
-// "path:line: [rule] message" — the clickable single-line form.
-std::string FormatFinding(const Finding& f);
 
 }  // namespace atlas::lint

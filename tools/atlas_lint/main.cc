@@ -1,38 +1,127 @@
 // atlas-lint CLI.
 //
-//   atlas-lint --root <repo>     lint src/ and tools/ under <repo>
-//   atlas-lint --list-rules      print the rule catalog
+//   atlas-lint --root <repo>            lint src/, tools/ and bench/
+//   atlas-lint --baseline <file>        freeze pre-existing findings: only
+//                                       findings beyond the baseline (or
+//                                       stale baseline entries) fail
+//   atlas-lint --write-baseline <file>  snapshot current findings
+//   atlas-lint --sarif <file>           emit SARIF 2.1.0 (code scanning)
+//   atlas-lint --threads <n>            index/rule fan-out (0 = hardware)
+//   atlas-lint --list-rules             print the rule catalog
 //
-// Exit status: 0 clean, 1 findings, 2 usage error. Wired into ctest as the
-// `lint` label: `ctest -L lint`.
+// Exit status: 0 clean, 1 findings, 2 usage/IO error. Wired into ctest as
+// the `lint` label: `ctest -L lint`.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "atlas_lint/lint.h"
 
+namespace {
+
+int Usage() {
+  std::cerr << "usage: atlas-lint [--root <repo>] [--baseline <file>]\n"
+               "                  [--write-baseline <file>] [--sarif <file>]\n"
+               "                  [--threads <n>] [--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const auto& rule : atlas::lint::RuleNames()) {
-        std::cout << rule << '\n';
+      for (const auto& rule : atlas::lint::Rules()) {
+        std::cout << rule.name << "  " << rule.summary << '\n';
       }
       return 0;
     }
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
-      continue;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::stoi(argv[++i]);
+    } else {
+      return Usage();
     }
-    std::cerr << "usage: atlas-lint [--root <repo>] [--list-rules]\n";
-    return 2;
   }
-  const auto findings = atlas::lint::LintTree(root);
-  for (const auto& f : findings) {
+
+  const atlas::lint::ProjectReport report =
+      atlas::lint::LintProject(root, threads);
+  std::cerr << "atlas-lint: indexed " << report.files_indexed << " files in "
+            << report.index_ms << " ms; rules in " << report.rules_ms
+            << " ms (" << report.threads << " threads)\n";
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << atlas::lint::SerializeBaseline(report.findings);
+    if (!out) {
+      std::cerr << "atlas-lint: cannot write " << write_baseline_path << '\n';
+      return 2;
+    }
+    std::cerr << "atlas-lint: baseline with " << report.findings.size()
+              << " finding(s) written to " << write_baseline_path << '\n';
+    return 0;
+  }
+
+  // The failing set: everything, or — with a baseline — only findings
+  // beyond the frozen counts plus stale baseline entries.
+  std::vector<atlas::lint::Finding> failures = report.findings;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "atlas-lint: cannot read baseline " << baseline_path
+                << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<std::string> errors;
+    const atlas::lint::Baseline baseline =
+        atlas::lint::ParseBaseline(buf.str(), &errors);
+    for (const std::string& e : errors) std::cerr << "atlas-lint: " << e
+                                                  << '\n';
+    if (!errors.empty()) return 2;
+    auto result = atlas::lint::ApplyBaseline(report.findings, baseline);
+    const std::size_t frozen = report.findings.size() - result.fresh.size();
+    if (frozen > 0) {
+      std::cerr << "atlas-lint: " << frozen
+                << " finding(s) frozen by the baseline\n";
+    }
+    failures = std::move(result.fresh);
+    failures.insert(failures.end(), result.stale.begin(),
+                    result.stale.end());
+    std::sort(failures.begin(), failures.end(), atlas::lint::FindingBefore);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << atlas::lint::ToSarif(failures);
+    if (!out) {
+      std::cerr << "atlas-lint: cannot write " << sarif_path << '\n';
+      return 2;
+    }
+  }
+
+  for (const auto& f : failures) {
     std::cerr << atlas::lint::FormatFinding(f) << '\n';
   }
-  if (!findings.empty()) {
-    std::cerr << findings.size() << " atlas-lint finding(s)\n";
+  if (!failures.empty()) {
+    std::cerr << failures.size() << " atlas-lint finding(s)\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,16 @@
+// atlas-lint per-file rules: every check that needs only one translation
+// unit (plus its sibling-header declaration context). The cross-TU rules
+// live in rules_project.h.
+#pragma once
+
+#include "atlas_lint/diagnostics.h"
+#include "atlas_lint/index.h"
+
+namespace atlas::lint {
+
+// Runs the full per-file rule set for `file`, reporting through `sink`.
+// Scoping (which path prefixes each rule applies to) is internal to the
+// rules; callers always run the whole set.
+void RunFileRules(const FileIndex& file, Sink& sink);
+
+}  // namespace atlas::lint

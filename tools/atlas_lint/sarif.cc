@@ -1,0 +1,95 @@
+#include "atlas_lint/sarif.h"
+
+#include <cstddef>
+#include <map>
+
+namespace atlas::lint {
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> rule_index;
+  std::string rules;
+  const auto& catalog = Rules();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    rule_index[catalog[i].name] = i;
+    if (i > 0) rules += ",";
+    rules += "{\"id\":\"" + JsonEscape(catalog[i].name) +
+             "\",\"shortDescription\":{\"text\":\"" +
+             JsonEscape(catalog[i].summary) +
+             "\"},\"defaultConfiguration\":{\"level\":\"error\"}}";
+  }
+  std::string results;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) results += ",";
+    results += "{\"ruleId\":\"" + JsonEscape(f.rule) + "\"";
+    const auto idx = rule_index.find(f.rule);
+    if (idx != rule_index.end()) {
+      results += ",\"ruleIndex\":" + std::to_string(idx->second);
+    }
+    results +=
+        ",\"level\":\"error\",\"message\":{\"text\":\"" +
+        JsonEscape(f.message) +
+        "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+        "{\"uri\":\"" +
+        JsonEscape(f.file) +
+        "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":" +
+        std::to_string(f.line > 0 ? f.line : 1) +
+        ",\"startColumn\":" + std::to_string(f.col > 0 ? f.col : 1) +
+        "}}}]}";
+  }
+  std::string out;
+  out +=
+      "{\"$schema\":"
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{"
+      "\"tool\":{\"driver\":{\"name\":\"atlas-lint\",\"version\":\"";
+  out += kLintVersion;
+  out +=
+      "\",\"informationUri\":"
+      "\"https://example.invalid/atlas/tools/atlas_lint\",\"rules\":[";
+  out += rules;
+  out += "]}},\"columnKind\":\"utf16CodeUnits\",\"results\":[";
+  out += results;
+  out += "]}]}\n";
+  return out;
+}
+
+}  // namespace atlas::lint

@@ -1,0 +1,22 @@
+// SARIF 2.1.0 emission for atlas-lint findings, for GitHub code-scanning
+// upload. The output is a pure, byte-stable function of the finding list:
+// no timestamps, no absolute paths, fixed field order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas_lint/diagnostics.h"
+
+namespace atlas::lint {
+
+// The tool version stamped into the SARIF run (kept explicit so the
+// golden-file test never drifts with unrelated changes).
+inline constexpr const char* kLintVersion = "2.0.0";
+
+// Serializes findings (already sorted) as a SARIF 2.1.0 log with one run.
+// Every rule in the catalog is listed under tool.driver.rules; results
+// reference rules by id + index.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace atlas::lint
