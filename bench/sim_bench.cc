@@ -20,6 +20,12 @@
 // BENCH_scale.json (override with ATLAS_BENCH_SCALE_JSON). Scale 1.0 is
 // the paper-sized study; the sweep is how the README's scale >= 1.0
 // workflow documents its memory envelope.
+//
+// --spec "scenarios/a.toml,scenarios/b.toml" switches to the scenario
+// bench instead: each file is parsed as a ScenarioSpec and run end to end
+// through cdn::StreamScenario (generation + simulation + merge, records
+// discarded) and the per-scenario rec/s and peak RSS land in
+// BENCH_scenario.json (override with ATLAS_BENCH_SCENARIO_JSON).
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -29,6 +35,8 @@
 
 #include "bench_common.h"
 #include "cdn/engine.h"
+#include "cdn/scenario.h"
+#include "cdn/scenario_spec.h"
 #include "synth/site_profile.h"
 #include "trace/sink.h"
 #include "util/mem.h"
@@ -172,6 +180,70 @@ int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads) {
   return 0;
 }
 
+// One timed run per scenario file: parse, then stream the whole scenario
+// (generation + simulation + k-way merge) into a CountingSink. Unlike the
+// thread bench above, generation is inside the timed region — a scenario
+// file describes a complete run, so the bench reports what a user of
+// `atlas-trace simulate --spec` actually pays per record.
+int RunScenarioBench(const std::string& spec_list, int threads) {
+  if (threads <= 0) threads = util::DefaultThreads();
+  struct ScenarioPoint {
+    std::string file;
+    std::string name;
+    PhaseSample run;
+  };
+  bool rss_reset_ok = true;
+  std::vector<ScenarioPoint> points;
+  for (const auto& field : util::Split(spec_list, ',')) {
+    const std::string path(field);
+    const auto spec = cdn::ScenarioSpec::ParseFile(path);
+    ScenarioPoint point;
+    point.file = path;
+    point.name = spec.name;
+    point.run = MeasurePhase(
+        [&] {
+          trace::CountingSink sink;
+          cdn::StreamScenario(spec, sink, threads);
+          return sink.records();
+        },
+        rss_reset_ok);
+    std::cout << spec.name << ": "
+              << static_cast<std::uint64_t>(point.run.records_per_s)
+              << " rec/s, peak RSS " << point.run.peak_rss_bytes / 1024 / 1024
+              << " MB, " << point.run.records << " records\n";
+    points.push_back(std::move(point));
+  }
+  if (!rss_reset_ok) {
+    std::cout << "note: peak-RSS reset unavailable; RSS columns are "
+                 "process-lifetime watermarks\n";
+  }
+
+  std::string json_path = "BENCH_scenario.json";
+  if (const char* override_path = std::getenv("ATLAS_BENCH_SCENARIO_JSON")) {
+    json_path = override_path;
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"scenario\",\n  \"threads\": " << threads
+      << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"file\": \"" << p.file << "\", \"name\": \"" << p.name
+        << "\", \"records\": " << p.run.records << ", \"records_per_s\": "
+        << static_cast<std::uint64_t>(p.run.records_per_s)
+        << ", \"peak_rss_bytes\": " << p.run.peak_rss_bytes << "}"
+        << (i + 1 == points.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +253,10 @@ int main(int argc, char** argv) {
       "comma-separated scales (e.g. 0.05,1.0,5.0): run the scale sweep "
       "(generation + simulation rec/s and peak RSS per scale) and write "
       "BENCH_scale.json instead of the thread-count bench");
+  env.flags.DefineString(
+      "spec", "",
+      "comma-separated scenario files: run each declarative scenario end to "
+      "end and write BENCH_scenario.json instead of the thread-count bench");
   if (!bench::SetUpAblation(
           env, argc, argv,
           "Sharded simulation engine throughput vs. thread count")) {
@@ -190,6 +266,11 @@ int main(int argc, char** argv) {
   if (!sweep.empty()) {
     return RunScaleSweep(sweep, env.seed,
                          static_cast<int>(env.flags.GetInt("threads")));
+  }
+  const std::string spec_list = env.flags.GetString("spec");
+  if (!spec_list.empty()) {
+    return RunScenarioBench(spec_list,
+                            static_cast<int>(env.flags.GetInt("threads")));
   }
 
   cdn::SimulatorConfig config;

@@ -28,7 +28,8 @@ constexpr std::size_t kMergeBatchRecords = 8192;
 
 // Checkpoint section layouts ("engine.meta" + one "engine.shard.<i>" each).
 constexpr std::uint32_t kEngineMetaVersion = 1;
-constexpr std::uint32_t kEngineShardVersion = 1;
+// v2: adds the cache-flush cursor and the pre-flush stats accumulator.
+constexpr std::uint32_t kEngineShardVersion = 2;
 
 // A record plus its provenance. The sequential simulator appended records
 // in (event order, chunk order) and then ran a *stable* sort on timestamp,
@@ -82,6 +83,13 @@ struct Shard {
   // Private cursor into the site's shared push plan: push writes to every
   // DC independently, so each shard applies the plan to its own cache.
   std::size_t push_cursor = 0;
+  // Private cursor into this DC's flush schedule (op_events), interleaved
+  // with the push plan in time order.
+  std::size_t flush_cursor = 0;
+  // Stats of cache generations dropped by flushes: the counters survive a
+  // wipe (an operational flush is not an eviction storm), so reporting
+  // merges this with the live cache's stats.
+  CacheStats flushed_stats;
   std::vector<TaggedRecord> pending;    // records not yet past a barrier
   std::vector<TaggedRecord> finalized;  // this epoch's merge input, sorted
   // Keys resident in `cache` at the last epoch boundary, sorted.
@@ -133,7 +141,11 @@ class Engine {
   void ForEachShard(const std::function<void(std::size_t)>& fn);
   void ProcessEpoch(Shard& shard, std::int64_t epoch_end_ms, bool last);
   void ProcessEvent(Shard& shard, std::uint64_t event_seq);
-  void ApplyPushUpTo(Shard& shard, std::int64_t now_ms);
+  void ApplyOpsUpTo(Shard& shard, std::int64_t now_ms);
+  void ApplyOnePush(Shard& shard);
+  void FlushCache(Shard& shard);
+  bool DcDown(std::size_t dc, std::int64_t t) const;
+  std::size_t RouteForTime(std::size_t home_dc, std::int64_t t) const;
   void Fill(Shard& shard, std::uint64_t key, std::uint64_t bytes);
   BrowserCache& BrowserFor(Shard& shard, std::uint32_t user_index);
   void MergeFinalized();
@@ -159,6 +171,9 @@ class Engine {
   std::size_t dcs_per_site_ = 0;
   std::vector<Shard> shards_;
   std::vector<std::vector<PushItem>> push_plans_;  // per site
+  // Sorted flush instants per DC, expanded from config_.op_events.
+  std::vector<std::vector<std::int64_t>> dc_flush_times_;
+  bool has_outages_ = false;
   std::vector<trace::LogRecord> batch_;            // merge output staging
   std::unique_ptr<util::ThreadPool> pool_;
 };
@@ -254,6 +269,16 @@ std::uint64_t Engine::Fingerprint() const {
   h = util::HashCombine(h, static_cast<std::uint64_t>(config_.topology.edge_ttl_ms));
   h = util::HashCombine(
       h, static_cast<std::uint64_t>(config_.topology.dcs_per_continent));
+  // Operational events re-route and wipe caches, so they shape the record
+  // stream exactly like any other config knob.
+  h = util::HashCombine(h, static_cast<std::uint64_t>(config_.op_events.size()));
+  for (const OpEvent& e : config_.op_events) {
+    h = util::HashCombine(h, static_cast<std::uint64_t>(e.kind));
+    h = util::HashCombine(h, static_cast<std::uint64_t>(e.start_ms));
+    h = util::HashCombine(h, static_cast<std::uint64_t>(e.end_ms));
+    h = util::HashCombine(h, static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(e.dc)));
+  }
   for (const auto& plan : push_plans_) {
     h = util::HashCombine(h, static_cast<std::uint64_t>(plan.size()));
   }
@@ -263,6 +288,14 @@ std::uint64_t Engine::Fingerprint() const {
 void Engine::SaveShard(ckpt::Writer& w, const Shard& sh) const {
   w.WriteU64(static_cast<std::uint64_t>(sh.next_event));
   w.WriteU64(static_cast<std::uint64_t>(sh.push_cursor));
+  w.WriteU64(static_cast<std::uint64_t>(sh.flush_cursor));
+  w.WriteU64(sh.flushed_stats.hits);
+  w.WriteU64(sh.flushed_stats.misses);
+  w.WriteU64(sh.flushed_stats.inserts);
+  w.WriteU64(sh.flushed_stats.evictions);
+  w.WriteU64(sh.flushed_stats.rejected);
+  w.WriteU64(sh.flushed_stats.hit_bytes);
+  w.WriteU64(sh.flushed_stats.miss_bytes);
   w.WriteU64(sh.origin.fetches);
   w.WriteU64(sh.origin.bytes);
   w.WriteU64(sh.records);
@@ -316,10 +349,20 @@ void Engine::SaveCheckpoint(std::int64_t epoch_end,
 void Engine::RestoreShard(ckpt::Reader& r, Shard& sh) {
   sh.next_event = static_cast<std::size_t>(r.ReadU64());
   sh.push_cursor = static_cast<std::size_t>(r.ReadU64());
+  sh.flush_cursor = static_cast<std::size_t>(r.ReadU64());
   if (sh.next_event > sh.event_indices.size() ||
-      sh.push_cursor > push_plans_[sh.site].size()) {
+      sh.push_cursor > push_plans_[sh.site].size() ||
+      sh.flush_cursor > dc_flush_times_[sh.dc].size()) {
     throw std::runtime_error("ckpt: shard cursor out of range");
   }
+  sh.flushed_stats = CacheStats{};
+  sh.flushed_stats.hits = r.ReadU64();
+  sh.flushed_stats.misses = r.ReadU64();
+  sh.flushed_stats.inserts = r.ReadU64();
+  sh.flushed_stats.evictions = r.ReadU64();
+  sh.flushed_stats.rejected = r.ReadU64();
+  sh.flushed_stats.hit_bytes = r.ReadU64();
+  sh.flushed_stats.miss_bytes = r.ReadU64();
   sh.origin.fetches = r.ReadU64();
   sh.origin.bytes = r.ReadU64();
   sh.records = r.ReadU64();
@@ -378,6 +421,43 @@ void Engine::RestoreFromCheckpoint(ckpt::Reader& r, std::int64_t* epoch_end,
 }
 
 void Engine::Validate() const {
+  for (const OpEvent& e : config_.op_events) {
+    if (e.kind == OpEventKind::kDcOutage) {
+      if (e.start_ms < 0 || e.end_ms <= e.start_ms) {
+        throw std::invalid_argument(
+            "Simulator: outage window must satisfy 0 <= start < end");
+      }
+      if (e.dc < 0 || static_cast<std::size_t>(e.dc) >= dcs_per_site_) {
+        throw std::invalid_argument("Simulator: outage dc out of range");
+      }
+      if (dcs_per_site_ < 2) {
+        throw std::invalid_argument(
+            "Simulator: a DC outage needs >= 2 DCs to fail over to");
+      }
+    } else {
+      if (e.start_ms < 0) {
+        throw std::invalid_argument("Simulator: flush time must be >= 0");
+      }
+      if (e.dc < OpEvent::kAllDcs ||
+          (e.dc >= 0 && static_cast<std::size_t>(e.dc) >= dcs_per_site_)) {
+        throw std::invalid_argument("Simulator: flush dc out of range");
+      }
+    }
+  }
+  // Overlapping outages of the same DC would make "the" failover target
+  // ambiguous to reason about; reject rather than define an ordering.
+  for (std::size_t i = 0; i < config_.op_events.size(); ++i) {
+    for (std::size_t j = i + 1; j < config_.op_events.size(); ++j) {
+      const OpEvent& a = config_.op_events[i];
+      const OpEvent& b = config_.op_events[j];
+      if (a.kind == OpEventKind::kDcOutage &&
+          b.kind == OpEventKind::kDcOutage && a.dc == b.dc &&
+          a.start_ms < b.end_ms && b.start_ms < a.end_ms) {
+        throw std::invalid_argument(
+            "Simulator: overlapping outage windows for the same DC");
+      }
+    }
+  }
   for (const auto& job : jobs_) {
     if (job.generator == nullptr || job.events == nullptr) {
       throw std::invalid_argument("RunSharded: job missing generator/events");
@@ -392,7 +472,44 @@ void Engine::Validate() const {
   }
 }
 
+bool Engine::DcDown(std::size_t dc, std::int64_t t) const {
+  for (const OpEvent& e : config_.op_events) {
+    if (e.kind == OpEventKind::kDcOutage &&
+        static_cast<std::size_t>(e.dc) == dc && e.Active(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Engine::RouteForTime(std::size_t home_dc, std::int64_t t) const {
+  if (!has_outages_) return home_dc;
+  std::size_t d = home_dc;
+  for (std::size_t hop = 0; hop < dcs_per_site_; ++hop) {
+    if (!DcDown(d, t)) return d;
+    d = (d + 1) % dcs_per_site_;
+  }
+  throw std::runtime_error("Simulator: every DC is down at t=" +
+                           std::to_string(t) + "ms — nothing can serve");
+}
+
 void Engine::BuildShards() {
+  for (const OpEvent& e : config_.op_events) {
+    if (e.kind == OpEventKind::kDcOutage) has_outages_ = true;
+  }
+  dc_flush_times_.resize(dcs_per_site_);
+  for (const OpEvent& e : config_.op_events) {
+    if (e.kind != OpEventKind::kCacheFlush) continue;
+    for (std::size_t d = 0; d < dcs_per_site_; ++d) {
+      if (e.dc == OpEvent::kAllDcs || static_cast<std::size_t>(e.dc) == d) {
+        dc_flush_times_[d].push_back(e.start_ms);
+      }
+    }
+  }
+  for (auto& times : dc_flush_times_) {
+    std::sort(times.begin(), times.end());
+  }
+
   shards_.resize(jobs_.size() * dcs_per_site_);
   push_plans_.reserve(jobs_.size());
   for (std::size_t s = 0; s < jobs_.size(); ++s) {
@@ -419,7 +536,12 @@ void Engine::BuildShards() {
     });
     const auto& events = *jobs_[s].events;
     for (std::size_t i = 0; i < events.size(); ++i) {
-      const std::size_t d = user_dc[events[i].user_index];
+      // Outage failover happens here: routing consults the event's own
+      // timestamp, so a pinned user serves from their home DC before and
+      // after the window and from the failover DC inside it. Still a pure
+      // function of (workload, config) — thread count cannot touch it.
+      const std::size_t d = RouteForTime(user_dc[events[i].user_index],
+                                         events[i].timestamp_ms);
       shard(s, d).event_indices.push_back(i);
     }
   }
@@ -466,11 +588,46 @@ void Engine::Fill(Shard& sh, std::uint64_t key, std::uint64_t bytes) {
   sh.origin.bytes += bytes;
 }
 
-void Engine::ApplyPushUpTo(Shard& sh, std::int64_t now_ms) {
+void Engine::FlushCache(Shard& sh) {
+  // The wipe drops resident bytes, not history: the dead generation's
+  // counters move to the accumulator and a fresh cache (same policy,
+  // capacity, TTL) takes over. The stale peer-fill snapshot stays up until
+  // the next barrier — siblings consulting it see the same staleness any
+  // mid-epoch eviction produces.
+  sh.flushed_stats.Merge(sh.cache->stats());
+  sh.cache = CreateCache(config_.topology.edge_policy,
+                         config_.topology.edge_capacity_bytes,
+                         config_.topology.edge_ttl_ms);
+}
+
+void Engine::ApplyOpsUpTo(Shard& sh, std::int64_t now_ms) {
+  // Interleave scheduled pushes and cache flushes in time order, so a
+  // flush wipes exactly the pushes that preceded it. At a tie the flush
+  // lands first: a push scheduled for the same instant re-warms the cold
+  // cache. Both cursors advance on event timestamps only — epoch length
+  // and thread count never reorder them.
+  const std::vector<PushItem>& plan = push_plans_[sh.site];
+  const std::vector<std::int64_t>& flushes = dc_flush_times_[sh.dc];
+  for (;;) {
+    const bool push_due = sh.push_cursor < plan.size() &&
+                          plan[sh.push_cursor].push_at_ms <= now_ms;
+    const bool flush_due = sh.flush_cursor < flushes.size() &&
+                           flushes[sh.flush_cursor] <= now_ms;
+    if (!push_due && !flush_due) return;
+    if (flush_due && (!push_due || flushes[sh.flush_cursor] <=
+                                       plan[sh.push_cursor].push_at_ms)) {
+      FlushCache(sh);
+      ++sh.flush_cursor;
+    } else {
+      ApplyOnePush(sh);
+    }
+  }
+}
+
+void Engine::ApplyOnePush(Shard& sh) {
   const std::vector<PushItem>& plan = push_plans_[sh.site];
   const synth::Catalog& catalog = jobs_[sh.site].generator->catalog();
-  while (sh.push_cursor < plan.size() &&
-         plan[sh.push_cursor].push_at_ms <= now_ms) {
+  {
     const auto& item = plan[sh.push_cursor];
     const auto& obj = catalog.object(item.object_index);
     // Push the object (or its leading chunks) into this shard's edge DC.
@@ -621,15 +778,15 @@ void Engine::ProcessEpoch(Shard& sh, std::int64_t epoch_end_ms, bool last) {
     const std::uint64_t ei = sh.event_indices[sh.next_event];
     const synth::RequestEvent& ev = events[ei];
     if (ev.timestamp_ms >= epoch_end_ms) break;
-    // Scheduled pushes land between a DC's own requests in exactly the
-    // order the sequential simulator applied them (plan order, before the
-    // first request at or after push_at), so cache state evolution per DC
-    // is identical.
-    ApplyPushUpTo(sh, ev.timestamp_ms);
+    // Scheduled pushes and cache flushes land between a DC's own requests
+    // in exactly the order the sequential simulator applied them (time
+    // order, before the first request at or after their instant), so cache
+    // state evolution per DC is identical.
+    ApplyOpsUpTo(sh, ev.timestamp_ms);
     ProcessEvent(sh, ei);
     ++sh.next_event;
   }
-  if (last) ApplyPushUpTo(sh, util::kMillisPerWeek);
+  if (last) ApplyOpsUpTo(sh, util::kMillisPerWeek);
 
   // Finalize records with timestamps before the boundary: every event in a
   // later epoch starts at ts >= epoch_end, and chunk pacing only moves
@@ -712,7 +869,8 @@ std::vector<SimulatorResult> Engine::Assemble() const {
     r.per_dc_stats.reserve(dcs_per_site_);
     for (std::size_t d = 0; d < dcs_per_site_; ++d) {
       const Shard& sh = shards_[s * dcs_per_site_ + d];
-      const CacheStats& stats = sh.cache->stats();
+      CacheStats stats = sh.flushed_stats;  // generations dropped by flushes
+      stats.Merge(sh.cache->stats());
       r.per_dc_stats.push_back(stats);
       r.edge_stats.Merge(stats);
       r.origin.fetches += sh.origin.fetches;

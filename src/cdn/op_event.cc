@@ -1,0 +1,15 @@
+#include "cdn/op_event.h"
+
+namespace atlas::cdn {
+
+const char* ToString(OpEventKind k) {
+  switch (k) {
+    case OpEventKind::kDcOutage:
+      return "dc-outage";
+    case OpEventKind::kCacheFlush:
+      return "cache-flush";
+  }
+  return "?";
+}
+
+}  // namespace atlas::cdn

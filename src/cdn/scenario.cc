@@ -51,11 +51,27 @@ std::string GeneratorSectionName(std::size_t i) {
   return "synth.generator." + std::to_string(i);
 }
 
+// Site names key publisher-registry entries, spec event routing, and
+// analysis breakdowns; two sites sharing one is always a config bug. The
+// registry would also throw, but without saying which layer misconfigured
+// what — fail here with the scenario's own words.
+void RejectDuplicateSiteNames(const std::vector<synth::SiteProfile>& profiles) {
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      if (profiles[i].name == profiles[j].name) {
+        throw std::invalid_argument("Scenario: duplicate site name '" +
+                                    profiles[i].name + "'");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Scenario::Scenario(std::vector<synth::SiteProfile> profiles,
                    const SimulatorConfig& config, std::uint64_t seed,
                    int threads) {
+  RejectDuplicateSiteNames(profiles);
   util::Rng seeder(seed);
   std::vector<std::vector<synth::RequestEvent>> events;
   events.reserve(profiles.size());
@@ -104,17 +120,6 @@ SimulatorResult Scenario::Totals() const {
   SimulatorResult totals;
   for (const auto& run : runs_) totals.Merge(run.result);
   return totals;
-}
-
-// atlas-lint: allow(tracebuffer-in-cdn) legacy in-memory convenience
-trace::TraceBuffer Scenario::MergedTrace() const {
-  trace::TraceBuffer merged;  // atlas-lint: allow(tracebuffer-in-cdn) (above)
-  std::size_t total = 0;
-  for (const auto& run : runs_) total += run.result.trace.size();
-  merged.Reserve(total);
-  trace::BufferSink sink(merged);
-  StreamMerged(sink);
-  return merged;
 }
 
 MergedTraceSource::MergedTraceSource(const Scenario& scenario) {
@@ -183,6 +188,7 @@ ScenarioStreamResult StreamScenario(std::vector<synth::SiteProfile> profiles,
                                     std::uint64_t seed, trace::RecordSink& sink,
                                     int threads,
                                     const CheckpointOptions& ckpt_options) {
+  RejectDuplicateSiteNames(profiles);
   ScenarioStreamResult out;
   util::Rng seeder(seed);
   std::vector<std::unique_ptr<synth::WorkloadGenerator>> generators;

@@ -26,6 +26,8 @@
 
 namespace atlas::cdn {
 
+class ScenarioSpec;
+
 struct SiteRun {
   synth::SiteProfile profile;
   std::uint32_t publisher_id = 0;
@@ -42,6 +44,10 @@ class Scenario {
   Scenario(std::vector<synth::SiteProfile> profiles,
            const SimulatorConfig& config, std::uint64_t seed,
            int threads = 0);
+
+  // Spec-driven construction: profiles, config, and seed all come from the
+  // spec (see scenario_spec.h). Defined in scenario_spec.cc.
+  explicit Scenario(const ScenarioSpec& spec, int threads = 0);
 
   // Convenience: the paper's five adult sites.
   static Scenario PaperStudy(double scale, const SimulatorConfig& config,
@@ -60,13 +66,6 @@ class Scenario {
 
   // Merged delivery counters across all sites.
   SimulatorResult Totals() const;
-
-  // Merged time-sorted trace as one buffer. Convenience wrapper over
-  // StreamMerged for call sites that genuinely need random access; costs
-  // one full copy of the records (but no re-sort). Prefer StreamMerged or
-  // MergedTraceSource.
-  // atlas-lint: allow(tracebuffer-in-cdn) legacy in-memory convenience
-  trace::TraceBuffer MergedTrace() const;
 
  private:
   trace::PublisherRegistry registry_;

@@ -1,0 +1,125 @@
+// ScenarioSpec: the scenario layer as data.
+//
+// A scenario file is a TOML description of everything a run needs — which
+// site profiles to instantiate (base factory + curated overrides), the
+// simulator/topology configuration, and a timeline of operational events
+// (flash crowds, takedowns, DC outages, cache flushes). The spec replaces
+// the hardcoded five-site constructor pipeline: Scenario / StreamScenario
+// accept a spec directly, the CLI runs any spec file end-to-end, and every
+// shipped spec under scenarios/ carries its own pinned golden digest.
+//
+// Parsing is loud: unknown keys, wrong types, out-of-range values, and
+// overlapping event windows all fail with the file's line and column —
+// a typo in a scenario file must never silently fall back to a default.
+//
+// Identity: CanonicalToml() renders the spec in one fixed, explicit form
+// (every simulator knob spelled out, keys in schema order), and
+// Fingerprint() is the FNV-1a of those bytes. The fingerprint rides in
+// every checkpoint a spec-driven run writes ("scenario.spec" section), so
+// resuming against an edited spec fails before any state is spliced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdn/scenario.h"
+#include "cdn/simulator.h"
+#include "synth/site_profile.h"
+
+namespace atlas::cdn {
+
+// One site: a named base profile plus curated overrides. Overrides are
+// absolute values applied after the base factory ran at the spec's scale.
+struct SiteSpec {
+  // Base factory: "V-1", "V-2", "P-1", "P-2", "S-1", "N-1", or "L-1".
+  std::string profile;
+  // Effective site name; defaults to the base profile's name.
+  std::string name;
+  std::optional<std::uint64_t> total_requests;
+  std::optional<std::uint64_t> num_objects;
+  std::optional<std::uint64_t> num_users;
+  std::optional<double> zipf_s;
+  std::optional<double> repeat_request_prob;
+  std::optional<double> incognito_rate;
+  std::optional<double> peak_local_hour;
+  std::optional<double> diurnal_amplitude;
+  std::optional<double> watch_fraction_mean;
+};
+
+// One timeline entry. Demand-side kinds (flash-crowd, takedown) target one
+// site's catalog; delivery-side kinds (dc-outage, cache-flush) target DCs.
+enum class SpecEventKind : std::uint8_t {
+  kFlashCrowd = 0,
+  kTakedown = 1,
+  kDcOutage = 2,
+  kCacheFlush = 3,
+};
+const char* ToString(SpecEventKind k);
+
+struct EventSpec {
+  SpecEventKind kind = SpecEventKind::kFlashCrowd;
+  // Demand events: the target site's effective name.
+  std::string site;
+  // Window in hours from trace start; flushes fire at start_hours and
+  // ignore end_hours.
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+  // Demand events: target object (catalog index).
+  std::int64_t object = 0;
+  // Flash crowd: probability an in-window request redirects to the target.
+  double share = 0.5;
+  // Delivery events: target DC index; -1 = every DC (flush only).
+  std::int64_t dc = 0;
+};
+
+class ScenarioSpec {
+ public:
+  std::string name;
+  std::string description;
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  std::vector<SiteSpec> sites;
+  std::vector<EventSpec> events;
+  // Effective simulator configuration, minus op_events (those come from
+  // `events` via BuildConfig). Defaults match SimulatorConfig's.
+  SimulatorConfig sim;
+
+  // Parses + validates; throws util::config::ConfigError with line/column
+  // on any defect. `source` names the input in errors.
+  static ScenarioSpec Parse(std::string_view text, const std::string& source);
+  static ScenarioSpec ParseFile(const std::string& path);
+
+  // Structural validation of the in-memory spec (also called by Parse);
+  // throws std::invalid_argument. Covers everything that can go wrong
+  // after programmatic edits (e.g. CLI --scale/--seed overrides).
+  void Validate() const;
+
+  // The one fixed, explicit rendering of this spec. Parse(CanonicalToml())
+  // reproduces the spec exactly (round-trip identity), and two specs are
+  // equivalent iff their canonical forms are byte-equal.
+  std::string CanonicalToml() const;
+
+  // FNV-1a of CanonicalToml(); the spec's checkpoint identity.
+  std::uint64_t Fingerprint() const;
+
+  // Materializes the site profiles (base factory at `scale`, overrides,
+  // demand events routed to their sites) and the simulator config
+  // (sim + op_events). Both validate what they build.
+  std::vector<synth::SiteProfile> BuildProfiles() const;
+  SimulatorConfig BuildConfig() const;
+};
+
+// Spec-driven streaming run: exactly StreamScenario(BuildProfiles(),
+// BuildConfig(), spec.seed, ...) plus a "scenario.spec" checkpoint section
+// carrying the spec fingerprint — a resume against a mutated spec fails
+// with a clear error before any engine state is restored.
+ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
+                                    trace::RecordSink& sink, int threads = 0);
+ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
+                                    trace::RecordSink& sink, int threads,
+                                    const CheckpointOptions& ckpt_options);
+
+}  // namespace atlas::cdn

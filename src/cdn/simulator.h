@@ -29,6 +29,7 @@
 
 #include "cdn/browser_cache.h"
 #include "cdn/chunking.h"
+#include "cdn/op_event.h"
 #include "cdn/push.h"
 #include "cdn/topology.h"
 #include "synth/workload.h"
@@ -63,6 +64,11 @@ struct SimulatorConfig {
   // peer-fill/origin split of miss traffic depends on this knob.
   std::int64_t epoch_ms = 3600 * 1000LL;
   PushConfig push;
+  // Operational events (DC outages, cache flushes), applied by the sharded
+  // engine as pure functions of the workload timestamps — see op_event.h.
+  // Part of the engine fingerprint: resuming against an edited timeline
+  // fails instead of splicing two different deliveries.
+  std::vector<OpEvent> op_events;
 };
 
 // Delivery-side counters for one simulation (or one shard of one): a

@@ -68,6 +68,16 @@ const char* ToString(PatternType p) {
   return "?";
 }
 
+const char* ToString(DemandEventKind k) {
+  switch (k) {
+    case DemandEventKind::kFlashCrowd:
+      return "flash-crowd";
+    case DemandEventKind::kTakedown:
+      return "takedown";
+  }
+  return "?";
+}
+
 std::uint64_t SizeModel::Sample(util::Rng& rng) const {
   double v;
   if (rng.NextBool(bimodal_weight)) {
@@ -173,6 +183,40 @@ void SiteProfile::Validate() const {
   if (zipf_s < 0.0) throw std::invalid_argument("SiteProfile: zipf_s < 0");
   if (watch_fraction_mean <= 0.0 || watch_fraction_mean > 1.0) {
     throw std::invalid_argument("SiteProfile: watch_fraction_mean out of range");
+  }
+  for (const DemandEvent& e : demand_events) {
+    if (e.end_ms <= e.start_ms || e.start_ms < 0) {
+      throw std::invalid_argument(
+          "SiteProfile: demand event window must satisfy 0 <= start < end");
+    }
+    if (e.object_index >= num_objects) {
+      throw std::invalid_argument(
+          "SiteProfile: demand event object_index " +
+          std::to_string(e.object_index) + " outside catalog of " +
+          std::to_string(num_objects));
+    }
+    if (e.kind == DemandEventKind::kFlashCrowd &&
+        (!(e.share > 0.0) || e.share > 1.0)) {
+      throw std::invalid_argument(
+          "SiteProfile: flash-crowd share must be in (0, 1]");
+    }
+    if (e.kind == DemandEventKind::kTakedown && num_objects < 2) {
+      throw std::invalid_argument(
+          "SiteProfile: takedown needs a catalog of >= 2 objects");
+    }
+  }
+  // Same-kind windows must not overlap: "the flash crowd's share" or "the
+  // takedown's target" would be ambiguous where two windows intersect.
+  for (std::size_t i = 0; i < demand_events.size(); ++i) {
+    for (std::size_t j = i + 1; j < demand_events.size(); ++j) {
+      const DemandEvent& a = demand_events[i];
+      const DemandEvent& b = demand_events[j];
+      if (a.kind == b.kind && a.start_ms < b.end_ms && b.start_ms < a.end_ms) {
+        throw std::invalid_argument(
+            "SiteProfile: overlapping " + std::string(ToString(a.kind)) +
+            " event windows");
+      }
+    }
   }
 }
 
@@ -401,6 +445,50 @@ SiteProfile SiteProfile::NonAdult(double scale) {
   p.repeat_request_prob = 0.10;
   p.favorite_adopt_prob = 0.10;
   p.incognito_rate = 0.10;  // normal browsing: browser caches work (§V)
+  ApplyScale(p, scale);
+  return p;
+}
+
+SiteProfile SiteProfile::LiveStream(double scale) {
+  SiteProfile p;
+  p.name = "L-1";
+  p.kind = trace::SiteKind::kAdultVideo;
+  // A cam/live portal: few concurrent "streams" relative to a VoD catalog,
+  // nearly all video, and almost nothing pre-recorded survives the day.
+  p.num_objects = 900;
+  p.object_class_mix = {0.95, 0.04, 0.01};
+  p.num_users = 90000;
+  p.total_requests = 800000;
+  // Demand concentrates hard on the top streams.
+  p.zipf_s = 1.1;
+  // Streams are delivered as long chunked sessions; sizes model the bytes
+  // a viewer pulls, not a file on disk.
+  p.video_size = SizeModel::LogNormal(60e6, 0.7, 2e6, 1e9);
+  p.image_size = SizeModel::Bimodal(10e3, 0.5, 250e3, 0.7, 0.6, 500, 1.5e6);
+  p.other_size = SizeModel::LogNormal(15e3, 1.0, 200, 5e6);
+  // A stream is alive while it is on the air: short-lived dominates, with
+  // a flash-crowd slice for headline shows.
+  p.video_patterns.fractions = {0.10, 0.15, 0.55, 0.15, 0.05};
+  p.image_patterns.fractions = {0.30, 0.20, 0.40, 0.05, 0.05};
+  p.other_patterns.fractions = {0.70, 0.15, 0.10, 0.00, 0.05};
+  // Live content churns continuously; almost nothing predates the trace.
+  p.preexisting_fraction = 0.15;
+  // Shows cluster in the late evening and the site goes quiet off-air —
+  // the deepest diurnal swing of any profile.
+  p.peak_local_hour = 23.0;
+  p.diurnal_amplitude = 0.7;
+  p.device_mix = {0.70, 0.14, 0.08, 0.08};
+  p.continent_mix = {0.40, 0.35, 0.15, 0.10};
+  // Viewers settle into a stream: few distinct requests, long gaps while
+  // they watch, near-complete watch fractions.
+  p.mean_requests_per_session = 3.0;
+  p.iat_median_s = 90.0;
+  p.iat_sigma = 0.9;
+  p.repeat_request_prob = 0.45;  // regulars return to the same performers
+  p.favorite_adopt_prob = 0.50;
+  p.max_favorites = 4;
+  p.watch_fraction_mean = 0.85;
+  p.incognito_rate = 0.80;
   ApplyScale(p, scale);
   return p;
 }

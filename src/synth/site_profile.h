@@ -61,6 +61,33 @@ struct PatternMix {
   void Validate() const;
 };
 
+// Time-windowed demand modulation applied at request-generation time.
+enum class DemandEventKind : std::uint8_t {
+  // A burst of attention on one object: while the window is active, each
+  // request redirects to `object_index` with probability `share` after its
+  // organic draw (Grammenos et al.'s flash crowds on video portals).
+  kFlashCrowd = 0,
+  // The object is pulled from the catalog: while active, every request
+  // that lands on `object_index` deterministically re-lands on its catalog
+  // neighbour instead (churn: the demand moves, it does not vanish). The
+  // window's end models the content being restored or replaced.
+  kTakedown = 1,
+};
+const char* ToString(DemandEventKind k);
+
+struct DemandEvent {
+  DemandEventKind kind = DemandEventKind::kFlashCrowd;
+  // Half-open active window [start_ms, end_ms) in trace time.
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  // Target object (catalog index).
+  std::uint32_t object_index = 0;
+  // Flash crowd only: probability an in-window request redirects.
+  double share = 0.5;
+
+  bool Active(std::int64_t t) const { return t >= start_ms && t < end_ms; }
+};
+
 struct SiteProfile {
   std::string name;
   trace::SiteKind kind = trace::SiteKind::kNonAdult;
@@ -139,6 +166,13 @@ struct SiteProfile {
   double bad_range_rate = 0.0015;
   double beacon_rate = 0.002;
 
+  // --- operational demand events ---------------------------------------------
+  // Time-windowed modulation of the request stream, applied inside
+  // MakeRequest. Part of the workload's identity (hashed into the
+  // generator fingerprint): a resume against different events fails.
+  // Events of the same kind must not overlap in time (Validate enforces).
+  std::vector<DemandEvent> demand_events;
+
   // --- memory (scale >= 1 runs) ---------------------------------------------
   // Byte budget for the resident synthetic tables, split evenly between the
   // object catalog and the user table. A population whose table would
@@ -163,6 +197,10 @@ struct SiteProfile {
   static SiteProfile P2(double scale = 1.0);
   static SiteProfile S1(double scale = 1.0);
   static SiteProfile NonAdult(double scale = 1.0);
+  // A live-streaming-style adult video profile (not one of the paper's
+  // five): small catalog of concurrent streams, hard evening peak, very
+  // deep diurnal swing, long watch fractions, heavy repeat viewing.
+  static SiteProfile LiveStream(double scale = 1.0);
 
   // All five adult sites, in paper order.
   static std::vector<SiteProfile> PaperAdultSites(double scale = 1.0);

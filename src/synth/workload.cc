@@ -100,6 +100,28 @@ RequestEvent WorkloadGenerator::MakeRequest(
     }
   }
 
+  // Operational demand events, applied on top of the organic draw (the
+  // adoption above intentionally keeps the organic object: a flash crowd
+  // rides over steady interest, it does not rewrite it). Out-of-window
+  // events draw no RNG, so a profile with no events generates the exact
+  // byte stream it did before events existed.
+  for (const DemandEvent& de : profile_.demand_events) {
+    if (!de.Active(t)) continue;
+    if (de.kind == DemandEventKind::kFlashCrowd) {
+      if (rng.NextBool(de.share)) {
+        ev.object_index = de.object_index;
+        ev.is_repeat = false;
+      }
+    } else if (ev.object_index == de.object_index) {
+      // Takedown: demand deterministically lands on the catalog neighbour
+      // while the object is down.
+      ev.object_index = util::CheckedIndexU32(
+          (static_cast<std::size_t>(de.object_index) + 1) % catalog_.size(),
+          "object");
+      ev.is_repeat = false;
+    }
+  }
+
   // Video watch fraction: lognormal around the profile mean, capped at 1.
   const auto& obj = catalog_.object(ev.object_index);
   if (obj.content_class == trace::ContentClass::kVideo) {
@@ -248,6 +270,16 @@ std::uint64_t WorkloadGenerator::Fingerprint() const {
   h = util::HashCombine(h, static_cast<std::uint64_t>(catalog_.size()));
   h = util::HashCombine(h, static_cast<std::uint64_t>(users_.size()));
   h = util::HashCombine(h, static_cast<std::uint64_t>(shards_.size()));
+  // Demand events shape the request stream, so they are part of the
+  // generator's identity: a resume against an edited event timeline must
+  // fail the fingerprint check, not silently splice two different weeks.
+  for (const DemandEvent& de : profile_.demand_events) {
+    h = util::HashCombine(h, static_cast<std::uint64_t>(de.kind));
+    h = util::HashCombine(h, static_cast<std::uint64_t>(de.start_ms));
+    h = util::HashCombine(h, static_cast<std::uint64_t>(de.end_ms));
+    h = util::HashCombine(h, de.object_index);
+    h = util::HashCombine(h, util::DoubleBits(de.share));
+  }
   return h;
 }
 

@@ -63,6 +63,7 @@ void Flags::Parse(int argc, const char* const* argv) {
       auto it = defs_.find(name);
       if (it != defs_.end() && it->second.type == Type::kBool) {
         it->second.value = "false";
+        provided_.insert(name);
         continue;
       }
     }
@@ -72,6 +73,7 @@ void Flags::Parse(int argc, const char* const* argv) {
     }
     if (it->second.type == Type::kBool) {
       it->second.value = "true";
+      provided_.insert(body);
     } else {
       if (i + 1 >= argc) {
         throw std::invalid_argument("Flags: missing value for --" + body);
@@ -92,11 +94,16 @@ const Flags::Def& Flags::Lookup(const std::string& name, Type expected) const {
   return it->second;
 }
 
+bool Flags::Provided(const std::string& name) const {
+  return provided_.count(name) != 0;
+}
+
 void Flags::Assign(const std::string& name, const std::string& value) {
   auto it = defs_.find(name);
   if (it == defs_.end()) {
     throw std::invalid_argument("Flags: unknown flag --" + name);
   }
+  provided_.insert(name);
   switch (it->second.type) {
     case Type::kString:
       it->second.value = value;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,10 @@ class Flags {
   const std::vector<std::string>& positional() const { return positional_; }
   bool help_requested() const { return help_requested_; }
 
+  // True when the flag was set on the command line (vs. left at its
+  // default) — lets a command distinguish "--seed 42" from "no --seed".
+  bool Provided(const std::string& name) const;
+
   // Renders "--name (default: ...)  help" lines.
   std::string Usage(const std::string& program) const;
 
@@ -55,6 +60,7 @@ class Flags {
 
   std::map<std::string, Def> defs_;
   std::vector<std::string> positional_;
+  std::set<std::string> provided_;
   bool help_requested_ = false;
 };
 

@@ -6,10 +6,17 @@
 // identically on another.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string_view>
 
 namespace atlas::util {
+
+// Raw IEEE-754 bits of a double, for hashing real-valued config knobs into
+// fingerprints (bit equality is exactly the "same config" contract).
+inline std::uint64_t DoubleBits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
 
 // FNV-1a, 64-bit. Stable, fast for short keys (URLs, UA strings).
 std::uint64_t Fnv1a64(std::string_view data);

@@ -29,6 +29,7 @@
 #include "analysis/suite.h"
 #include "cdn/engine.h"
 #include "cdn/scenario.h"
+#include "scenario_fixtures.h"
 #include "synth/site_profile.h"
 #include "synth/workload.h"
 #include "trace/block.h"
@@ -86,7 +87,7 @@ const cdn::Scenario& GoldenScenario() {
 
 const trace::TraceBuffer& GoldenMerged() {
   static const trace::TraceBuffer* merged =
-      new trace::TraceBuffer(GoldenScenario().MergedTrace());
+      new trace::TraceBuffer(testutil::MaterializeMerged(GoldenScenario()));
   return *merged;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cdn/scenario.h"
+#include "scenario_fixtures.h"
 #include "util/logging.h"
 
 namespace atlas::analysis {
@@ -17,8 +18,8 @@ TEST(ClaimsTest, AllClaimsPassOnDefaultStudy) {
   const auto scenario = cdn::Scenario::PaperStudy(0.01, config, 42);
   SuiteConfig suite_config;
   suite_config.run_trend_clusters = false;
-  const AnalysisSuite suite(scenario.MergedTrace(), scenario.registry(),
-                            suite_config);
+  const AnalysisSuite suite(testutil::MaterializeMerged(scenario),
+                            scenario.registry(), suite_config);
   const auto claims = VerifyPaperClaims(suite);
   EXPECT_GT(claims.size(), 25u);
   for (const auto& c : claims) {

@@ -12,6 +12,7 @@
 #include "analysis/suite.h"
 #include "cdn/scenario.h"
 #include "cdn/simulator.h"
+#include "scenario_fixtures.h"
 #include "synth/workload.h"
 #include "trace/trace_io.h"
 #include "util/hash.h"
@@ -105,7 +106,7 @@ TEST(DeterminismTest, AnalysisReportIdenticalAcrossThreadCounts) {
   cdn::SimulatorConfig config;
   config.topology.edge_capacity_bytes = 512ULL << 20;
   const cdn::Scenario scenario = cdn::Scenario::PaperStudy(0.01, config, 42);
-  const trace::TraceBuffer merged = scenario.MergedTrace();
+  const trace::TraceBuffer merged = testutil::MaterializeMerged(scenario);
 
   std::string reference;
   for (const int threads : kThreadCounts) {

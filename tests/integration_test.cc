@@ -7,6 +7,7 @@
 
 #include "analysis/suite.h"
 #include "cdn/scenario.h"
+#include "scenario_fixtures.h"
 #include "trace/trace_io.h"
 #include "util/logging.h"
 
@@ -22,7 +23,7 @@ class PaperStudyTest : public ::testing::Test {
     scenario_ = new cdn::Scenario(cdn::Scenario::PaperStudy(0.01, config, 42));
     analysis::SuiteConfig suite_config;
     suite_config.run_trend_clusters = false;  // covered by trend tests
-    suite_ = new analysis::AnalysisSuite(scenario_->MergedTrace(),
+    suite_ = new analysis::AnalysisSuite(testutil::MaterializeMerged(*scenario_),
                                          scenario_->registry(), suite_config);
   }
   static void TearDownTestSuite() {
@@ -167,7 +168,7 @@ TEST_F(PaperStudyTest, ReportRenders) {
 
 // The merged trace round-trips through binary serialization.
 TEST_F(PaperStudyTest, TraceSerializationRoundTrip) {
-  const auto merged = scenario_->MergedTrace();
+  const auto merged = testutil::MaterializeMerged(*scenario_);
   std::stringstream stream;
   trace::WriteBinary(merged, stream);
   const auto loaded = trace::ReadBinary(stream);

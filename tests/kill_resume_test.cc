@@ -16,6 +16,7 @@
 #include "cdn/engine.h"
 #include "cdn/scenario.h"
 #include "ckpt/checkpoint.h"
+#include "scenario_fixtures.h"
 #include "synth/site_profile.h"
 #include "trace/block.h"
 #include "trace/sink.h"
@@ -199,7 +200,7 @@ TEST(KillResumeTest, StreamingAnalysisSaveRestoreReproducesReport) {
   util::SetLogLevel(util::LogLevel::kWarn);
   const cdn::Scenario scenario(synth::SiteProfile::PaperAdultSites(0.004),
                                GoldenConfig(), 11, 2);
-  const trace::TraceBuffer merged = scenario.MergedTrace();
+  const trace::TraceBuffer merged = testutil::MaterializeMerged(scenario);
   ASSERT_GT(merged.size(), 1000u);
 
   analysis::SuiteConfig config;
@@ -271,7 +272,7 @@ TEST(KillResumeTest, BatchStreamingAnalysisSaveRestoreReproducesReport) {
   util::SetLogLevel(util::LogLevel::kWarn);
   const cdn::Scenario scenario(synth::SiteProfile::PaperAdultSites(0.004),
                                GoldenConfig(), 11, 2);
-  const trace::TraceBuffer merged = scenario.MergedTrace();
+  const trace::TraceBuffer merged = testutil::MaterializeMerged(scenario);
   ASSERT_GT(merged.size(), 1000u);
 
   analysis::SuiteConfig config;

@@ -1,0 +1,20 @@
+// Shared scenario helpers for tests.
+#pragma once
+
+#include "cdn/scenario.h"
+#include "trace/sink.h"
+#include "trace/trace_buffer.h"
+
+namespace atlas::testutil {
+
+// Materializes a scenario's merged trace through the streaming k-way merge
+// (MergedTraceSource via StreamMerged). Tests that genuinely need the whole
+// trace in memory go through here; production code streams instead.
+inline trace::TraceBuffer MaterializeMerged(const cdn::Scenario& scenario) {
+  trace::TraceBuffer out;
+  trace::BufferSink sink(out);
+  scenario.StreamMerged(sink);
+  return out;
+}
+
+}  // namespace atlas::testutil

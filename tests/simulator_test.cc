@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cdn/scenario.h"
+#include "scenario_fixtures.h"
 #include "trace/content_class.h"
 #include "util/rng.h"
 
@@ -242,7 +243,7 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
 TEST(ScenarioTest, PaperStudyProducesAllFiveSites) {
   const auto scenario = Scenario::PaperStudy(0.005, SmallConfig(), 31);
   EXPECT_EQ(scenario.site_count(), 5u);
-  const auto merged = scenario.MergedTrace();
+  const auto merged = testutil::MaterializeMerged(scenario);
   EXPECT_TRUE(merged.IsSortedByTime());
   std::set<std::uint32_t> publishers;
   for (const auto& r : merged.records()) publishers.insert(r.publisher_id);

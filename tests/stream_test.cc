@@ -8,6 +8,7 @@
 
 #include "analysis/suite.h"
 #include "cdn/scenario.h"
+#include "scenario_fixtures.h"
 #include "trace/trace_io.h"
 #include "trace/useragent.h"
 #include "util/hash.h"
@@ -355,7 +356,7 @@ TEST(StreamingSuiteTest, ReportByteIdenticalToInMemoryAtAnyThreadCount) {
   cdn::SimulatorConfig config;
   config.topology.edge_capacity_bytes = 256ULL << 20;
   const auto scenario = cdn::Scenario::PaperStudy(0.01, config, 42);
-  const auto merged = scenario.MergedTrace();
+  const auto merged = testutil::MaterializeMerged(scenario);
 
   const std::string path = ::testing::TempDir() + "/atlas_suite_stream.v2";
   WriteV2File(merged, path);

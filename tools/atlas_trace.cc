@@ -10,7 +10,8 @@
 //                                                  rewrite between formats
 //   atlas_trace gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N]
 //                       [--format v1]              generate a fresh study trace
-//   atlas_trace simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N]
+//   atlas_trace simulate <out.v2> [--spec scenario.toml] [--scale 0.05]
+//                       [--seed 42] [--threads N]
 //                       [--peer-fill] [--epoch-min 60]
 //                       [--checkpoint-every N] [--checkpoint-file F]
 //                       [--resume F]            run the paper study fully
@@ -18,14 +19,26 @@
 //                                                  engine streams the merged
 //                                                  trace straight to a v2
 //                                                  file, so peak memory is
-//                                                  independent of trace length
+//                                                  independent of trace length.
+//                                                  --spec runs a declarative
+//                                                  scenario file instead
+//                                                  (scenarios/*.toml);
+//                                                  --scale/--seed override
+//                                                  the spec's values, other
+//                                                  config flags are rejected
+//                                                  (the file owns the config)
 //   atlas_trace verify  <trace.v2>                 walk every block CRC and
 //                                                  report how much of the
 //                                                  file is intact
-//   atlas_trace analyze <trace.bin> [--report F] [--threads N] [--no-trends]
+//   atlas_trace analyze <trace.bin> [--spec scenario.toml] [--report F]
+//                       [--threads N] [--no-trends]
 //                       [--checkpoint-every N] [--checkpoint-file F]
 //                       [--resume F]               stream the full analysis
-//                                                  suite over a trace file
+//                                                  suite over a trace file;
+//                                                  --spec takes the publisher
+//                                                  registry from a scenario
+//                                                  file instead of the
+//                                                  default paper-study sites
 //
 // Every reading command accepts both the v1 flat format and the v2 block
 // format (trace/stream.h). `info --stream`, v1->v2 `convert`, `simulate`,
@@ -51,6 +64,7 @@
 
 #include "analysis/suite.h"
 #include "cdn/scenario.h"
+#include "cdn/scenario_spec.h"
 #include "ckpt/checkpoint.h"
 #include "trace/content_class.h"
 #include "trace/stream.h"
@@ -78,13 +92,13 @@ int Usage(const char* prog) {
                "  convert <in.bin> <out.bin> [--to v2] [--block-records N]\n"
                "  gen     <out.bin> [--scale 0.05] [--seed 42] [--threads N] "
                "[--format v1]\n"
-               "  simulate <out.v2> [--scale 0.05] [--seed 42] [--threads N] "
-               "[--peer-fill] [--epoch-min 60] [--checkpoint-every N] "
-               "[--checkpoint-file F] [--resume F]\n"
+               "  simulate <out.v2> [--spec scenario.toml] [--scale 0.05] "
+               "[--seed 42] [--threads N] [--peer-fill] [--epoch-min 60] "
+               "[--checkpoint-every N] [--checkpoint-file F] [--resume F]\n"
                "  verify  <trace.v2>\n"
-               "  analyze <trace.bin> [--report F] [--threads N] "
-               "[--no-trends] [--checkpoint-every N] [--checkpoint-file F] "
-               "[--resume F]\n";
+               "  analyze <trace.bin> [--spec scenario.toml] [--report F] "
+               "[--threads N] [--no-trends] [--checkpoint-every N] "
+               "[--checkpoint-file F] [--resume F]\n";
   return 2;
 }
 
@@ -365,6 +379,10 @@ int CmdGen(const std::string& out, int argc, char** argv) {
 
 int CmdSimulate(const std::string& out, int argc, char** argv) {
   util::Flags flags;
+  flags.DefineString("spec", "",
+                     "run this declarative scenario file (scenarios/*.toml) "
+                     "instead of the paper study; --scale/--seed override "
+                     "the spec, other config flags are rejected");
   flags.DefineDouble("scale", 0.05, "population scale");
   flags.DefineInt("seed", 42, "RNG seed");
   flags.DefineInt("threads", 0,
@@ -401,9 +419,32 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
     std::cerr << "--checkpoint-every must be >= 0\n";
     return 2;
   }
+  const std::string spec_path = flags.GetString("spec");
+  std::optional<cdn::ScenarioSpec> spec;
   cdn::SimulatorConfig config;
-  config.peer_fill = flags.GetBool("peer-fill");
-  config.epoch_ms = epoch_min * 60'000;
+  if (!spec_path.empty()) {
+    // The scenario file owns the simulator config; only scale and seed may
+    // be overridden from the command line (and the override feeds the spec
+    // fingerprint, so a resume with different overrides fails loudly).
+    for (const char* owned : {"peer-fill", "epoch-min", "synth-budget-mb"}) {
+      if (flags.Provided(owned)) {
+        std::cerr << "--" << owned
+                  << " cannot be combined with --spec (the scenario file "
+                     "owns the simulator config)\n";
+        return 2;
+      }
+    }
+    spec = cdn::ScenarioSpec::ParseFile(spec_path);
+    if (flags.Provided("scale")) spec->scale = flags.GetDouble("scale");
+    if (flags.Provided("seed")) {
+      spec->seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    }
+    spec->Validate();
+    config = spec->BuildConfig();
+  } else {
+    config.peer_fill = flags.GetBool("peer-fill");
+    config.epoch_ms = epoch_min * 60'000;
+  }
 
   std::string ckpt_path = flags.GetString("checkpoint-file");
   if (ckpt_path.empty()) ckpt_path = out + ".ckpt";
@@ -465,23 +506,29 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
     };
   }
 
-  auto sites = synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale"));
-  const std::int64_t budget_mb = flags.GetInt("synth-budget-mb");
-  if (budget_mb < 0) {
-    std::cerr << "--synth-budget-mb must be >= 0\n";
-    return 2;
-  }
-  if (budget_mb > 0) {
-    for (auto& site : sites) {
-      site.synth_table_budget_bytes =
-          static_cast<std::uint64_t>(budget_mb) << 20;
-    }
-  }
-
   trace::WriterSink sink(*writer);
-  const auto result = cdn::StreamScenario(
-      sites, config, static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
-      static_cast<int>(flags.GetInt("threads")), ckpt_options);
+  cdn::ScenarioStreamResult result;
+  if (spec) {
+    result = cdn::StreamScenario(*spec, sink,
+                                 static_cast<int>(flags.GetInt("threads")),
+                                 ckpt_options);
+  } else {
+    auto sites = synth::SiteProfile::PaperAdultSites(flags.GetDouble("scale"));
+    const std::int64_t budget_mb = flags.GetInt("synth-budget-mb");
+    if (budget_mb < 0) {
+      std::cerr << "--synth-budget-mb must be >= 0\n";
+      return 2;
+    }
+    if (budget_mb > 0) {
+      for (auto& site : sites) {
+        site.synth_table_budget_bytes =
+            static_cast<std::uint64_t>(budget_mb) << 20;
+      }
+    }
+    result = cdn::StreamScenario(
+        sites, config, static_cast<std::uint64_t>(flags.GetInt("seed")), sink,
+        static_cast<int>(flags.GetInt("threads")), ckpt_options);
+  }
   writer->Finish();
 
   std::cout << "simulated " << writer->written() << " records -> " << out
@@ -548,6 +595,10 @@ constexpr std::uint32_t kAnalysisSectionVersion = 1;
 
 int CmdAnalyze(const std::string& in, int argc, char** argv) {
   util::Flags flags;
+  flags.DefineString("spec", "",
+                     "take the publisher registry from this scenario file "
+                     "(for traces produced by simulate --spec) instead of "
+                     "the default paper-study sites");
   flags.DefineString("report", "", "write the report here instead of stdout");
   flags.DefineInt("threads", 0,
                   "worker threads for per-site finalization (0 = hardware "
@@ -581,10 +632,20 @@ int CmdAnalyze(const std::string& in, int argc, char** argv) {
   config.run_trend_clusters = !flags.GetBool("no-trends");
   config.threads = static_cast<int>(flags.GetInt("threads"));
 
-  // ATLAS traces carry the paper-study publisher ids (gen/simulate register
-  // the five adult sites in PaperSites order); unknown ids are counted by
-  // the cursor but not analyzed.
-  const auto registry = trace::PublisherRegistry::PaperSites();
+  // ATLAS traces carry the publisher ids their producer registered: the
+  // paper-study sites in PaperSites order by default, or a scenario file's
+  // sites in [[site]] order for simulate --spec output. Unknown ids are
+  // counted by the cursor but not analyzed.
+  trace::PublisherRegistry registry;
+  const std::string spec_path = flags.GetString("spec");
+  if (spec_path.empty()) {
+    registry = trace::PublisherRegistry::PaperSites();
+  } else {
+    const auto spec = cdn::ScenarioSpec::ParseFile(spec_path);
+    for (const auto& profile : spec.BuildProfiles()) {
+      registry.Register(profile.name, profile.kind);
+    }
+  }
   analysis::StreamingAnalysis stream(registry, config);
 
   std::uint64_t skip = 0;
