@@ -9,8 +9,10 @@
 
 #include "bench_common.h"
 #include "cdn/simulator.h"
+#include "energy/model.h"
 #include "synth/site_profile.h"
 #include "util/str.h"
+#include "util/time.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
@@ -31,8 +33,10 @@ int main(int argc, char** argv) {
   std::cout << util::PadRight("site", 6) << util::PadRight("policy", 9)
             << util::PadLeft("cap(GB)", 9) << util::PadLeft("hit%", 8)
             << util::PadLeft("byte-hit%", 11) << util::PadLeft("origin", 10)
-            << util::PadLeft("evictions", 11) << '\n';
-  std::cout << std::string(64, '-') << '\n';
+            << util::PadLeft("evictions", 11) << util::PadLeft("kWh", 9)
+            << util::PadLeft("USD", 9) << '\n';
+  std::cout << std::string(82, '-') << '\n';
+  const energy::EnergyModel energy_model{cdn::EnergySpec{}};
   for (const auto& profile : profiles) {
     for (double cap_gb : capacities_gb) {
       for (int k = 0; k < cdn::kNumPolicyKinds; ++k) {
@@ -56,7 +60,11 @@ int main(int argc, char** argv) {
                   << util::PadLeft(
                          util::FormatCount(
                              static_cast<double>(result.edge_stats.evictions)),
-                         11)
+                         11);
+        const auto bill =
+            energy_model.FromResult(result, util::kMillisPerWeek).total;
+        std::cout << util::PadLeft(util::FormatDouble(bill.TotalKwh(), 1), 9)
+                  << util::PadLeft(util::FormatDouble(bill.TotalUsd(), 2), 9)
                   << '\n';
       }
     }

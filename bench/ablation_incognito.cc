@@ -9,8 +9,10 @@
 
 #include "bench_common.h"
 #include "cdn/simulator.h"
+#include "energy/model.h"
 #include "synth/site_profile.h"
 #include "util/str.h"
+#include "util/time.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
@@ -26,8 +28,10 @@ int main(int argc, char** argv) {
                "(P-1, scale=" << scale << ") ===\n";
   std::cout << util::PadRight("incognito", 11) << util::PadLeft("absorbed", 10)
             << util::PadLeft("304s", 8) << util::PadLeft("cdn-reqs", 10)
-            << util::PadLeft("edge-hit%", 11) << '\n';
-  std::cout << std::string(50, '-') << '\n';
+            << util::PadLeft("edge-hit%", 11) << util::PadLeft("kWh", 9)
+            << util::PadLeft("USD", 9) << '\n';
+  std::cout << std::string(68, '-') << '\n';
+  const energy::EnergyModel energy_model{cdn::EnergySpec{}};
   for (double rate : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
     synth::SiteProfile profile = synth::SiteProfile::P1(scale);
     profile.incognito_rate = rate;
@@ -49,11 +53,16 @@ int main(int argc, char** argv) {
                      util::FormatCount(static_cast<double>(result.trace.size())),
                      10)
               << util::PadLeft(
-                     util::FormatPercent(result.edge_stats.HitRatio(), 1), 11)
+                     util::FormatPercent(result.edge_stats.HitRatio(), 1), 11);
+    const auto bill =
+        energy_model.FromResult(result, util::kMillisPerWeek).total;
+    std::cout << util::PadLeft(util::FormatDouble(bill.TotalKwh(), 1), 9)
+              << util::PadLeft(util::FormatDouble(bill.TotalUsd(), 2), 9)
               << '\n';
   }
   std::cout << "\npaper's claim under test: as incognito usage rises, "
                "browser-cache absorption and 304 revalidations\ncollapse, "
-               "pushing the full request load onto the CDN\n";
+               "pushing the full request load onto the CDN — and the CDN's "
+               "weekly kWh/USD bill rises with it\n";
   return 0;
 }

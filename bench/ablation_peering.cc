@@ -9,7 +9,9 @@
 
 #include "bench_common.h"
 #include "cdn/scenario.h"
+#include "energy/model.h"
 #include "util/str.h"
+#include "util/time.h"
 
 int main(int argc, char** argv) {
   using namespace atlas;
@@ -26,8 +28,10 @@ int main(int argc, char** argv) {
   std::cout << util::PadRight("per-DC capacity", 17)
             << util::PadRight("peering", 9) << util::PadLeft("hit%", 8)
             << util::PadLeft("peer fills", 12) << util::PadLeft("origin", 11)
-            << util::PadLeft("origin cut", 12) << '\n';
-  std::cout << std::string(69, '-') << '\n';
+            << util::PadLeft("origin cut", 12) << util::PadLeft("kWh", 9)
+            << util::PadLeft("USD", 9) << '\n';
+  std::cout << std::string(87, '-') << '\n';
+  const energy::EnergyModel energy_model{cdn::EnergySpec{}};
   for (double gb_at_full : {8.0, 24.0, 64.0}) {
     std::uint64_t baseline_origin = 0;
     for (bool peering : {false, true}) {
@@ -38,10 +42,13 @@ int main(int argc, char** argv) {
       cdn::Scenario scenario = cdn::Scenario::PaperStudy(scale, config, seed);
       cdn::CacheStats edge;
       std::uint64_t origin_bytes = 0, peer_fetches = 0;
+      energy::EnergyBreakdown bill;
       for (const auto& run : scenario.runs()) {
         edge.Merge(run.result.edge_stats);
         origin_bytes += run.result.origin.bytes;
         peer_fetches += run.result.peer_fetches;
+        bill.Add(
+            energy_model.FromResult(run.result, util::kMillisPerWeek).total);
       }
       if (!peering) baseline_origin = origin_bytes;
       const double cut =
@@ -62,12 +69,17 @@ int main(int argc, char** argv) {
                 << util::PadLeft(
                        peering ? util::FormatPercent(cut, 1) : std::string("-"),
                        12)
+                << util::PadLeft(util::FormatDouble(bill.TotalKwh(), 1), 9)
+                << util::PadLeft(util::FormatDouble(bill.TotalUsd(), 2), 9)
                 << '\n';
     }
   }
   std::cout << "\ninterpretation: sibling copies absorb fills for objects "
                "popular in one region and warm in another;\nthe origin cut "
                "shrinks as edges grow large enough to hold the working set "
-               "themselves\n";
+               "themselves.\nkWh/USD: weekly fleet bill under the default "
+               "[energy] spec — peer fills move bytes from the expensive\n"
+               "origin tier to the cheaper peer tier, so the savings show up "
+               "in dollars, not just hit ratio\n";
   return 0;
 }

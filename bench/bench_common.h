@@ -6,12 +6,15 @@
 // the default keeps each bench under a few seconds.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "analysis/report.h"
 #include "cdn/scenario.h"
+#include "synth/site_profile.h"
 #include "trace/trace_io.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -116,6 +119,40 @@ inline bool SetUpAblation(AblationEnv& env, int argc, char** argv,
   env.scale = env.flags.GetDouble("scale");
   env.seed = static_cast<std::uint64_t>(env.flags.GetInt("seed"));
   return true;
+}
+
+// Run metadata stamped into every BENCH_*.json (the "meta" object) so a
+// number in the perf trajectory is attributable without replaying the run:
+// which scenario/workload produced it, at what population scale, under
+// which --threads flag (0 = hardware concurrency), and with what synth
+// table budget in force. A scale of 0 means the file's result rows carry
+// their own scales (sweep-style benches).
+struct BenchRunMeta {
+  std::string scenario = "paper_study";
+  double scale = 0.0;
+  int threads = 0;
+  std::uint64_t synth_budget_bytes =
+      synth::SiteProfile{}.synth_table_budget_bytes;
+};
+
+// The `"meta": {...}` fragment (no surrounding comma/newline) for the
+// handwritten JSON writers.
+inline std::string BenchMetaJson(const BenchRunMeta& meta) {
+  std::ostringstream os;
+  os << "\"meta\": {\"scenario\": \"" << meta.scenario
+     << "\", \"scale\": " << meta.scale << ", \"threads\": " << meta.threads
+     << ", \"synth_budget_bytes\": " << meta.synth_budget_bytes << "}";
+  return os.str();
+}
+
+// Meta pre-filled from the shared --scale/--threads flags.
+inline BenchRunMeta MetaFromFlags(const util::Flags& flags,
+                                  const std::string& scenario) {
+  BenchRunMeta meta;
+  meta.scenario = scenario;
+  meta.scale = flags.GetDouble("scale");
+  meta.threads = static_cast<int>(flags.GetInt("threads"));
+  return meta;
 }
 
 // Collects one analysis result per site, in paper order.

@@ -157,7 +157,9 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"ckpt\",\n  \"records\": " << records
+  out << "{\n  \"bench\": \"ckpt\",\n  "
+      << bench::BenchMetaJson(bench::MetaFromFlags(env.flags, "paper_study"))
+      << ",\n  \"records\": " << records
       << ",\n  \"snapshots\": " << saves << ",\n  \"every_epochs\": " << every
       << ",\n  \"checkpoint_bytes\": " << checkpoint_bytes
       << ",\n  \"baseline_ms\": " << baseline_ms

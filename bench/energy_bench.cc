@@ -1,0 +1,110 @@
+// Energy accounting bench: runs a declarative scenario end to end with the
+// EnergyAccumulator attached (cdn::StreamScenario + the epoch observer) and
+// reports wall throughput plus the full joule/dollar breakdown per DC.
+//
+// Results land in BENCH_energy.json (override the path with
+// ATLAS_BENCH_ENERGY_JSON; set it empty to skip). The energy numbers come
+// from the scenario's [energy] table (or its documented defaults), so the
+// file doubles as the golden source for the scenario energy assertions.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "cdn/scenario_spec.h"
+#include "energy/run.h"
+#include "trace/sink.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace atlas;
+
+void AppendBreakdown(std::ostream& out, const energy::EnergyBreakdown& e) {
+  out << "\"server_j\": " << e.server_j << ", \"network_j\": " << e.network_j
+      << ", \"storage_j\": " << e.storage_j << ", \"kwh\": " << e.TotalKwh()
+      << ", \"electricity_usd\": " << e.electricity_usd
+      << ", \"transit_usd\": " << e.transit_usd
+      << ", \"usd\": " << e.TotalUsd();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::AblationEnv env;
+  env.flags.DefineString("spec", "scenarios/paper_study.toml",
+                         "declarative scenario file to run");
+  if (!bench::SetUpAblation(env, argc, argv,
+                            "Scenario run with energy accounting: throughput "
+                            "plus the per-DC joule/dollar breakdown")) {
+    return 0;
+  }
+  const std::string spec_path = env.flags.GetString("spec");
+  auto spec = cdn::ScenarioSpec::ParseFile(spec_path);
+  if (env.flags.Provided("scale")) spec.scale = env.flags.GetDouble("scale");
+  if (env.flags.Provided("seed")) spec.seed = env.seed;
+  spec.Validate();
+  const int threads = static_cast<int>(env.flags.GetInt("threads"));
+
+  trace::CountingSink sink;
+  const auto start = std::chrono::steady_clock::now();
+  const auto run = energy::StreamScenarioWithEnergy(spec, sink, threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::uint64_t records = sink.records();
+  const double records_per_s =
+      seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+  const auto& report = run.report;
+
+  std::cout << spec.name << ": " << records << " records, "
+            << static_cast<std::uint64_t>(records_per_s) << " rec/s, "
+            << report.epochs << " epochs\n";
+  for (const auto& dc : report.dcs) {
+    std::cout << "dc" << dc.dc << ": "
+              << util::FormatBytes(static_cast<double>(dc.served_bytes))
+              << " served, duty " << util::FormatPercent(dc.duty, 1) << ", "
+              << util::FormatDouble(dc.energy.TotalKwh(), 2) << " kWh, $"
+              << util::FormatDouble(dc.energy.TotalUsd(), 2) << "\n";
+  }
+  std::cout << "total: " << util::FormatDouble(report.total.TotalKwh(), 2)
+            << " kWh, $" << util::FormatDouble(report.total.TotalUsd(), 2)
+            << " ($" << util::FormatDouble(report.total.electricity_usd, 2)
+            << " electricity + $"
+            << util::FormatDouble(report.total.transit_usd, 2)
+            << " transit)\n";
+
+  std::string json_path = "BENCH_energy.json";
+  if (const char* override_path = std::getenv("ATLAS_BENCH_ENERGY_JSON")) {
+    json_path = override_path;
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot write " << json_path << "\n";
+    return 1;
+  }
+  auto meta = bench::MetaFromFlags(env.flags, spec.name);
+  meta.scale = spec.scale;
+  out << "{\n  \"bench\": \"energy\",\n  " << bench::BenchMetaJson(meta)
+      << ",\n  \"spec\": \"" << spec_path << "\",\n  \"records\": " << records
+      << ",\n  \"records_per_s\": "
+      << static_cast<std::uint64_t>(records_per_s)
+      << ",\n  \"epochs\": " << report.epochs
+      << ",\n  \"span_ms\": " << report.span_ms << ",\n  \"total\": {";
+  AppendBreakdown(out, report.total);
+  out << "},\n  \"dcs\": [\n";
+  for (std::size_t i = 0; i < report.dcs.size(); ++i) {
+    const auto& dc = report.dcs[i];
+    out << "    {\"dc\": " << dc.dc
+        << ", \"served_bytes\": " << dc.served_bytes
+        << ", \"duty\": " << dc.duty << ", ";
+    AppendBreakdown(out, dc.energy);
+    out << "}" << (i + 1 == report.dcs.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

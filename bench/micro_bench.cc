@@ -14,6 +14,7 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_common.h"
 #include "cdn/cache.h"
 #include "cluster/dtw.h"
 #include "stats/sampler.h"
@@ -237,8 +238,13 @@ void WriteParallelReport(const std::string& path) {
     std::cerr << "cannot write " << path << "\n";
     return;
   }
-  out << "{\n  \"bench\": \"parallel\",\n  \"hardware_threads\": " << hw
-      << ",\n  \"results\": {\n";
+  // No flags here (google-benchmark owns argv): the workloads are the fixed
+  // synthetic micro inputs above, generated at P-1 scale 0.02.
+  bench::BenchRunMeta meta;
+  meta.scenario = "micro_synthetic";
+  meta.scale = 0.02;
+  out << "{\n  \"bench\": \"parallel\",\n  " << bench::BenchMetaJson(meta)
+      << ",\n  \"hardware_threads\": " << hw << ",\n  \"results\": {\n";
   AppendSamples(out, "workload_generate", gen_samples);
   out << ",\n";
   AppendSamples(out, "pairwise_dtw", dtw_samples);

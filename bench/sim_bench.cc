@@ -126,7 +126,8 @@ SweepPoint RunSweepPoint(double scale, std::uint64_t seed, int threads,
   return point;
 }
 
-int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads) {
+int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads,
+                  bench::BenchRunMeta meta) {
   if (threads <= 0) threads = util::DefaultThreads();
   std::vector<double> scales;
   for (const auto& field : util::Split(spec, ',')) {
@@ -160,7 +161,9 @@ int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads) {
     std::cerr << "cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"scale\",\n  \"threads\": " << threads
+  meta.scale = 0.0;  // each result row carries its own scale
+  out << "{\n  \"bench\": \"scale\",\n  " << bench::BenchMetaJson(meta)
+      << ",\n  \"threads\": " << threads
       << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -185,7 +188,8 @@ int RunScaleSweep(const std::string& spec, std::uint64_t seed, int threads) {
 // thread bench above, generation is inside the timed region — a scenario
 // file describes a complete run, so the bench reports what a user of
 // `atlas-trace simulate --spec` actually pays per record.
-int RunScenarioBench(const std::string& spec_list, int threads) {
+int RunScenarioBench(const std::string& spec_list, int threads,
+                     bench::BenchRunMeta meta) {
   if (threads <= 0) threads = util::DefaultThreads();
   struct ScenarioPoint {
     std::string file;
@@ -228,7 +232,10 @@ int RunScenarioBench(const std::string& spec_list, int threads) {
     std::cerr << "cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"scenario\",\n  \"threads\": " << threads
+  meta.scenario = spec_list;
+  meta.scale = 0.0;  // each scenario file pins its own scale
+  out << "{\n  \"bench\": \"scenario\",\n  " << bench::BenchMetaJson(meta)
+      << ",\n  \"threads\": " << threads
       << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -262,15 +269,16 @@ int main(int argc, char** argv) {
           "Sharded simulation engine throughput vs. thread count")) {
     return 0;
   }
+  const auto meta = bench::MetaFromFlags(env.flags, "paper_study");
   const std::string sweep = env.flags.GetString("scale-sweep");
   if (!sweep.empty()) {
     return RunScaleSweep(sweep, env.seed,
-                         static_cast<int>(env.flags.GetInt("threads")));
+                         static_cast<int>(env.flags.GetInt("threads")), meta);
   }
   const std::string spec_list = env.flags.GetString("spec");
   if (!spec_list.empty()) {
-    return RunScenarioBench(spec_list,
-                            static_cast<int>(env.flags.GetInt("threads")));
+    return RunScenarioBench(
+        spec_list, static_cast<int>(env.flags.GetInt("threads")), meta);
   }
 
   cdn::SimulatorConfig config;
@@ -381,7 +389,8 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"sim\",\n  \"records\": " << sequential.records
+  out << "{\n  \"bench\": \"sim\",\n  " << bench::BenchMetaJson(meta)
+      << ",\n  \"records\": " << sequential.records
       << ",\n  \"scale\": " << env.scale
       << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
       << ",\n  \"results\": {\n";

@@ -171,7 +171,9 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"stream\",\n  \"records\": " << records
+  out << "{\n  \"bench\": \"stream\",\n  "
+      << bench::BenchMetaJson(bench::MetaFromFlags(env.flags, "paper_study"))
+      << ",\n  \"records\": " << records
       << ",\n  \"block_records\": " << block_records
       << ",\n  \"rss_reset_supported\": " << (rss_reset_ok ? "true" : "false")
       << ",\n  \"results\": {\n";

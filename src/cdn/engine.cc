@@ -104,6 +104,30 @@ struct Shard {
   std::uint64_t pushed_bytes = 0;
 };
 
+// Cumulative per-shard delivery totals at the last observed barrier; the
+// epoch observer reports deltas against these. Derived state only — it is
+// re-synced from the shards after a checkpoint restore, never serialized.
+struct ShardTotals {
+  CacheStats edge;
+  OriginStats origin;
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t peer_bytes = 0;
+  std::uint64_t revalidations = 0;
+  std::uint64_t pushed_bytes = 0;
+};
+
+ShardTotals CurrentTotals(const Shard& sh) {
+  ShardTotals t;
+  t.edge = sh.flushed_stats;  // generations dropped by flushes still count
+  t.edge.Merge(sh.cache->stats());
+  t.origin = sh.origin;
+  t.peer_fetches = sh.peer_fetches;
+  t.peer_bytes = sh.peer_bytes;
+  t.revalidations = sh.revalidations;
+  t.pushed_bytes = sh.pushed_bytes;
+  return t;
+}
+
 class Engine {
  public:
   Engine(std::span<const SiteJob> jobs, const SimulatorConfig& config,
@@ -150,6 +174,14 @@ class Engine {
   BrowserCache& BrowserFor(Shard& shard, std::uint32_t user_index);
   void MergeFinalized();
   void RebuildSnapshots();
+  // Fires config_.epoch_observer with this barrier's per-DC deltas. Runs
+  // serially on the coordinating thread after MergeFinalized and before
+  // SaveCheckpoint, so observer state can join the same atomic commit.
+  void NotifyObserver(std::int64_t epoch_end);
+  // Re-bases the observer's delta baselines on the shards' current
+  // counters (used after a checkpoint restore: already-reported activity
+  // must not be re-reported on resume).
+  void SyncObserverBaseline();
   std::vector<SimulatorResult> Assemble() const;
 
   // Digest of everything a checkpoint assumes immutable: job identities,
@@ -170,6 +202,8 @@ class Engine {
   int threads_ = 1;
   std::size_t dcs_per_site_ = 0;
   std::vector<Shard> shards_;
+  // Per-shard totals at the last observed barrier (empty when no observer).
+  std::vector<ShardTotals> observer_prev_;
   std::vector<std::vector<PushItem>> push_plans_;  // per site
   // Sorted flush instants per DC, expanded from config_.op_events.
   std::vector<std::vector<std::int64_t>> dc_flush_times_;
@@ -207,6 +241,7 @@ std::vector<SimulatorResult> Engine::Run() {
     std::int64_t saved_epoch_end = 0;
     RestoreFromCheckpoint(*opts_.resume, &saved_epoch_end, &barriers_done);
     epoch_end = saved_epoch_end + config_.epoch_ms;
+    SyncObserverBaseline();
   }
   for (;;) {
     const bool last = epoch_end > max_ts;
@@ -215,6 +250,7 @@ std::vector<SimulatorResult> Engine::Run() {
     ForEachShard(
         [&](std::size_t i) { ProcessEpoch(shards_[i], bound, last); });
     MergeFinalized();
+    NotifyObserver(epoch_end);
     if (last) break;
     if (config_.peer_fill) RebuildSnapshots();
     ++barriers_done;
@@ -860,6 +896,52 @@ void Engine::RebuildSnapshots() {
     // cache's unordered enumeration.
     std::sort(sh.snapshot.begin(), sh.snapshot.end());
   });
+}
+
+void Engine::NotifyObserver(std::int64_t epoch_end) {
+  if (!config_.epoch_observer) return;
+  // Empty workload: the sentinel boundary never names a real epoch window.
+  if (epoch_end == std::numeric_limits<std::int64_t>::max()) return;
+  if (observer_prev_.empty()) observer_prev_.resize(shards_.size());
+  EpochSample sample;
+  sample.start_ms = epoch_end - config_.epoch_ms;
+  sample.end_ms = epoch_end;
+  sample.dcs.resize(dcs_per_site_);
+  // DC-major, site-minor: samples aggregate sites per DC in site index
+  // order, a fixed iteration independent of thread count.
+  for (std::size_t d = 0; d < dcs_per_site_; ++d) {
+    EpochDcSample& out = sample.dcs[d];
+    out.dc = static_cast<int>(d);
+    for (std::size_t s = 0; s < jobs_.size(); ++s) {
+      const Shard& sh = shards_[s * dcs_per_site_ + d];
+      ShardTotals& prev = observer_prev_[s * dcs_per_site_ + d];
+      const ShardTotals now = CurrentTotals(sh);
+      out.edge.hits += now.edge.hits - prev.edge.hits;
+      out.edge.misses += now.edge.misses - prev.edge.misses;
+      out.edge.inserts += now.edge.inserts - prev.edge.inserts;
+      out.edge.evictions += now.edge.evictions - prev.edge.evictions;
+      out.edge.rejected += now.edge.rejected - prev.edge.rejected;
+      out.edge.hit_bytes += now.edge.hit_bytes - prev.edge.hit_bytes;
+      out.edge.miss_bytes += now.edge.miss_bytes - prev.edge.miss_bytes;
+      out.origin.fetches += now.origin.fetches - prev.origin.fetches;
+      out.origin.bytes += now.origin.bytes - prev.origin.bytes;
+      out.peer_fetches += now.peer_fetches - prev.peer_fetches;
+      out.peer_bytes += now.peer_bytes - prev.peer_bytes;
+      out.revalidations += now.revalidations - prev.revalidations;
+      out.pushed_bytes += now.pushed_bytes - prev.pushed_bytes;
+      out.resident_bytes += sh.cache->used_bytes();
+      prev = now;
+    }
+  }
+  config_.epoch_observer(sample);
+}
+
+void Engine::SyncObserverBaseline() {
+  if (!config_.epoch_observer) return;
+  observer_prev_.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    observer_prev_[i] = CurrentTotals(shards_[i]);
+  }
 }
 
 std::vector<SimulatorResult> Engine::Assemble() const {

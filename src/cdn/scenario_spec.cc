@@ -203,6 +203,44 @@ void ParseSimulator(const Value& v, SimulatorConfig& sim,
   t.RejectUnknownKeys();
 }
 
+void ParseEnergy(const Value& v, EnergySpec& energy,
+                 const std::string& source) {
+  TableView t(v, "energy", source);
+  energy.server_idle_watts =
+      t.GetFloat("server_idle_watts", energy.server_idle_watts);
+  energy.server_busy_watts =
+      t.GetFloat("server_busy_watts", energy.server_busy_watts);
+  energy.server_capacity_gbps =
+      t.GetFloat("server_capacity_gbps", energy.server_capacity_gbps);
+  energy.storage_watts_per_gb =
+      t.GetFloat("storage_watts_per_gb", energy.storage_watts_per_gb);
+  energy.edge_hit_j_per_gb =
+      t.GetFloat("edge_hit_j_per_gb", energy.edge_hit_j_per_gb);
+  energy.peer_fill_j_per_gb =
+      t.GetFloat("peer_fill_j_per_gb", energy.peer_fill_j_per_gb);
+  energy.origin_fetch_j_per_gb =
+      t.GetFloat("origin_fetch_j_per_gb", energy.origin_fetch_j_per_gb);
+  energy.push_j_per_gb = t.GetFloat("push_j_per_gb", energy.push_j_per_gb);
+  energy.electricity_usd_per_kwh =
+      t.GetFloat("electricity_usd_per_kwh", energy.electricity_usd_per_kwh);
+  energy.edge_hit_usd_per_gb =
+      t.GetFloat("edge_hit_usd_per_gb", energy.edge_hit_usd_per_gb);
+  energy.peer_fill_usd_per_gb =
+      t.GetFloat("peer_fill_usd_per_gb", energy.peer_fill_usd_per_gb);
+  energy.origin_fetch_usd_per_gb =
+      t.GetFloat("origin_fetch_usd_per_gb", energy.origin_fetch_usd_per_gb);
+  energy.push_usd_per_gb =
+      t.GetFloat("push_usd_per_gb", energy.push_usd_per_gb);
+  t.RejectUnknownKeys();
+}
+
+void RequireFiniteNonNegative(double v, const char* key) {
+  if (!std::isfinite(v) || v < 0.0) {
+    throw std::invalid_argument(std::string("ScenarioSpec: energy.") + key +
+                                " must be finite and >= 0");
+  }
+}
+
 }  // namespace
 
 const char* ToString(SpecEventKind k) {
@@ -249,6 +287,9 @@ ScenarioSpec ScenarioSpec::Parse(std::string_view text,
     }
     if (const Value* sim = t.Consume("simulator")) {
       ParseSimulator(*sim, spec.sim, source);
+    }
+    if (const Value* energy = t.Consume("energy")) {
+      ParseEnergy(*energy, spec.energy, source);
     }
     t.RejectUnknownKeys();
     spec.Validate();
@@ -324,6 +365,31 @@ void ScenarioSpec::Validate() const {
       throw std::invalid_argument("ScenarioSpec: event 'dc' must be >= -1");
     }
   }
+  RequireFiniteNonNegative(energy.server_idle_watts, "server_idle_watts");
+  RequireFiniteNonNegative(energy.server_busy_watts, "server_busy_watts");
+  if (energy.server_busy_watts < energy.server_idle_watts) {
+    throw std::invalid_argument(
+        "ScenarioSpec: energy.server_busy_watts must be >= "
+        "energy.server_idle_watts");
+  }
+  if (!std::isfinite(energy.server_capacity_gbps) ||
+      energy.server_capacity_gbps <= 0.0) {
+    throw std::invalid_argument(
+        "ScenarioSpec: energy.server_capacity_gbps must be finite and > 0");
+  }
+  RequireFiniteNonNegative(energy.storage_watts_per_gb, "storage_watts_per_gb");
+  RequireFiniteNonNegative(energy.edge_hit_j_per_gb, "edge_hit_j_per_gb");
+  RequireFiniteNonNegative(energy.peer_fill_j_per_gb, "peer_fill_j_per_gb");
+  RequireFiniteNonNegative(energy.origin_fetch_j_per_gb,
+                           "origin_fetch_j_per_gb");
+  RequireFiniteNonNegative(energy.push_j_per_gb, "push_j_per_gb");
+  RequireFiniteNonNegative(energy.electricity_usd_per_kwh,
+                           "electricity_usd_per_kwh");
+  RequireFiniteNonNegative(energy.edge_hit_usd_per_gb, "edge_hit_usd_per_gb");
+  RequireFiniteNonNegative(energy.peer_fill_usd_per_gb, "peer_fill_usd_per_gb");
+  RequireFiniteNonNegative(energy.origin_fetch_usd_per_gb,
+                           "origin_fetch_usd_per_gb");
+  RequireFiniteNonNegative(energy.push_usd_per_gb, "push_usd_per_gb");
   // Same-kind events on the same target must not overlap: inside the
   // intersection, "the" active share/takedown/failover would be ambiguous.
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -434,6 +500,28 @@ std::string ScenarioSpec::CanonicalToml() const {
   out << "edge_capacity_bytes = " << sim.topology.edge_capacity_bytes << "\n";
   out << "edge_ttl_ms = " << sim.topology.edge_ttl_ms << "\n";
   out << "dcs_per_continent = " << sim.topology.dcs_per_continent << "\n";
+  out << "\n[energy]\n";
+  out << "server_idle_watts = " << TomlFloat(energy.server_idle_watts) << "\n";
+  out << "server_busy_watts = " << TomlFloat(energy.server_busy_watts) << "\n";
+  out << "server_capacity_gbps = " << TomlFloat(energy.server_capacity_gbps)
+      << "\n";
+  out << "storage_watts_per_gb = " << TomlFloat(energy.storage_watts_per_gb)
+      << "\n";
+  out << "edge_hit_j_per_gb = " << TomlFloat(energy.edge_hit_j_per_gb) << "\n";
+  out << "peer_fill_j_per_gb = " << TomlFloat(energy.peer_fill_j_per_gb)
+      << "\n";
+  out << "origin_fetch_j_per_gb = " << TomlFloat(energy.origin_fetch_j_per_gb)
+      << "\n";
+  out << "push_j_per_gb = " << TomlFloat(energy.push_j_per_gb) << "\n";
+  out << "electricity_usd_per_kwh = "
+      << TomlFloat(energy.electricity_usd_per_kwh) << "\n";
+  out << "edge_hit_usd_per_gb = " << TomlFloat(energy.edge_hit_usd_per_gb)
+      << "\n";
+  out << "peer_fill_usd_per_gb = " << TomlFloat(energy.peer_fill_usd_per_gb)
+      << "\n";
+  out << "origin_fetch_usd_per_gb = "
+      << TomlFloat(energy.origin_fetch_usd_per_gb) << "\n";
+  out << "push_usd_per_gb = " << TomlFloat(energy.push_usd_per_gb) << "\n";
   return out.str();
 }
 
@@ -511,6 +599,13 @@ ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
 ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
                                     trace::RecordSink& sink, int threads,
                                     const CheckpointOptions& ckpt_options) {
+  return StreamScenario(spec, spec.BuildConfig(), sink, threads, ckpt_options);
+}
+
+ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
+                                    const SimulatorConfig& config,
+                                    trace::RecordSink& sink, int threads,
+                                    const CheckpointOptions& ckpt_options) {
   const std::uint64_t fp = spec.Fingerprint();
   CheckpointOptions opts = ckpt_options;
   opts.save_extra = [fp, &spec,
@@ -541,8 +636,8 @@ ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
           "', and the spec or its overrides changed since)");
     }
   }
-  return StreamScenario(spec.BuildProfiles(), spec.BuildConfig(), spec.seed,
-                        sink, threads, opts);
+  return StreamScenario(spec.BuildProfiles(), config, spec.seed, sink, threads,
+                        opts);
 }
 
 }  // namespace atlas::cdn

@@ -49,6 +49,34 @@ struct SiteSpec {
   std::optional<double> watch_fraction_mean;
 };
 
+// Parameters of the per-DC energy & dollar-cost model ([energy] table).
+// Plain data by design: the cdn layer owns parsing/validation/canonical
+// form, while the math that turns counters into joules lives one layer up
+// in atlas::energy (energy includes cdn, never the reverse). Defaults are
+// paper-plausible CDN numbers; every shipped scenario documents them in a
+// commented [energy] block.
+struct EnergySpec {
+  // Server power per DC: idle floor plus a busy delta scaled by duty
+  // cycle, where duty = bytes served / (egress capacity * wall span).
+  double server_idle_watts = 150.0;
+  double server_busy_watts = 350.0;
+  double server_capacity_gbps = 10.0;
+  // Storage power for cache-resident bytes (10 W per resident TB).
+  double storage_watts_per_gb = 0.01;
+  // Network energy per GB moved, tiered by delivery path.
+  double edge_hit_j_per_gb = 25000.0;
+  double peer_fill_j_per_gb = 60000.0;
+  double origin_fetch_j_per_gb = 140000.0;
+  double push_j_per_gb = 60000.0;
+  // Dollar costs: electricity for the joules above, transit per GB by
+  // tier (edge hits stay inside the DC and are free).
+  double electricity_usd_per_kwh = 0.11;
+  double edge_hit_usd_per_gb = 0.0;
+  double peer_fill_usd_per_gb = 0.02;
+  double origin_fetch_usd_per_gb = 0.08;
+  double push_usd_per_gb = 0.02;
+};
+
 // One timeline entry. Demand-side kinds (flash-crowd, takedown) target one
 // site's catalog; delivery-side kinds (dc-outage, cache-flush) target DCs.
 enum class SpecEventKind : std::uint8_t {
@@ -86,6 +114,8 @@ class ScenarioSpec {
   // Effective simulator configuration, minus op_events (those come from
   // `events` via BuildConfig). Defaults match SimulatorConfig's.
   SimulatorConfig sim;
+  // Energy/cost model parameters ([energy] table; defaults when absent).
+  EnergySpec energy;
 
   // Parses + validates; throws util::config::ConfigError with line/column
   // on any defect. `source` names the input in errors.
@@ -119,6 +149,17 @@ class ScenarioSpec {
 ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
                                     trace::RecordSink& sink, int threads = 0);
 ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
+                                    trace::RecordSink& sink, int threads,
+                                    const CheckpointOptions& ckpt_options);
+
+// Spec-driven run with an explicit simulator config. `config` must be
+// spec.BuildConfig() plus execution-only knobs (epoch_observer, thread
+// placement) — anything record-shaping would silently diverge from the
+// fingerprint the checkpoint pins. This is the hook atlas::energy uses to
+// attach its epoch observer without duplicating the scenario.spec
+// fingerprint-guard logic.
+ScenarioStreamResult StreamScenario(const ScenarioSpec& spec,
+                                    const SimulatorConfig& config,
                                     trace::RecordSink& sink, int threads,
                                     const CheckpointOptions& ckpt_options);
 

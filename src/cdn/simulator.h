@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cdn/browser_cache.h"
@@ -37,6 +38,34 @@
 #include "trace/trace_buffer.h"
 
 namespace atlas::cdn {
+
+// One DC's delivery activity over one engine epoch, reported to an
+// EpochObserver as deltas since the previous barrier. Everything here is a
+// 64-bit counter already maintained by the engine — observers see the
+// simulation, they never steer it.
+struct EpochDcSample {
+  int dc = 0;
+  CacheStats edge;               // hit/miss/byte deltas this epoch
+  OriginStats origin;            // origin fetches attributed to this DC
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t peer_bytes = 0;
+  std::uint64_t revalidations = 0;
+  std::uint64_t pushed_bytes = 0;
+  // Edge-cache occupancy at the barrier (not a delta).
+  std::uint64_t resident_bytes = 0;
+};
+
+// One engine barrier: the epoch window [start_ms, end_ms) and every DC's
+// delta sample, in DC index order. Fired serially on the coordinating
+// thread, after shard merge and before any checkpoint for that barrier, so
+// an observer's own state can ride the same checkpoint atomically.
+struct EpochSample {
+  std::int64_t start_ms = 0;
+  std::int64_t end_ms = 0;
+  std::vector<EpochDcSample> dcs;
+};
+
+using EpochObserver = std::function<void(const EpochSample&)>;
 
 struct SimulatorConfig {
   TopologyConfig topology;
@@ -69,6 +98,12 @@ struct SimulatorConfig {
   // Part of the engine fingerprint: resuming against an edited timeline
   // fails instead of splicing two different deliveries.
   std::vector<OpEvent> op_events;
+  // Execution-only observation hook: fired once per epoch barrier with
+  // per-DC counter deltas. Like the thread count, it can never shape a
+  // record, so it is deliberately EXCLUDED from Engine::Fingerprint() and
+  // from the scenario canonical form — attaching or detaching an observer
+  // must not invalidate checkpoints or golden digests.
+  EpochObserver epoch_observer;
 };
 
 // Delivery-side counters for one simulation (or one shard of one): a

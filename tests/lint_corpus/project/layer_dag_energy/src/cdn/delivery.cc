@@ -1,0 +1,2 @@
+#include "cdn/delivery.h"
+int Serve() { return Delivery(); }

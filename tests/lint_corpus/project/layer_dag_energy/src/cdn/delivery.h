@@ -1,0 +1,4 @@
+#pragma once
+#include "energy/model.h"
+#include "util/base.h"
+inline int Delivery() { return Joules() + Base(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int Base() { return 1; }

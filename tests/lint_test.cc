@@ -303,6 +303,27 @@ TEST(ProjectRulesTest, LayerDagViolationNamesTheIncludeChain) {
             std::string::npos);
 }
 
+TEST(ProjectRulesTest, LayerDagEnergyIsRankFourAndCdnMustNotReachIt) {
+  // energy sits beside analysis (rank 4): it may include cdn, but a cdn
+  // header reaching back into energy is an upward inversion.
+  const auto report = LintFixtureTree("layer_dag_energy");
+  ASSERT_EQ(report.findings.size(), 1u) << Dump(report.findings);
+  const Finding& f = report.findings[0];
+  EXPECT_EQ(f.file, "src/cdn/delivery.h");
+  EXPECT_EQ(f.line, 2u);
+  EXPECT_EQ(f.rule, "layer-dag");
+  EXPECT_NE(f.message.find("src/cdn/delivery.cc -> src/cdn/delivery.h -> "
+                           "\"energy/model.h\""),
+            std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("'cdn' (rank 3) must not depend on 'energy' "
+                           "(rank 4)"),
+            std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("{analysis, energy}"), std::string::npos)
+      << f.message;
+}
+
 TEST(ProjectRulesTest, LockOrderCycleReportsBothWitnesses) {
   const auto report = LintFixtureTree("lock_order_cycle");
   ASSERT_EQ(report.findings.size(), 1u) << Dump(report.findings);

@@ -29,7 +29,7 @@ const std::vector<RuleInfo>& Rules() {
        "depend on evaluation order and threaten golden-digest determinism"},
       {"layer-dag",
        "includes must follow the architectural DAG util -> {stats, trace} "
-       "-> synth -> {cdn, cluster} -> analysis -> ckpt"},
+       "-> synth -> {cdn, cluster} -> {analysis, energy} -> ckpt"},
       {"lock-order",
        "the global lock-acquisition-order graph must stay acyclic; a cycle "
        "is a potential deadlock"},

@@ -12,7 +12,8 @@ namespace atlas::lint {
 namespace {
 
 constexpr const char* kDagText =
-    "util -> {stats, trace} -> synth -> {cdn, cluster} -> analysis -> ckpt";
+    "util -> {stats, trace} -> synth -> {cdn, cluster} -> {analysis, energy} "
+    "-> ckpt";
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.compare(0, prefix.size(), prefix) == 0;
@@ -331,7 +332,7 @@ int LayerRank(const std::string& layer) {
   if (layer == "stats" || layer == "trace") return 1;
   if (layer == "synth") return 2;
   if (layer == "cdn" || layer == "cluster") return 3;
-  if (layer == "analysis") return 4;
+  if (layer == "analysis" || layer == "energy") return 4;
   if (layer == "ckpt") return 5;
   return -1;
 }

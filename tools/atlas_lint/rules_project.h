@@ -2,8 +2,8 @@
 //
 //   layer-dag                 include edges must follow the architectural
 //                             DAG util -> {stats, trace} -> synth ->
-//                             {cdn, cluster} -> analysis -> ckpt; a
-//                             violation names the offending include chain.
+//                             {cdn, cluster} -> {analysis, energy} -> ckpt;
+//                             a violation names the offending include chain.
 //   lock-order                the global lock-acquisition-order graph
 //                             (built from observed MutexLock nestings,
 //                             with mutexes resolved to their declaring
@@ -31,7 +31,7 @@
 namespace atlas::lint {
 
 // Rank of a src/ layer in the architectural DAG, or -1 for unknown paths.
-// util=0, stats=trace=1, synth=2, cdn=cluster=3, analysis=4, ckpt=5.
+// util=0, stats=trace=1, synth=2, cdn=cluster=3, analysis=energy=4, ckpt=5.
 int LayerRank(const std::string& layer);
 
 // Runs every project rule. `sinks[i]` belongs to `index.files[i]` and must

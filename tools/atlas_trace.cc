@@ -13,6 +13,7 @@
 //   atlas_trace simulate <out.v2> [--spec scenario.toml] [--scale 0.05]
 //                       [--seed 42] [--threads N]
 //                       [--peer-fill] [--epoch-min 60]
+//                       [--energy-report]
 //                       [--checkpoint-every N] [--checkpoint-file F]
 //                       [--resume F]            run the paper study fully
 //                                                  out-of-core: the sharded
@@ -66,6 +67,7 @@
 #include "cdn/scenario.h"
 #include "cdn/scenario_spec.h"
 #include "ckpt/checkpoint.h"
+#include "energy/run.h"
 #include "trace/content_class.h"
 #include "trace/stream.h"
 #include "trace/trace_io.h"
@@ -94,6 +96,7 @@ int Usage(const char* prog) {
                "[--format v1]\n"
                "  simulate <out.v2> [--spec scenario.toml] [--scale 0.05] "
                "[--seed 42] [--threads N] [--peer-fill] [--epoch-min 60] "
+               "[--energy-report] "
                "[--checkpoint-every N] [--checkpoint-file F] [--resume F]\n"
                "  verify  <trace.v2>\n"
                "  analyze <trace.bin> [--spec scenario.toml] [--report F] "
@@ -407,6 +410,10 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
                   "per-site synth-table byte budget in MB (0 = profile "
                   "default, 256); catalogs/user tables past it switch to "
                   "lazy RNG-snapshot shards — trace-invariant");
+  flags.DefineBool("energy-report", false,
+                   "attach per-DC energy/dollar accounting ([energy] spec "
+                   "table or defaults) and print the report after the run; "
+                   "observation-only, the trace stays byte-identical");
   flags.Parse(argc, argv);
   util::SetLogLevel(util::LogLevel::kWarn);
   const std::int64_t epoch_min = flags.GetInt("epoch-min");
@@ -479,6 +486,15 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
   }
   ckpt_options.save_extra = [&](ckpt::Writer& w) { writer->SaveState(w); };
 
+  // Energy accounting rides the run as a pure observer: it joins the
+  // checkpoint (its section is chained ahead of the writer state above) but
+  // cannot shape a record, so the trace and its digests are unchanged.
+  std::optional<energy::EnergyAccumulator> energy_acc;
+  if (flags.GetBool("energy-report")) {
+    energy_acc.emplace();
+    ckpt_options = energy::AttachEnergy(*energy_acc, config, ckpt_options);
+  }
+
   // Progress/ETA on the checkpoint cadence: each committed snapshot reports
   // how far into the simulated week the run is and extrapolates the wall
   // time remaining. Long scale>=1 runs are no longer silent.
@@ -509,7 +525,7 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
   trace::WriterSink sink(*writer);
   cdn::ScenarioStreamResult result;
   if (spec) {
-    result = cdn::StreamScenario(*spec, sink,
+    result = cdn::StreamScenario(*spec, config, sink,
                                  static_cast<int>(flags.GetInt("threads")),
                                  ckpt_options);
   } else {
@@ -559,6 +575,37 @@ int CmdSimulate(const std::string& out, int argc, char** argv) {
             << util::FormatBytes(static_cast<double>(t.origin.bytes))
             << ", browser-absorbed " << t.browser_fresh_hits
             << " requests, " << t.revalidations << " revalidations\n";
+
+  if (energy_acc) {
+    const energy::EnergyModel model(spec ? spec->energy : cdn::EnergySpec{});
+    const energy::EnergyReport report = energy_acc->Report(model);
+    std::cout << "\nenergy (" << report.epochs << " epochs, "
+              << (report.span_ms / 60'000) << " simulated minutes)\n";
+    std::cout << util::PadRight("dc", 4) << util::PadLeft("served", 11)
+              << util::PadLeft("duty", 7) << util::PadLeft("server", 10)
+              << util::PadLeft("network", 10) << util::PadLeft("storage", 10)
+              << util::PadLeft("kWh", 9) << util::PadLeft("USD", 9) << '\n';
+    std::cout << std::string(70, '-') << '\n';
+    for (const auto& dc : report.dcs) {
+      const auto& e = dc.energy;
+      std::cout << util::PadRight("dc" + std::to_string(dc.dc), 4)
+                << util::PadLeft(util::FormatBytes(
+                                     static_cast<double>(dc.served_bytes)),
+                                 11)
+                << util::PadLeft(util::FormatPercent(dc.duty, 1), 7)
+                << util::PadLeft(util::FormatCount(e.server_j) + "J", 10)
+                << util::PadLeft(util::FormatCount(e.network_j) + "J", 10)
+                << util::PadLeft(util::FormatCount(e.storage_j) + "J", 10)
+                << util::PadLeft(util::FormatCount(e.TotalKwh()), 9)
+                << util::PadLeft(util::FormatCount(e.TotalUsd()), 9) << '\n';
+    }
+    const auto& te = report.total;
+    std::cout << "total: " << util::FormatCount(te.TotalJoules())
+              << "J = " << util::FormatCount(te.TotalKwh()) << " kWh, $"
+              << util::FormatCount(te.TotalUsd()) << " ($"
+              << util::FormatCount(te.electricity_usd) << " electricity + $"
+              << util::FormatCount(te.transit_usd) << " transit)\n";
+  }
   return 0;
 }
 
